@@ -1,0 +1,33 @@
+// Command haccatd runs the central catalog server of §3.2: users
+// publish the names, queries and query-results of their semantic
+// directories here, search the collection, and find users with similar
+// classifications.
+//
+// Usage:
+//
+//	haccatd [-addr host:port]
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+
+	"hacfs/internal/catalog"
+)
+
+var addr = flag.String("addr", "127.0.0.1:7679", "listen address")
+
+func main() {
+	flag.Parse()
+	logger := log.New(os.Stderr, "haccatd: ", log.LstdFlags)
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	logger.Printf("catalog serving on %s", *addr)
+	if err := catalog.NewServer(catalog.New(), logger).Serve(l); err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+// Command hacindexd serves a document tree over the remote
+// content-based-access protocol, so other HAC volumes can semantically
+// mount it (§3 of the paper: "connect different file systems ...
+// evaluate queries against different name spaces").
+//
+// Usage:
+//
+//	hacindexd [-addr host:port] [-files N] [-dir path]
+//
+// By default it serves a synthetic corpus; with -dir it indexes a real
+// directory from the host file system (read-only snapshot taken at
+// startup).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+
+	"hacfs/internal/corpus"
+	"hacfs/internal/remote"
+	"hacfs/internal/vfs"
+)
+
+var (
+	addr     = flag.String("addr", "127.0.0.1:7677", "listen address")
+	nfiles   = flag.Int("files", 500, "synthetic corpus size (when -dir is not given)")
+	seed     = flag.Int64("seed", 7, "synthetic corpus seed")
+	hostDir  = flag.String("dir", "", "serve a snapshot of this host directory instead of a synthetic corpus")
+	maxBytes = flag.Int64("max-file-bytes", 1<<20, "skip host files larger than this (with -dir)")
+)
+
+func main() {
+	flag.Parse()
+	logger := log.New(os.Stderr, "hacindexd: ", log.LstdFlags)
+
+	fsys := vfs.New()
+	var err error
+	switch {
+	case *hostDir != "":
+		var n int
+		n, err = snapshotHostDir(fsys, *hostDir)
+		if err == nil {
+			logger.Printf("snapshotted %d files from %s", n, *hostDir)
+		}
+	default:
+		err = fsys.MkdirAll("/corpus")
+		if err == nil {
+			_, err = corpus.Generate(fsys, "/corpus", corpus.Spec{Files: *nfiles, Seed: *seed})
+		}
+	}
+	if err != nil {
+		logger.Fatalf("building document tree: %v", err)
+	}
+
+	backend, err := remote.NewIndexBackend(fsys, "/")
+	if err != nil {
+		logger.Fatalf("indexing: %v", err)
+	}
+	st := backend.Index().Stats()
+	logger.Printf("serving %d documents (%d terms, %d KB index) on %s",
+		st.Docs, st.Terms, st.IndexBytes/1024, *addr)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	srv := remote.NewServer(backend, logger)
+	if err := srv.Serve(l); err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+}
+
+// snapshotHostDir copies regular files under dir from the host OS into
+// the in-memory volume, preserving relative paths.
+func snapshotHostDir(fsys *vfs.MemFS, dir string) (int, error) {
+	n := 0
+	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return nil // skip unreadable entries
+		}
+		if !info.Mode().IsRegular() || info.Size() > *maxBytes {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil
+		}
+		target := "/" + filepath.ToSlash(rel)
+		if err := fsys.MkdirAll(vfs.Dir(target)); err != nil {
+			return err
+		}
+		if err := fsys.WriteFile(target, data); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no regular files found under %s", dir)
+	}
+	return n, nil
+}

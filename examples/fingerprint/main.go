@@ -1,0 +1,128 @@
+// The paper's running example (§2.1): a researcher working on a
+// fingerprint project whose material is scattered across email, notes,
+// source code and papers. HAC gathers it all into one semantic
+// directory, which the researcher then tunes by hand — and HAC keeps
+// the hand-tuned result consistent as files and queries change.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hacfs"
+)
+
+func main() {
+	fs := hacfs.NewVolume()
+
+	// The scattered project material.
+	seed(fs, map[string]string{
+		"/mail/from-bob-1.eml":    "from bob subject fingerprint sensor calibration",
+		"/mail/from-carol.eml":    "from carol subject lunch on tuesday",
+		"/notes/meeting.txt":      "fingerprint project kickoff notes",
+		"/notes/shopping.txt":     "milk eggs bread",
+		"/src/match.c":            "int fingerprint match(image a, image b)",
+		"/src/util.c":             "generic utility helpers",
+		"/papers/survey.txt":      "survey of fingerprint matching algorithms",
+		"/papers/crime-story.txt": "fingerprint evidence in the museum murder case",
+		"/images/scan1.raw":       "binaryish sensor dump without keywords",
+	})
+	if _, err := fs.Reindex("/"); err != nil {
+		log.Fatal(err)
+	}
+
+	// One command gathers everything.
+	must(fs.MkSemDir("/fingerprint", "fingerprint"))
+	show(fs, "initial query result", "/fingerprint")
+
+	// §2.3: no query system is perfect. The crime story matches but is
+	// irrelevant — delete it. The deletion is remembered (prohibited).
+	must(fs.Remove("/fingerprint/crime-story.txt"))
+
+	// The raw sensor image is relevant but matches nothing — link it by
+	// hand. The link is permanent: consistency passes never remove it.
+	must(fs.Symlink("/images/scan1.raw", "/fingerprint/scan1.raw"))
+
+	show(fs, "after manual tuning (crime story out, sensor image in)", "/fingerprint")
+
+	// Refinement by hierarchy: a child semantic directory scopes over
+	// the parent's links only.
+	must(fs.MkSemDir("/fingerprint/code", "int OR match"))
+	show(fs, "refinement /fingerprint/code (scope = parent's links)", "/fingerprint/code")
+
+	// §2.5: queries can reference directories. Collect everything in
+	// the tuned fingerprint collection that is NOT source code.
+	must(fs.MkSemDir("/fp-reading", "dir:/fingerprint AND NOT int"))
+	show(fs, "dir-reference query /fp-reading", "/fp-reading")
+
+	// Consistency under change: new mail arrives, an old note is
+	// archived out of existence. One reindex settles everything,
+	// without touching the manual edits.
+	must(fs.WriteFile("/mail/from-dave.eml", []byte("from dave subject fingerprint dataset ready")))
+	must(fs.Remove("/notes/meeting.txt"))
+	if _, err := fs.Reindex("/"); err != nil {
+		log.Fatal(err)
+	}
+	show(fs, "after new mail + archived note + reindex", "/fingerprint")
+
+	fmt.Println("\nlink classification in /fingerprint:")
+	links, err := fs.Links("/fingerprint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range links {
+		fmt.Printf("  %-10s %s\n", l.Class, l.Target)
+	}
+
+	// Renaming the referenced directory does not break /fp-reading.
+	must(fs.Rename("/fingerprint", "/fp-project"))
+	must(fs.Sync("/"))
+	q, err := fs.QueryDisplay("/fp-reading")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter rename, /fp-reading's query reads: %s\n", q)
+	show(fs, "and still resolves", "/fp-reading")
+}
+
+func seed(fs *hacfs.FS, files map[string]string) {
+	for p, content := range files {
+		dir := p[:lastSlash(p)]
+		must(fs.MkdirAll(dir))
+		must(fs.WriteFile(p, []byte(content)))
+	}
+}
+
+func lastSlash(p string) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return i
+		}
+	}
+	return 0
+}
+
+func show(fs *hacfs.FS, caption, dir string) {
+	fmt.Printf("\n%s:\n", caption)
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(entries) == 0 {
+		fmt.Println("  (empty)")
+	}
+	for _, e := range entries {
+		if e.Type == hacfs.SymlinkType {
+			target, _ := fs.Readlink(dir + "/" + e.Name)
+			fmt.Printf("  %s -> %s\n", e.Name, target)
+		} else {
+			fmt.Printf("  %s\n", e.Name)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Email semantic directories (§2.3 of the paper): "users can build
+// email semantic directories, allowing a message to be in more than one
+// directory (e.g., by sender, recipient, topic, and/or a combination)".
+//
+// A message lives once under /mail; the folders are semantic
+// directories whose queries slice the mailbox by sender and by topic,
+// so one message appears in several folders simultaneously — something
+// a plain hierarchy cannot do.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hacfs"
+)
+
+type message struct {
+	name, from, to, subject, body string
+}
+
+var inbox = []message{
+	{"m1", "alice", "me", "fingerprint dataset", "the fingerprint dataset is uploaded"},
+	{"m2", "bob", "me", "lunch", "lunch tomorrow?"},
+	{"m3", "alice", "me", "budget", "budget spreadsheet attached"},
+	{"m4", "carol", "me", "fingerprint paper", "draft of the fingerprint paper"},
+	{"m5", "bob", "me", "fingerprint sensor", "the sensor hardware arrived"},
+	{"m6", "alice", "me", "vacation", "out next week"},
+}
+
+func main() {
+	fs := hacfs.NewVolume()
+	must(fs.MkdirAll("/mail"))
+	for _, m := range inbox {
+		content := fmt.Sprintf("from %s\nto %s\nsubject %s\n\n%s\n", m.from, m.to, m.subject, m.body)
+		must(fs.WriteFile("/mail/"+m.name+".eml", []byte(content)))
+	}
+	if _, err := fs.Reindex("/"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Folders by sender, by topic, and by a combination. The dir:/mail
+	// reference scopes each folder over the mailbox (§2.5 DAG-based
+	// scoping), wherever the folder itself lives.
+	must(fs.MkdirAll("/folders"))
+	must(fs.MkSemDir("/folders/from-alice", "dir:/mail AND from AND alice"))
+	must(fs.MkSemDir("/folders/from-bob", "dir:/mail AND from AND bob"))
+	must(fs.MkSemDir("/folders/fingerprint", "dir:/mail AND fingerprint"))
+	must(fs.MkSemDir("/folders/alice-fingerprint", "dir:/mail AND from AND alice AND fingerprint"))
+
+	for _, f := range []string{
+		"/folders/from-alice", "/folders/from-bob",
+		"/folders/fingerprint", "/folders/alice-fingerprint",
+	} {
+		show(fs, f)
+	}
+
+	// m1 is in two folders at once.
+	fmt.Println("\nfolders containing m1.eml:")
+	for _, f := range []string{"/folders/from-alice", "/folders/from-bob", "/folders/fingerprint"} {
+		targets, err := fs.Links(f)
+		must(err)
+		for _, l := range targets {
+			if strings.HasSuffix(l.Target, "m1.eml") && l.Class != hacfs.Prohibited {
+				fmt.Printf("  %s\n", f)
+			}
+		}
+	}
+
+	// New mail shows up in every matching folder after a reindex —
+	// "users can decide to update certain semantic directories as soon
+	// as new mail comes in" (§2.4).
+	must(fs.WriteFile("/mail/m7.eml",
+		[]byte("from alice\nto me\nsubject fingerprint demo\n\ndemo on friday\n")))
+	if _, err := fs.Reindex("/mail"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter new mail m7 from alice about the fingerprint demo:")
+	show(fs, "/folders/alice-fingerprint")
+
+	// Filing by hand still works: drag a message out of a folder
+	// (prohibited there) and into another (permanent there).
+	must(fs.Rename("/folders/fingerprint/m5.eml", "/folders/from-alice/m5.eml"))
+	fmt.Println("\nafter moving m5 from the fingerprint folder into from-alice:")
+	show(fs, "/folders/fingerprint")
+	show(fs, "/folders/from-alice")
+
+	// The move survives every consistency pass.
+	if _, err := fs.Reindex("/"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n...and it survives a full reindex:")
+	show(fs, "/folders/fingerprint")
+}
+
+func show(fs *hacfs.FS, dir string) {
+	entries, err := fs.ReadDir(dir)
+	must(err)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name)
+	}
+	fmt.Printf("%-28s %s\n", dir+":", strings.Join(names, " "))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

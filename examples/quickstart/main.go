@@ -1,0 +1,70 @@
+// Quickstart: the smallest end-to-end use of the hacfs library —
+// create a volume, add files, index, attach a query to a directory, and
+// watch HAC keep it consistent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hacfs"
+)
+
+func main() {
+	fs := hacfs.NewVolume()
+
+	// A HAC volume is an ordinary hierarchical file system.
+	must(fs.MkdirAll("/notes"))
+	must(fs.WriteFile("/notes/pie.txt", []byte("apple pie recipe")))
+	must(fs.WriteFile("/notes/bread.txt", []byte("banana bread recipe")))
+	must(fs.WriteFile("/notes/car.txt", []byte("car maintenance log")))
+
+	// Index the volume (the paper's CBA mechanism), then create a
+	// semantic directory: a directory with a query.
+	if _, err := fs.Reindex("/"); err != nil {
+		log.Fatal(err)
+	}
+	must(fs.MkSemDir("/recipes", "recipe"))
+
+	fmt.Println("links in /recipes:")
+	printDir(fs, "/recipes")
+
+	// It is still a regular directory: delete a link you don't want
+	// (it becomes prohibited and will never silently return) ...
+	must(fs.Remove("/recipes/bread.txt"))
+
+	// ... and new matching files appear at the next reindex.
+	must(fs.WriteFile("/notes/cake.txt", []byte("carrot cake recipe")))
+	if _, err := fs.Reindex("/"); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nafter deleting bread.txt and adding cake.txt:")
+	printDir(fs, "/recipes")
+
+	links, err := fs.Links("/recipes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nclassified links:")
+	for _, l := range links {
+		fmt.Printf("  %-10s %s\n", l.Class, l.Target)
+	}
+}
+
+func printDir(fs *hacfs.FS, dir string) {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		target, _ := fs.Readlink(dir + "/" + e.Name)
+		fmt.Printf("  %s -> %s\n", e.Name, target)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

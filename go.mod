@@ -1,0 +1,3 @@
+module hacfs
+
+go 1.22

@@ -1,0 +1,221 @@
+// Package hacfs is a Go implementation of HAC ("Hierarchy And
+// Content"), the file system of Gopal & Manber's OSDI 1999 paper
+// "Integrating Content-Based Access Mechanisms with Hierarchical File
+// Systems".
+//
+// HAC combines name-based and content-based access to files: it is a
+// complete hierarchical file system in which any directory may carry a
+// query. Such semantic directories are populated with symbolic links to
+// the files matching the query, yet remain ordinary directories — files
+// and links can be added, removed, renamed and the system keeps query
+// results consistent with the user's manual edits (the paper's scope
+// consistency), re-indexes lazily (data consistency), and can import
+// results from remote query systems through semantic mount points.
+//
+// # Quick start
+//
+//	fs := hacfs.NewVolume()                       // in-memory HAC volume
+//	fs.MkdirAll("/notes")
+//	fs.WriteFile("/notes/a.txt", []byte("fingerprint matching"))
+//	fs.Reindex("/")                               // index the volume
+//	fs.MkSemDir("/fp", "fingerprint")             // semantic directory
+//	entries, _ := fs.ReadDir("/fp")               // links to matches
+//
+// The package is a thin facade: the implementation lives in internal
+// packages (internal/hac for the HAC layer, internal/vfs for the
+// substrate, internal/remote for the network protocol), re-exported
+// here as aliases so downstream users have one import path.
+package hacfs
+
+import (
+	"io"
+	"log"
+	"net"
+
+	"hacfs/internal/catalog"
+	"hacfs/internal/hac"
+	"hacfs/internal/index"
+	"hacfs/internal/remote"
+	"hacfs/internal/remotefs"
+	"hacfs/internal/vfs"
+)
+
+// FS is a HAC file system. It implements FileSystem (all hierarchical
+// operations) and adds the semantic operations: MkSemDir, SetQuery,
+// Sync, Reindex, SemanticMount, Links, Extract, and so on.
+type FS = hac.FS
+
+// Options configures a HAC volume.
+type Options = hac.Options
+
+// FileSystem is the hierarchical operation set shared by HAC volumes
+// and raw substrates.
+type FileSystem = vfs.FileSystem
+
+// File is an open file handle.
+type File = vfs.File
+
+// Info describes a file system object.
+type Info = vfs.Info
+
+// DirEntry is one directory-listing entry.
+type DirEntry = vfs.DirEntry
+
+// MemFS is the in-memory substrate file system.
+type MemFS = vfs.MemFS
+
+// Link is a classified symbolic link in a semantic directory.
+type Link = hac.Link
+
+// LinkClass is the paper's three-way link classification.
+type LinkClass = hac.LinkClass
+
+// The three link classes (§2.3 of the paper).
+const (
+	Transient  = hac.Transient  // produced by query evaluation
+	Permanent  = hac.Permanent  // added explicitly by the user
+	Prohibited = hac.Prohibited // deleted by the user; never re-added
+)
+
+// Namespace is a remote file or query system that can be semantically
+// mounted (§3 of the paper).
+type Namespace = hac.Namespace
+
+// NodeType distinguishes files, directories and symlinks in Info and
+// DirEntry.
+type NodeType = vfs.NodeType
+
+// The node types.
+const (
+	FileType    = vfs.TypeFile
+	DirType     = vfs.TypeDir
+	SymlinkType = vfs.TypeSymlink
+)
+
+// Open-flag constants for OpenFile.
+const (
+	ORead   = vfs.ORead
+	OWrite  = vfs.OWrite
+	OCreate = vfs.OCreate
+	OTrunc  = vfs.OTrunc
+	OAppend = vfs.OAppend
+	OExcl   = vfs.OExcl
+)
+
+// Common error sentinels, matchable with errors.Is.
+var (
+	ErrNotExist    = vfs.ErrNotExist
+	ErrExist       = vfs.ErrExist
+	ErrNotDir      = vfs.ErrNotDir
+	ErrIsDir       = vfs.ErrIsDir
+	ErrNotEmpty    = vfs.ErrNotEmpty
+	ErrNotSemantic = hac.ErrNotSemantic
+	ErrDependedOn  = hac.ErrDependedOn
+	ErrDanglingRef = hac.ErrDanglingRef
+)
+
+// NewVolume returns a HAC file system over a fresh in-memory substrate
+// with default options.
+func NewVolume() *FS {
+	return hac.New(vfs.New(), hac.Options{})
+}
+
+// NewVolumeOver layers HAC over an existing substrate — any
+// FileSystem, including another process's exported volume.
+func NewVolumeOver(under FileSystem, opts Options) *FS {
+	return hac.New(under, opts)
+}
+
+// NewMemFS returns a bare in-memory hierarchical file system (the
+// substrate without the HAC layer).
+func NewMemFS() *MemFS { return vfs.New() }
+
+// DialRemote connects to a remote CBA server (cmd/hacindexd) and
+// returns a Namespace that can be passed to FS.SemanticMount. name
+// becomes the namespace name inside the volume.
+func DialRemote(name, addr string) *remote.Client {
+	return remote.Dial(name, addr)
+}
+
+// ServeIndex starts serving the tree at root in fsys over the remote
+// CBA protocol on addr, blocking until the listener fails. It is the
+// library form of cmd/hacindexd.
+func ServeIndex(fsys FileSystem, root, addr string, logger *log.Logger) error {
+	backend, err := remote.NewIndexBackend(fsys, root)
+	if err != nil {
+		return err
+	}
+	return remote.NewServer(backend, logger).ListenAndServe(addr)
+}
+
+// Transducer extracts attribute terms (such as "from:alice") from a
+// document, in the spirit of SFS transducers. Register one with
+// FS.RegisterTransducer.
+type Transducer = index.Transducer
+
+// Built-in transducers.
+var (
+	EmailTransducer  = index.EmailTransducer
+	PathTransducer   = index.PathTransducer
+	SourceTransducer = index.SourceTransducer
+)
+
+// Scheduler periodically re-runs the data-consistency pass; see
+// FS.StartAutoReindex.
+type Scheduler = hac.Scheduler
+
+// LoadVolume restores a volume saved with FS.SaveVolume, rebuilding the
+// index and settling all consistency.
+func LoadVolume(r io.Reader, opts Options) (*FS, error) {
+	return hac.LoadVolume(r, opts)
+}
+
+// DialFS connects to a remote volume served by cmd/hacvold (or
+// ServeFS) and returns a FileSystem view of it. The result composes
+// with everything local: mount it into a MemFS with Mount, or use it
+// as the substrate of a local HAC layer.
+func DialFS(addr string) *remotefs.Client {
+	return remotefs.Dial(addr)
+}
+
+// ServeFS exports a file system — typically a live HAC volume — on
+// addr over the remote file-system protocol, blocking until the
+// listener fails. It is the library form of cmd/hacvold.
+func ServeFS(fsys FileSystem, addr string, logger *log.Logger) error {
+	return remotefs.NewServer(fsys, logger).ListenAndServe(addr)
+}
+
+// CatalogEntry is one published semantic directory in a catalog.
+type CatalogEntry = catalog.Entry
+
+// Catalog is the §3.2 central database of published semantic
+// directories.
+type Catalog = catalog.Catalog
+
+// NewCatalog returns an empty catalog; serve it with ServeCatalog or
+// use it in-process.
+func NewCatalog() *Catalog { return catalog.New() }
+
+// DialCatalog connects to a catalog server (cmd/haccatd).
+func DialCatalog(addr string) *catalog.Client { return catalog.Dial(addr) }
+
+// ServeCatalog exposes a catalog on addr, blocking until the listener
+// fails. It is the library form of cmd/haccatd.
+func ServeCatalog(cat *Catalog, addr string, logger *log.Logger) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return catalog.NewServer(cat, logger).Serve(l)
+}
+
+// Walk traverses a file system tree depth-first in name order, without
+// following symlinks.
+func Walk(fsys FileSystem, root string, fn vfs.WalkFunc) error {
+	return vfs.Walk(fsys, root, fn)
+}
+
+// Files lists all regular files under root, sorted.
+func Files(fsys FileSystem, root string) ([]string, error) {
+	return vfs.Files(fsys, root)
+}

@@ -1,0 +1,273 @@
+// Package andrew implements the Andrew Benchmark (Howard et al.), the
+// workload the paper's Table 1 and Table 2 are built on. The benchmark
+// has five phases:
+//
+//	MakeDir  — recreate the source directory hierarchy
+//	Copy     — copy every source file into the new hierarchy
+//	Scan     — stat every object in the new hierarchy without reading
+//	Read     — read every byte of every file
+//	Make     — "compile and link" the tree (CPU-bound)
+//
+// The harness runs against any vfs.FileSystem, so the raw substrate
+// ("UNIX" in the tables), the HAC layer, and the Jade/Pseudo baseline
+// layers are directly comparable.
+//
+// The original benchmark compiles a C source tree; compilers are out of
+// scope here, so the Make phase runs a deterministic CPU-heavy
+// transform over each file's bytes and "links" the results into one
+// output file. What matters for the experiment — Make does much
+// computation per file-system operation, so layered-FS overhead is
+// smallest there — is preserved.
+package andrew
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"hacfs/internal/vfs"
+)
+
+// Spec sizes the benchmark's source tree. The defaults approximate the
+// original Andrew tree (a few dozen directories, a few hundred small
+// source files).
+type Spec struct {
+	Dirs        int // directories in the source tree (default 20)
+	FilesPerDir int // files per directory (default 10)
+	FileSize    int // bytes per file (default 4096)
+	MakeRounds  int // hash rounds per byte in the Make phase (default 4)
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Dirs <= 0 {
+		s.Dirs = 20
+	}
+	if s.FilesPerDir <= 0 {
+		s.FilesPerDir = 10
+	}
+	if s.FileSize <= 0 {
+		s.FileSize = 4096
+	}
+	if s.MakeRounds <= 0 {
+		s.MakeRounds = 4
+	}
+	return s
+}
+
+// Result holds per-phase wall-clock times — one row of Table 1.
+type Result struct {
+	Spec    Spec
+	MakeDir time.Duration
+	Copy    time.Duration
+	Scan    time.Duration
+	Read    time.Duration
+	Make    time.Duration
+
+	// Counts sanity-check that the same workload ran on every layer.
+	DirsMade  int
+	FilesRead int
+	Scanned   int
+}
+
+// Total returns the sum of the phase times.
+func (r Result) Total() time.Duration {
+	return r.MakeDir + r.Copy + r.Scan + r.Read + r.Make
+}
+
+// Phases returns the canonical (name, duration) rows in table order.
+func (r Result) Phases() []struct {
+	Name string
+	D    time.Duration
+} {
+	return []struct {
+		Name string
+		D    time.Duration
+	}{
+		{"Makedir", r.MakeDir},
+		{"Copy", r.Copy},
+		{"Scan", r.Scan},
+		{"Read", r.Read},
+		{"Make", r.Make},
+		{"Total", r.Total()},
+	}
+}
+
+// GenerateSource builds the deterministic source tree under root.
+func GenerateSource(fsys vfs.FileSystem, root string, spec Spec) error {
+	spec = spec.withDefaults()
+	if err := fsys.MkdirAll(root); err != nil {
+		return err
+	}
+	buf := make([]byte, spec.FileSize)
+	for d := 0; d < spec.Dirs; d++ {
+		dir := vfs.Join(root, fmt.Sprintf("src%03d", d))
+		if err := fsys.MkdirAll(dir); err != nil {
+			return err
+		}
+		for f := 0; f < spec.FilesPerDir; f++ {
+			fillSource(buf, d, f)
+			p := vfs.Join(dir, fmt.Sprintf("file%03d.c", f))
+			if err := fsys.WriteFile(p, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fillSource writes pseudo-C source text into buf, deterministic in
+// (dir, file). The "au<d>x<f>" token is unique to each file, so
+// experiments can form queries of exact selectivity against the tree.
+func fillSource(buf []byte, d, f int) {
+	header := fmt.Sprintf("/* andrew src %d/%d au%dx%d */\nint main_%d_%d(void) {\n", d, f, d, f, d, f)
+	copy(buf, header)
+	pattern := []byte("x = compute(x, y); y = mix(y, z); /* work */\n")
+	for i := len(header); i < len(buf); i++ {
+		buf[i] = pattern[i%len(pattern)]
+	}
+}
+
+// Run executes the five phases: the source tree at srcRoot is
+// replicated to dstRoot (which must not exist) and exercised.
+func Run(fsys vfs.FileSystem, srcRoot, dstRoot string, spec Spec) (Result, error) {
+	spec = spec.withDefaults()
+	res := Result{Spec: spec}
+
+	// Phase 1: MakeDir.
+	start := time.Now()
+	err := vfs.Walk(fsys, srcRoot, func(p string, info vfs.Info) error {
+		if !info.IsDir() {
+			return nil
+		}
+		rel := p[len(srcRoot):]
+		if err := fsys.MkdirAll(vfs.Join(dstRoot, rel)); err != nil {
+			return err
+		}
+		res.DirsMade++
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("andrew makedir: %w", err)
+	}
+	res.MakeDir = time.Since(start)
+
+	// Phase 2: Copy.
+	start = time.Now()
+	srcFiles, err := vfs.Files(fsys, srcRoot)
+	if err != nil {
+		return res, err
+	}
+	for _, p := range srcFiles {
+		rel := p[len(srcRoot):]
+		if err := vfs.CopyFile(fsys, p, fsys, vfs.Join(dstRoot, rel)); err != nil {
+			return res, fmt.Errorf("andrew copy: %w", err)
+		}
+	}
+	res.Copy = time.Since(start)
+
+	// Phase 3: Scan — examine status of everything without reading
+	// data.
+	start = time.Now()
+	err = vfs.Walk(fsys, dstRoot, func(p string, info vfs.Info) error {
+		if _, err := fsys.Stat(p); err != nil {
+			return err
+		}
+		res.Scanned++
+		return nil
+	})
+	if err != nil {
+		return res, fmt.Errorf("andrew scan: %w", err)
+	}
+	res.Scan = time.Since(start)
+
+	// Phase 4: Read — every byte of every file, through handles in 4 KB
+	// chunks as the original does.
+	start = time.Now()
+	dstFiles, err := vfs.Files(fsys, dstRoot)
+	if err != nil {
+		return res, err
+	}
+	chunk := make([]byte, 4096)
+	for _, p := range dstFiles {
+		f, err := fsys.Open(p)
+		if err != nil {
+			return res, fmt.Errorf("andrew read: %w", err)
+		}
+		for {
+			n, err := f.Read(chunk)
+			if n == 0 || err != nil {
+				break
+			}
+		}
+		if err := f.Close(); err != nil {
+			return res, err
+		}
+		res.FilesRead++
+	}
+	res.Read = time.Since(start)
+
+	// Phase 5: Make — CPU-bound "compile" of each file plus a "link".
+	start = time.Now()
+	if err := makePhase(fsys, dstRoot, dstFiles, spec.MakeRounds); err != nil {
+		return res, fmt.Errorf("andrew make: %w", err)
+	}
+	res.Make = time.Since(start)
+	return res, nil
+}
+
+// makePhase "compiles" each source file into an .o file containing a
+// CPU-expensive digest, then "links" all objects into one binary.
+func makePhase(fsys vfs.FileSystem, dstRoot string, files []string, rounds int) error {
+	var objects []string
+	for _, p := range files {
+		data, err := fsys.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		digest := compile(data, rounds)
+		obj := p + ".o"
+		if err := fsys.WriteFile(obj, digest); err != nil {
+			return err
+		}
+		objects = append(objects, obj)
+	}
+	// Link: concatenate all object digests and digest once more.
+	linker := fnv.New64a()
+	for _, obj := range objects {
+		data, err := fsys.ReadFile(obj)
+		if err != nil {
+			return err
+		}
+		linker.Write(data)
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, linker.Sum64())
+	return fsys.WriteFile(vfs.Join(dstRoot, "a.out"), out)
+}
+
+// compile is the deterministic CPU-heavy stand-in for compilation:
+// `rounds` FNV passes over the content with feedback, so the work scales
+// with file size like a real compiler's lexing would.
+func compile(data []byte, rounds int) []byte {
+	h := fnv.New64a()
+	state := uint64(14695981039346656037)
+	var word [8]byte
+	for r := 0; r < rounds; r++ {
+		h.Reset()
+		binary.BigEndian.PutUint64(word[:], state)
+		h.Write(word[:])
+		h.Write(data)
+		state = h.Sum64()
+		// Feedback pass: mix the state through the buffer to defeat
+		// any possibility of the loop being optimized away.
+		for i := 0; i+8 <= len(data); i += 64 {
+			state ^= binary.BigEndian.Uint64(data[i:]) * 1099511628211
+			state = state<<13 | state>>51
+		}
+	}
+	out := make([]byte, 16)
+	binary.BigEndian.PutUint64(out[:8], h.Sum64())
+	binary.BigEndian.PutUint64(out[8:], state)
+	return out
+}

@@ -1,0 +1,133 @@
+package andrew
+
+import (
+	"strings"
+	"testing"
+
+	"hacfs/internal/vfs"
+)
+
+func TestGenerateSource(t *testing.T) {
+	fs := vfs.New()
+	spec := Spec{Dirs: 5, FilesPerDir: 3, FileSize: 1024}
+	if err := GenerateSource(fs, "/src", spec); err != nil {
+		t.Fatal(err)
+	}
+	files, err := vfs.Files(fs, "/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 15 {
+		t.Fatalf("generated %d files, want 15", len(files))
+	}
+	data, err := fs.ReadFile(files[0])
+	if err != nil || len(data) != 1024 {
+		t.Fatalf("file size = %d, %v", len(data), err)
+	}
+	if !strings.HasPrefix(string(data), "/* andrew src") {
+		t.Fatalf("unexpected content prefix %q", data[:20])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := vfs.New(), vfs.New()
+	spec := Spec{Dirs: 2, FilesPerDir: 2, FileSize: 256}
+	if err := GenerateSource(a, "/src", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateSource(b, "/src", spec); err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := vfs.Files(a, "/src")
+	for _, p := range fa {
+		da, _ := a.ReadFile(p)
+		db, err := b.ReadFile(p)
+		if err != nil || string(da) != string(db) {
+			t.Fatalf("content mismatch at %s", p)
+		}
+	}
+}
+
+func TestRunPhases(t *testing.T) {
+	fs := vfs.New()
+	spec := Spec{Dirs: 4, FilesPerDir: 5, FileSize: 2048, MakeRounds: 2}
+	if err := GenerateSource(fs, "/src", spec); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(fs, "/src", "/dst", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 src dirs + the dst root itself.
+	if res.DirsMade != 5 {
+		t.Fatalf("DirsMade = %d, want 5", res.DirsMade)
+	}
+	if res.FilesRead != 20 {
+		t.Fatalf("FilesRead = %d, want 20", res.FilesRead)
+	}
+	// Scan touched root + 4 dirs + 20 files.
+	if res.Scanned != 25 {
+		t.Fatalf("Scanned = %d, want 25", res.Scanned)
+	}
+	// Every copied file exists with correct content.
+	srcFiles, _ := vfs.Files(fs, "/src")
+	for _, p := range srcFiles {
+		rel := p[len("/src"):]
+		da, _ := fs.ReadFile(p)
+		db, err := fs.ReadFile(vfs.Join("/dst", rel))
+		if err != nil || string(da) != string(db) {
+			t.Fatalf("copy mismatch at %s: %v", rel, err)
+		}
+	}
+	// Make produced one .o per file plus a.out.
+	if _, err := fs.Stat("/dst/a.out"); err != nil {
+		t.Fatalf("a.out missing: %v", err)
+	}
+	objs := 0
+	dstFiles, _ := vfs.Files(fs, "/dst")
+	for _, p := range dstFiles {
+		if strings.HasSuffix(p, ".o") {
+			objs++
+		}
+	}
+	if objs != 20 {
+		t.Fatalf("objects = %d, want 20", objs)
+	}
+	if res.Total() <= 0 {
+		t.Fatal("Total not positive")
+	}
+	if got := res.Phases(); len(got) != 6 || got[5].Name != "Total" {
+		t.Fatalf("Phases = %v", got)
+	}
+}
+
+func TestCompileDeterministicAndSensitive(t *testing.T) {
+	a := compile([]byte("hello world this is content"), 3)
+	b := compile([]byte("hello world this is content"), 3)
+	if string(a) != string(b) {
+		t.Fatal("compile not deterministic")
+	}
+	c := compile([]byte("hello world this is contenT"), 3)
+	if string(a) == string(c) {
+		t.Fatal("compile insensitive to content change")
+	}
+	d := compile([]byte("hello world this is content"), 4)
+	if string(a) == string(d) {
+		t.Fatal("compile insensitive to rounds")
+	}
+}
+
+func TestRunOnFreshDestinationOnly(t *testing.T) {
+	fs := vfs.New()
+	spec := Spec{Dirs: 1, FilesPerDir: 1, FileSize: 128}
+	if err := GenerateSource(fs, "/src", spec); err != nil {
+		t.Fatal(err)
+	}
+	// Run twice into different destinations works.
+	if _, err := Run(fs, "/src", "/dst1", spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(fs, "/src", "/dst2", spec); err != nil {
+		t.Fatal(err)
+	}
+}

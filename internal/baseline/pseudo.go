@@ -1,0 +1,351 @@
+package baseline
+
+import (
+	"errors"
+	"io"
+
+	"hacfs/internal/vfs"
+)
+
+// PseudoFS forwards every operation as a message to a user-level server
+// goroutine, in the style of Sprite's pseudo-file-systems: the kernel
+// (caller) marshals a request, the server process executes it against
+// the real file system, and the reply travels back. The forwarding hop
+// is the measured overhead.
+type PseudoFS struct {
+	under    vfs.FileSystem
+	requests chan request
+	done     chan struct{}
+}
+
+var _ vfs.FileSystem = (*PseudoFS)(nil)
+
+// request is one marshalled operation. fn carries per-handle
+// operations (reads and writes on open files), which also traverse the
+// hop.
+type request struct {
+	op     string
+	path   string
+	path2  string
+	data   []byte
+	flag   int
+	fn     func() reply
+	replyC chan reply
+}
+
+// reply is one marshalled result.
+type reply struct {
+	err     error
+	data    []byte
+	info    vfs.Info
+	entries []vfs.DirEntry
+	str     string
+	file    vfs.File
+	flagOut int
+	off     int64
+}
+
+// ErrStopped is returned by operations after Close.
+var ErrStopped = errors.New("baseline: pseudo-fs server stopped")
+
+// NewPseudo starts a Pseudo-style layer over under. Call Close to stop
+// its server goroutine.
+func NewPseudo(under vfs.FileSystem) *PseudoFS {
+	p := &PseudoFS{
+		under:    under,
+		requests: make(chan request),
+		done:     make(chan struct{}),
+	}
+	go p.serve()
+	return p
+}
+
+// Close stops the server goroutine.
+func (p *PseudoFS) Close() {
+	select {
+	case <-p.done:
+	default:
+		close(p.done)
+	}
+}
+
+// serve is the user-level server process: it executes marshalled
+// requests one at a time.
+func (p *PseudoFS) serve() {
+	for {
+		select {
+		case <-p.done:
+			return
+		case req := <-p.requests:
+			req.replyC <- p.execute(req)
+		}
+	}
+}
+
+func (p *PseudoFS) execute(req request) reply {
+	switch req.op {
+	case "fileop":
+		return req.fn()
+	case "mkdir":
+		return reply{err: p.under.Mkdir(req.path)}
+	case "mkdirall":
+		return reply{err: p.under.MkdirAll(req.path)}
+	case "openfile":
+		f, err := p.under.OpenFile(req.path, req.flag)
+		return reply{file: f, err: err}
+	case "readfile":
+		data, err := p.under.ReadFile(req.path)
+		return reply{data: data, err: err}
+	case "writefile":
+		return reply{err: p.under.WriteFile(req.path, req.data)}
+	case "symlink":
+		return reply{err: p.under.Symlink(req.path2, req.path)}
+	case "readlink":
+		s, err := p.under.Readlink(req.path)
+		return reply{str: s, err: err}
+	case "remove":
+		return reply{err: p.under.Remove(req.path)}
+	case "removeall":
+		return reply{err: p.under.RemoveAll(req.path)}
+	case "rename":
+		return reply{err: p.under.Rename(req.path, req.path2)}
+	case "stat":
+		info, err := p.under.Stat(req.path)
+		return reply{info: info, err: err}
+	case "lstat":
+		info, err := p.under.Lstat(req.path)
+		return reply{info: info, err: err}
+	case "readdir":
+		entries, err := p.under.ReadDir(req.path)
+		return reply{entries: entries, err: err}
+	default:
+		return reply{err: errors.New("baseline: unknown op " + req.op)}
+	}
+}
+
+// call marshals one request, ships it to the server, and waits for the
+// reply.
+func (p *PseudoFS) call(req request) reply {
+	req.replyC = make(chan reply, 1)
+	select {
+	case <-p.done:
+		return reply{err: ErrStopped}
+	case p.requests <- req:
+	}
+	return <-req.replyC
+}
+
+// Mkdir creates a directory.
+func (p *PseudoFS) Mkdir(path string) error {
+	return p.call(request{op: "mkdir", path: path}).err
+}
+
+// MkdirAll creates a directory and missing parents.
+func (p *PseudoFS) MkdirAll(path string) error {
+	return p.call(request{op: "mkdirall", path: path}).err
+}
+
+// Create creates or truncates a file.
+func (p *PseudoFS) Create(path string) (vfs.File, error) {
+	return p.OpenFile(path, vfs.ORead|vfs.OWrite|vfs.OCreate|vfs.OTrunc)
+}
+
+// Open opens a file for reading.
+func (p *PseudoFS) Open(path string) (vfs.File, error) {
+	return p.OpenFile(path, vfs.ORead)
+}
+
+// OpenFile opens a file with flags. The returned handle's reads and
+// writes also traverse the message hop, as Sprite's did.
+func (p *PseudoFS) OpenFile(path string, flag int) (vfs.File, error) {
+	r := p.call(request{op: "openfile", path: path, flag: flag})
+	if r.err != nil {
+		return nil, r.err
+	}
+	return &pseudoFile{fs: p, f: r.file}, nil
+}
+
+// ReadFile reads a whole file.
+func (p *PseudoFS) ReadFile(path string) ([]byte, error) {
+	r := p.call(request{op: "readfile", path: path})
+	return r.data, r.err
+}
+
+// WriteFile writes a whole file.
+func (p *PseudoFS) WriteFile(path string, data []byte) error {
+	return p.call(request{op: "writefile", path: path, data: data}).err
+}
+
+// Symlink creates a symbolic link.
+func (p *PseudoFS) Symlink(target, link string) error {
+	return p.call(request{op: "symlink", path: link, path2: target}).err
+}
+
+// Readlink reads a symbolic link.
+func (p *PseudoFS) Readlink(path string) (string, error) {
+	r := p.call(request{op: "readlink", path: path})
+	return r.str, r.err
+}
+
+// Remove deletes one object.
+func (p *PseudoFS) Remove(path string) error {
+	return p.call(request{op: "remove", path: path}).err
+}
+
+// RemoveAll deletes a subtree.
+func (p *PseudoFS) RemoveAll(path string) error {
+	return p.call(request{op: "removeall", path: path}).err
+}
+
+// Rename moves an object.
+func (p *PseudoFS) Rename(oldPath, newPath string) error {
+	return p.call(request{op: "rename", path: oldPath, path2: newPath}).err
+}
+
+// Stat returns metadata, following symlinks.
+func (p *PseudoFS) Stat(path string) (vfs.Info, error) {
+	r := p.call(request{op: "stat", path: path})
+	return r.info, r.err
+}
+
+// Lstat returns metadata without following a final symlink.
+func (p *PseudoFS) Lstat(path string) (vfs.Info, error) {
+	r := p.call(request{op: "lstat", path: path})
+	return r.info, r.err
+}
+
+// ReadDir lists a directory.
+func (p *PseudoFS) ReadDir(path string) ([]vfs.DirEntry, error) {
+	r := p.call(request{op: "readdir", path: path})
+	return r.entries, r.err
+}
+
+// pseudoFile forwards per-handle operations through the message hop,
+// as Sprite pseudo-file-systems forwarded reads and writes. Like
+// Sprite — whose kernel cached pseudo-file-system data in its ordinary
+// file cache — sequential reads are served from a per-handle cache
+// filled by a single hop, so a file costs one round trip to read, not
+// one per block.
+type pseudoFile struct {
+	fs    *PseudoFS
+	f     vfs.File
+	cache []byte // whole-file cache for reads; nil until first Read
+	off   int64  // read offset within cache
+	dirty bool   // writes happened; cache must be refilled
+}
+
+// do executes fn on the server goroutine and returns its reply.
+func (pf *pseudoFile) do(fn func() reply) reply {
+	return pf.fs.call(request{op: "fileop", fn: fn})
+}
+
+// fill fetches the whole file into the read cache with one hop.
+func (pf *pseudoFile) fill() error {
+	r := pf.do(func() reply {
+		info, err := pf.f.Stat()
+		if err != nil {
+			return reply{err: err}
+		}
+		buf := make([]byte, info.Size)
+		if info.Size > 0 {
+			if _, err := pf.f.ReadAt(buf, 0); err != nil && err != io.EOF {
+				return reply{err: err}
+			}
+		}
+		off, err := pf.f.Seek(0, io.SeekCurrent)
+		return reply{data: buf, off: off, err: err}
+	})
+	if r.err != nil {
+		return r.err
+	}
+	pf.cache = r.data
+	pf.off = r.off
+	pf.dirty = false
+	return nil
+}
+
+func (pf *pseudoFile) Read(b []byte) (int, error) {
+	if pf.cache == nil || pf.dirty {
+		if err := pf.fill(); err != nil {
+			return 0, err
+		}
+	}
+	if pf.off >= int64(len(pf.cache)) {
+		return 0, io.EOF
+	}
+	n := copy(b, pf.cache[pf.off:])
+	pf.off += int64(n)
+	return n, nil
+}
+
+func (pf *pseudoFile) Write(b []byte) (int, error) {
+	cached := pf.cache != nil
+	r := pf.do(func() reply {
+		if cached {
+			// Reads advanced only the client-side offset; bring the
+			// server in line before writing at the current position.
+			if _, err := pf.f.Seek(pf.off, io.SeekStart); err != nil {
+				return reply{err: err}
+			}
+		}
+		n, err := pf.f.Write(b)
+		return reply{flagOut: n, err: err}
+	})
+	if r.err == nil {
+		pf.dirty = true
+		pf.off += int64(r.flagOut)
+	}
+	return r.flagOut, r.err
+}
+
+func (pf *pseudoFile) Seek(offset int64, whence int) (int64, error) {
+	r := pf.do(func() reply {
+		off, err := pf.f.Seek(offset, whence)
+		return reply{off: off, err: err}
+	})
+	if r.err == nil {
+		pf.off = r.off
+	}
+	return r.off, r.err
+}
+
+func (pf *pseudoFile) ReadAt(b []byte, off int64) (int, error) {
+	r := pf.do(func() reply {
+		n, err := pf.f.ReadAt(b, off)
+		return reply{flagOut: n, err: err}
+	})
+	return r.flagOut, r.err
+}
+
+func (pf *pseudoFile) WriteAt(b []byte, off int64) (int, error) {
+	r := pf.do(func() reply {
+		n, err := pf.f.WriteAt(b, off)
+		return reply{flagOut: n, err: err}
+	})
+	if r.err == nil {
+		pf.dirty = true
+	}
+	return r.flagOut, r.err
+}
+
+func (pf *pseudoFile) Truncate(size int64) error {
+	err := pf.do(func() reply { return reply{err: pf.f.Truncate(size)} }).err
+	if err == nil {
+		pf.dirty = true
+	}
+	return err
+}
+
+func (pf *pseudoFile) Close() error {
+	return pf.do(func() reply { return reply{err: pf.f.Close()} }).err
+}
+
+func (pf *pseudoFile) Name() string { return pf.f.Name() }
+
+func (pf *pseudoFile) Stat() (vfs.Info, error) {
+	r := pf.do(func() reply {
+		info, err := pf.f.Stat()
+		return reply{info: info, err: err}
+	})
+	return r.info, r.err
+}

@@ -1,0 +1,298 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasic(t *testing.T) {
+	b := NewBitmap(100)
+	if b.Len() != 0 {
+		t.Fatalf("new bitmap Len = %d, want 0", b.Len())
+	}
+	b.Add(3)
+	b.Add(64)
+	b.Add(99)
+	if !b.Contains(3) || !b.Contains(64) || !b.Contains(99) {
+		t.Fatal("missing added elements")
+	}
+	if b.Contains(4) {
+		t.Fatal("contains element never added")
+	}
+	if got := b.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	b.Remove(64)
+	if b.Contains(64) {
+		t.Fatal("contains removed element")
+	}
+	if got := b.Len(); got != 2 {
+		t.Fatalf("Len after remove = %d, want 2", got)
+	}
+}
+
+func TestBitmapGrow(t *testing.T) {
+	b := NewBitmap(0)
+	b.Add(1000)
+	if !b.Contains(1000) {
+		t.Fatal("bitmap did not grow on Add")
+	}
+	// Remove beyond current size must not panic.
+	b.Remove(1 << 20)
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+}
+
+func TestBitmapRangeOrder(t *testing.T) {
+	b := BitmapOf(9, 1, 5, 63, 64, 65)
+	var got []uint32
+	b.Range(func(id uint32) bool {
+		got = append(got, id)
+		return true
+	})
+	want := []uint32{1, 5, 9, 63, 64, 65}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitmapRangeEarlyStop(t *testing.T) {
+	b := BitmapOf(1, 2, 3, 4, 5)
+	n := 0
+	b.Range(func(uint32) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("Range visited %d elements after early stop, want 2", n)
+	}
+}
+
+func TestBitmapSetOps(t *testing.T) {
+	a := BitmapOf(1, 2, 3, 100)
+	b := BitmapOf(2, 3, 4)
+
+	if got := Intersect(a, b).Slice(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Intersect = %v, want [2 3]", got)
+	}
+	if got := Union(a, b).Len(); got != 5 {
+		t.Fatalf("Union Len = %d, want 5", got)
+	}
+	if got := Difference(a, b).Slice(); len(got) != 2 || got[0] != 1 || got[1] != 100 {
+		t.Fatalf("Difference = %v, want [1 100]", got)
+	}
+}
+
+func TestBitmapAndShorterOperand(t *testing.T) {
+	a := BitmapOf(1, 1000) // long
+	b := BitmapOf(1)       // short
+	a.And(b)
+	if a.Contains(1000) {
+		t.Fatal("And with shorter operand kept high bits")
+	}
+	if !a.Contains(1) {
+		t.Fatal("And dropped shared element")
+	}
+}
+
+func TestBitmapEqual(t *testing.T) {
+	a := BitmapOf(1, 2, 3)
+	b := NewBitmap(10000) // longer word slice, same content
+	for _, id := range []uint32{1, 2, 3} {
+		b.Add(id)
+	}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("Equal must ignore trailing zero words")
+	}
+	b.Add(9999)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("Equal true for different sets")
+	}
+}
+
+func TestBitmapCloneIndependent(t *testing.T) {
+	a := BitmapOf(1, 2)
+	c := a.Clone()
+	c.Add(3)
+	if a.Contains(3) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestBitmapClearAndAny(t *testing.T) {
+	a := BitmapOf(5, 6)
+	if !a.Any() {
+		t.Fatal("Any = false for non-empty set")
+	}
+	a.Clear()
+	if a.Any() || a.Len() != 0 {
+		t.Fatal("Clear left elements behind")
+	}
+}
+
+func TestSparseBasic(t *testing.T) {
+	s := NewSparse()
+	s.Add(5)
+	s.Add(1)
+	s.Add(5) // duplicate
+	s.Add(3)
+	if got := s.Slice(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Slice = %v, want [1 3 5]", got)
+	}
+	s.Remove(3)
+	if s.Contains(3) || s.Len() != 2 {
+		t.Fatal("Remove failed")
+	}
+	s.Remove(999) // absent: no-op
+	if s.Len() != 2 {
+		t.Fatal("Remove of absent element changed set")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	b := BitmapOf(7, 70, 700)
+	s := FromBitmap(b)
+	if s.Len() != 3 || !s.Contains(70) {
+		t.Fatalf("FromBitmap = %v", s)
+	}
+	b2 := ToBitmap(s, 1000)
+	if !b.Equal(b2) {
+		t.Fatalf("round trip mismatch: %v vs %v", b, b2)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	b := NewBitmap(17000)
+	// Paper: N/8 bytes ≈ 2 KB for N=17000 (rounded up to word granularity).
+	if got := b.SizeBytes(); got < 17000/8 || got > 17000/8+8 {
+		t.Fatalf("bitmap SizeBytes = %d, want ≈ %d", got, 17000/8)
+	}
+	s := SparseOf(1, 2, 3)
+	if got := s.SizeBytes(); got != 12 {
+		t.Fatalf("sparse SizeBytes = %d, want 12", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := BitmapOf(1, 5).String(); got != "{1 5}" {
+		t.Fatalf("String = %q, want {1 5}", got)
+	}
+	if got := NewSparse().String(); got != "{}" {
+		t.Fatalf("empty String = %q, want {}", got)
+	}
+}
+
+// Property: a bitmap and a sparse set driven by the same operation
+// sequence always agree.
+func TestPropertyBitmapSparseAgree(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := NewBitmap(0)
+		s := NewSparse()
+		for _, op := range ops {
+			id := uint32(op % 512)
+			if op%3 == 0 {
+				b.Remove(id)
+				s.Remove(id)
+			} else {
+				b.Add(id)
+				s.Add(id)
+			}
+		}
+		if b.Len() != s.Len() {
+			return false
+		}
+		ok := true
+		s.Range(func(id uint32) bool {
+			if !b.Contains(id) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan over a finite universe —
+// universe − (a ∪ b) == (universe − a) ∩ (universe − b).
+func TestPropertyDeMorgan(t *testing.T) {
+	const universe = 256
+	full := NewBitmap(universe)
+	for i := uint32(0); i < universe; i++ {
+		full.Add(i)
+	}
+	f := func(aIDs, bIDs []uint16) bool {
+		a, b := NewBitmap(universe), NewBitmap(universe)
+		for _, id := range aIDs {
+			a.Add(uint32(id % universe))
+		}
+		for _, id := range bIDs {
+			b.Add(uint32(id % universe))
+		}
+		lhs := Difference(full, Union(a, b))
+		rhs := Intersect(Difference(full, a), Difference(full, b))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add then Remove restores the original membership.
+func TestPropertyAddRemoveInverse(t *testing.T) {
+	f := func(base []uint16, id uint16) bool {
+		b := NewBitmap(0)
+		for _, x := range base {
+			b.Add(uint32(x))
+		}
+		had := b.Contains(uint32(id))
+		b.Add(uint32(id))
+		if !b.Contains(uint32(id)) {
+			return false
+		}
+		b.Remove(uint32(id))
+		if b.Contains(uint32(id)) {
+			return false
+		}
+		_ = had
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBitmap(0)
+	ref := map[uint32]bool{}
+	for i := 0; i < 20000; i++ {
+		id := uint32(rng.Intn(4096))
+		switch rng.Intn(3) {
+		case 0:
+			b.Remove(id)
+			delete(ref, id)
+		default:
+			b.Add(id)
+			ref[id] = true
+		}
+	}
+	if b.Len() != len(ref) {
+		t.Fatalf("Len = %d, reference = %d", b.Len(), len(ref))
+	}
+	for id := range ref {
+		if !b.Contains(id) {
+			t.Fatalf("missing %d", id)
+		}
+	}
+}

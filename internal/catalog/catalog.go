@@ -1,0 +1,217 @@
+// Package catalog implements the central database sketched in §3.2 of
+// the paper: "it is also possible to collect the names, queries and
+// query-results of many semantic directories of many users in a
+// central database that itself can be indexed and searched. Users can
+// browse and search this database and find others who have similar
+// tastes as they have."
+//
+// A Catalog holds published entries — one per (user, semantic
+// directory) — indexes them with the same engine that indexes files,
+// answers boolean queries over them, and ranks entries by
+// result-overlap to surface users with similar classifications.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hacfs/internal/bitset"
+	"hacfs/internal/hac"
+	"hacfs/internal/index"
+	"hacfs/internal/query"
+)
+
+// Entry is one published semantic directory.
+type Entry struct {
+	User    string
+	Path    string   // path within the user's volume
+	Query   string   // display-form query
+	Targets []string // current link targets (the query-result)
+}
+
+// key identifies an entry.
+func (e Entry) key() string { return e.User + ":" + e.Path }
+
+// Catalog is a searchable collection of entries. It is safe for
+// concurrent use.
+type Catalog struct {
+	mu      sync.Mutex
+	entries map[string]Entry // by key
+	ix      *index.Index
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		entries: make(map[string]Entry),
+		ix:      index.New(),
+	}
+}
+
+// Add inserts or replaces one entry.
+func (c *Catalog) Add(e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[e.key()] = e
+	c.ix.Add(e.key(), []byte(entryText(e)))
+}
+
+// entryText renders an entry as an indexable document.
+func entryText(e Entry) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "user %s\npath %s\nquery %s\n", e.User, e.Path, e.Query)
+	for _, t := range e.Targets {
+		sb.WriteString(t)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Publish harvests every semantic directory of a volume under the
+// given user name. It returns the number of entries published.
+func (c *Catalog) Publish(user string, fs *hac.FS) (int, error) {
+	n := 0
+	for _, dir := range fs.SemanticDirs() {
+		q, err := fs.QueryDisplay(dir)
+		if err != nil {
+			return n, err
+		}
+		targets, err := fs.LinkTargets(dir)
+		if err != nil {
+			return n, err
+		}
+		c.Add(Entry{User: user, Path: dir, Query: q, Targets: targets})
+		n++
+	}
+	return n, nil
+}
+
+// Remove drops one entry.
+func (c *Catalog) Remove(user, path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := user + ":" + path
+	if _, ok := c.entries[k]; !ok {
+		return false
+	}
+	delete(c.entries, k)
+	c.ix.Remove(k)
+	return true
+}
+
+// Len returns the number of entries.
+func (c *Catalog) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Entries returns all entries sorted by user then path.
+func (c *Catalog) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// catalogEnv evaluates queries over the catalog's index.
+type catalogEnv struct{ ix *index.Index }
+
+func (e catalogEnv) Term(w string) (*bitset.Bitmap, error)   { return e.ix.Lookup(w), nil }
+func (e catalogEnv) Prefix(p string) (*bitset.Bitmap, error) { return e.ix.LookupPrefix(p), nil }
+func (e catalogEnv) Fuzzy(w string) (*bitset.Bitmap, error)  { return e.ix.LookupFuzzy(w), nil }
+func (e catalogEnv) Universe() (*bitset.Bitmap, error)       { return e.ix.AllDocs(), nil }
+func (e catalogEnv) DirRef(*query.DirRef) (*bitset.Bitmap, error) {
+	return nil, errors.New("catalog: dir references are not meaningful here")
+}
+
+// Search runs a boolean query over the published entries (matching
+// their user names, paths, queries and result paths) and returns the
+// matches sorted by user/path.
+func (c *Catalog) Search(q string) ([]Entry, error) {
+	ast, err := query.Parse(q)
+	if err != nil {
+		if errors.Is(err, query.ErrEmpty) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bm, err := query.Eval(ast, catalogEnv{c.ix})
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, k := range c.ix.Paths(bm) {
+		if e, ok := c.entries[k]; ok {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].User != out[j].User {
+			return out[i].User < out[j].User
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out, nil
+}
+
+// Match is one similarity result.
+type Match struct {
+	Entry      Entry
+	Similarity float64 // Jaccard overlap of target sets, in (0, 1]
+}
+
+// SimilarTo ranks other users' entries by overlap with the given
+// entry's result set — "find others who have similar tastes". Entries
+// of the same user and entries with no overlap are omitted.
+func (c *Catalog) SimilarTo(user, path string) ([]Match, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	self, ok := c.entries[user+":"+path]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no entry %s:%s", user, path)
+	}
+	mine := make(map[string]bool, len(self.Targets))
+	for _, t := range self.Targets {
+		mine[t] = true
+	}
+	var out []Match
+	for _, e := range c.entries {
+		if e.User == user {
+			continue
+		}
+		inter, union := 0, len(mine)
+		for _, t := range e.Targets {
+			if mine[t] {
+				inter++
+			} else {
+				union++
+			}
+		}
+		if inter == 0 || union == 0 {
+			continue
+		}
+		out = append(out, Match{Entry: e, Similarity: float64(inter) / float64(union)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		return out[i].Entry.key() < out[j].Entry.key()
+	})
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package catalog
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startCatalogServer(t *testing.T) *Client {
+	t.Helper()
+	srv := NewServer(New(), nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(srv.Close)
+	c := Dial(l.Addr().String())
+	c.timeout = 5 * time.Second
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestCatalogOverNetwork(t *testing.T) {
+	c := startCatalogServer(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	alice := userVolume(t, sharedFiles(), map[string]string{"/fp": "fingerprint"})
+	bob := userVolume(t, sharedFiles(), map[string]string{"/bio": "fingerprint OR iris"})
+
+	if n, err := c.Publish("alice", alice); err != nil || n != 1 {
+		t.Fatalf("Publish alice = %d, %v", n, err)
+	}
+	if n, err := c.Publish("bob", bob); err != nil || n != 1 {
+		t.Fatalf("Publish bob = %d, %v", n, err)
+	}
+
+	hits, err := c.Search("fingerprint")
+	if err != nil || len(hits) != 2 {
+		t.Fatalf("Search = %+v, %v", hits, err)
+	}
+	matches, err := c.SimilarTo("alice", "/fp")
+	if err != nil || len(matches) != 1 || matches[0].Entry.User != "bob" {
+		t.Fatalf("SimilarTo = %+v, %v", matches, err)
+	}
+	entries, err := c.Entries()
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("Entries = %+v, %v", entries, err)
+	}
+}
+
+func TestCatalogServerRejectsSpoofedUser(t *testing.T) {
+	c := startCatalogServer(t)
+	_, err := c.call(&catRequest{
+		Op:   catPublish,
+		User: "mallory",
+		Entries: []Entry{
+			{User: "alice", Path: "/stolen", Query: "x"},
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("spoofed publish err = %v", err)
+	}
+}
+
+func TestCatalogServerErrors(t *testing.T) {
+	c := startCatalogServer(t)
+	if _, err := c.Search("(((bad"); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if _, err := c.SimilarTo("nobody", "/x"); err == nil {
+		t.Fatal("unknown entry accepted")
+	}
+	// Connection survives server-side errors.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package corpus generates deterministic synthetic document trees. The
+// paper's indexing and query experiments ran over a personal file system
+// of ~17,000 files / ~150 MB; that data is not available, so this
+// package produces a stand-in with the properties those experiments
+// depend on:
+//
+//   - a Zipf-distributed background vocabulary, so posting lists have a
+//     realistic skew;
+//   - topic structure (each file samples from a few topic vocabularies),
+//     so boolean queries have meaningful results;
+//   - planted marker terms with controlled selectivity ("few",
+//     "intermediate", "many" — the three query classes of Table 4);
+//   - several document kinds (notes, email, source code), matching the
+//     fingerprint running example of §2.1.
+//
+// Generation is a pure function of the Spec (including its Seed), so
+// every experiment is reproducible.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"hacfs/internal/vfs"
+)
+
+// Kind labels the flavor of a generated document.
+type Kind int
+
+// Document kinds.
+const (
+	KindNote Kind = iota
+	KindEmail
+	KindSource
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNote:
+		return "note"
+	case KindEmail:
+		return "email"
+	case KindSource:
+		return "source"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes a corpus to generate.
+type Spec struct {
+	Files     int   // number of files (default 500)
+	MeanWords int   // mean words per file (default 200)
+	Topics    int   // number of topic vocabularies (default 8)
+	Dirs      int   // number of directories to spread files over (default Files/25)
+	Seed      int64 // PRNG seed (default 1)
+
+	// Markers plants additional terms with fixed selectivity: each
+	// entry (term → fraction) makes term appear in ⌈fraction·Files⌉
+	// files. Defaults to the three Table-4 classes:
+	// "markerfew" 0.002, "markermid" 0.10, "markermany" 0.60.
+	Markers map[string]float64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Files <= 0 {
+		s.Files = 500
+	}
+	if s.MeanWords <= 0 {
+		s.MeanWords = 200
+	}
+	if s.Topics <= 0 {
+		s.Topics = 8
+	}
+	if s.Dirs <= 0 {
+		s.Dirs = s.Files / 25
+		if s.Dirs < 1 {
+			s.Dirs = 1
+		}
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Markers == nil {
+		s.Markers = map[string]float64{
+			"markerfew":  0.002,
+			"markermid":  0.10,
+			"markermany": 0.60,
+		}
+	}
+	return s
+}
+
+// FileMeta records what was generated for one file.
+type FileMeta struct {
+	Path   string
+	Kind   Kind
+	Topics []int
+	Words  int
+	Bytes  int
+}
+
+// Manifest is the result of Generate: everything an experiment needs to
+// form queries with known answers.
+type Manifest struct {
+	Spec       Spec
+	Files      []FileMeta
+	TotalBytes int
+	// TopicTerm[i] is a term that appears in every file of topic i and
+	// in no file outside it.
+	TopicTerm []string
+	// MarkerFiles maps each planted marker term to the sorted list of
+	// file paths that contain it.
+	MarkerFiles map[string][]string
+	// TopicFiles maps topic index to the sorted list of file paths
+	// assigned to it.
+	TopicFiles map[int][]string
+}
+
+// vocabulary builds a deterministic list of n pronounceable words.
+func vocabulary(n int, prefix string) []string {
+	syll := []string{
+		"ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+		"ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu",
+		"ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+		"ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su",
+		"ta", "te", "ti", "to", "tu", "za", "ze", "zi", "zo", "zu",
+	}
+	out := make([]string, n)
+	for i := range out {
+		var sb strings.Builder
+		sb.WriteString(prefix)
+		x := i
+		for j := 0; j < 3; j++ {
+			sb.WriteString(syll[x%len(syll)])
+			x /= len(syll)
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// zipfWord draws a word index with a Zipf-like distribution.
+func zipfWord(rng *rand.Rand, n int) int {
+	// Inverse-CDF approximation of Zipf s≈1: index ∝ exp(u·ln n).
+	u := rng.Float64()
+	i := int(float64(n) * u * u) // quadratic skew toward low indexes
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Generate writes the corpus under root in fsys and returns its
+// manifest. root must already exist.
+func Generate(fsys vfs.FileSystem, root string, spec Spec) (*Manifest, error) {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	background := vocabulary(2000, "w")
+	topicVocab := make([][]string, spec.Topics)
+	topicTerm := make([]string, spec.Topics)
+	for i := range topicVocab {
+		topicVocab[i] = vocabulary(60, fmt.Sprintf("t%d", i))
+		topicTerm[i] = fmt.Sprintf("topic%dkey", i)
+	}
+
+	// Decide marker membership up front so counts are exact.
+	markerMember := make(map[string]map[int]bool, len(spec.Markers))
+	markerTerms := make([]string, 0, len(spec.Markers))
+	for term := range spec.Markers {
+		markerTerms = append(markerTerms, term)
+	}
+	sort.Strings(markerTerms) // deterministic iteration
+	for _, term := range markerTerms {
+		frac := spec.Markers[term]
+		count := int(frac*float64(spec.Files) + 0.999999)
+		if count > spec.Files {
+			count = spec.Files
+		}
+		if count < 1 && frac > 0 {
+			count = 1
+		}
+		perm := rng.Perm(spec.Files)[:count]
+		set := make(map[int]bool, count)
+		for _, idx := range perm {
+			set[idx] = true
+		}
+		markerMember[term] = set
+	}
+
+	m := &Manifest{
+		Spec:        spec,
+		TopicTerm:   topicTerm,
+		MarkerFiles: make(map[string][]string),
+		TopicFiles:  make(map[int][]string),
+	}
+
+	for d := 0; d < spec.Dirs; d++ {
+		if err := fsys.MkdirAll(vfs.Join(root, fmt.Sprintf("dir%03d", d))); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < spec.Files; i++ {
+		kind := Kind(rng.Intn(3))
+		nTopics := 1 + rng.Intn(2)
+		topics := make([]int, 0, nTopics)
+		seen := map[int]bool{}
+		for len(topics) < nTopics {
+			ti := rng.Intn(spec.Topics)
+			if !seen[ti] {
+				seen[ti] = true
+				topics = append(topics, ti)
+			}
+		}
+		sort.Ints(topics)
+
+		words := spec.MeanWords/2 + rng.Intn(spec.MeanWords+1)
+		var sb strings.Builder
+		writeHeader(&sb, kind, i, rng)
+		for w := 0; w < words; w++ {
+			switch {
+			case rng.Intn(4) == 0: // topic word
+				tv := topicVocab[topics[rng.Intn(len(topics))]]
+				sb.WriteString(tv[rng.Intn(len(tv))])
+			default:
+				sb.WriteString(background[zipfWord(rng, len(background))])
+			}
+			if w%12 == 11 {
+				sb.WriteByte('\n')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		// Topic terms: guarantee exact topic membership semantics.
+		for _, ti := range topics {
+			sb.WriteString(topicTerm[ti])
+			sb.WriteByte(' ')
+		}
+		// Planted markers.
+		for _, term := range markerTerms {
+			if markerMember[term][i] {
+				sb.WriteString(term)
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+
+		dir := fmt.Sprintf("dir%03d", i%spec.Dirs)
+		name := fmt.Sprintf("%s%05d.%s", kind, i, ext(kind))
+		p := vfs.Join(root, dir, name)
+		data := sb.String()
+		if err := fsys.WriteFile(p, []byte(data)); err != nil {
+			return nil, err
+		}
+
+		meta := FileMeta{Path: p, Kind: kind, Topics: topics, Words: words, Bytes: len(data)}
+		m.Files = append(m.Files, meta)
+		m.TotalBytes += len(data)
+		for _, ti := range topics {
+			m.TopicFiles[ti] = append(m.TopicFiles[ti], p)
+		}
+		for _, term := range markerTerms {
+			if markerMember[term][i] {
+				m.MarkerFiles[term] = append(m.MarkerFiles[term], p)
+			}
+		}
+	}
+	for term := range m.MarkerFiles {
+		sort.Strings(m.MarkerFiles[term])
+	}
+	for ti := range m.TopicFiles {
+		sort.Strings(m.TopicFiles[ti])
+	}
+	return m, nil
+}
+
+func ext(k Kind) string {
+	switch k {
+	case KindEmail:
+		return "eml"
+	case KindSource:
+		return "c"
+	default:
+		return "txt"
+	}
+}
+
+var people = []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
+
+func writeHeader(sb *strings.Builder, k Kind, i int, rng *rand.Rand) {
+	switch k {
+	case KindEmail:
+		from := people[rng.Intn(len(people))]
+		to := people[rng.Intn(len(people))]
+		fmt.Fprintf(sb, "from %s\nto %s\nsubject message %d\n\n", from, to, i)
+	case KindSource:
+		fmt.Fprintf(sb, "// file %d\n#include stdio\nint main() {\n", i)
+	default:
+		fmt.Fprintf(sb, "note %d\n", i)
+	}
+}

@@ -1,0 +1,156 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"hacfs/internal/vfs"
+)
+
+func generate(t *testing.T, spec Spec) (*vfs.MemFS, *Manifest) {
+	t.Helper()
+	fs := vfs.New()
+	if err := fs.MkdirAll("/corpus"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Generate(fs, "/corpus", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, m
+}
+
+func TestGenerateCounts(t *testing.T) {
+	fs, m := generate(t, Spec{Files: 100, Seed: 7})
+	if len(m.Files) != 100 {
+		t.Fatalf("manifest lists %d files, want 100", len(m.Files))
+	}
+	files, err := vfs.Files(fs, "/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 100 {
+		t.Fatalf("fs holds %d files, want 100", len(files))
+	}
+	if m.TotalBytes <= 0 {
+		t.Fatal("TotalBytes not recorded")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	_, m1 := generate(t, Spec{Files: 50, Seed: 3})
+	fs2, m2 := generate(t, Spec{Files: 50, Seed: 3})
+	if m1.TotalBytes != m2.TotalBytes {
+		t.Fatalf("TotalBytes differ: %d vs %d", m1.TotalBytes, m2.TotalBytes)
+	}
+	for i := range m1.Files {
+		if m1.Files[i].Path != m2.Files[i].Path || m1.Files[i].Bytes != m2.Files[i].Bytes {
+			t.Fatalf("file %d differs: %+v vs %+v", i, m1.Files[i], m2.Files[i])
+		}
+	}
+	// Different seed differs.
+	_, m3 := generate(t, Spec{Files: 50, Seed: 4})
+	_ = fs2
+	if m1.TotalBytes == m3.TotalBytes {
+		t.Log("warning: different seeds produced equal byte totals (possible but unlikely)")
+	}
+}
+
+func TestMarkerSelectivity(t *testing.T) {
+	fs, m := generate(t, Spec{Files: 200, Seed: 1})
+	few := m.MarkerFiles["markerfew"]
+	mid := m.MarkerFiles["markermid"]
+	many := m.MarkerFiles["markermany"]
+	if len(few) != 1 { // ceil(0.002 * 200)
+		t.Fatalf("markerfew in %d files, want 1", len(few))
+	}
+	if len(mid) != 20 {
+		t.Fatalf("markermid in %d files, want 20", len(mid))
+	}
+	if len(many) != 120 {
+		t.Fatalf("markermany in %d files, want 120", len(many))
+	}
+	// The marker actually appears in the named files.
+	for _, p := range few {
+		data, err := fs.ReadFile(p)
+		if err != nil || !strings.Contains(string(data), "markerfew") {
+			t.Fatalf("markerfew missing from %s", p)
+		}
+	}
+	// And in no others.
+	all, _ := vfs.Files(fs, "/corpus")
+	fewSet := map[string]bool{}
+	for _, p := range few {
+		fewSet[p] = true
+	}
+	for _, p := range all {
+		data, _ := fs.ReadFile(p)
+		if strings.Contains(string(data), "markerfew") != fewSet[p] {
+			t.Fatalf("markerfew membership mismatch at %s", p)
+		}
+	}
+}
+
+func TestTopicTerms(t *testing.T) {
+	fs, m := generate(t, Spec{Files: 120, Topics: 4, Seed: 2})
+	if len(m.TopicTerm) != 4 {
+		t.Fatalf("TopicTerm len = %d", len(m.TopicTerm))
+	}
+	// Every file of topic 0 contains topic0key, and only those.
+	topic0 := map[string]bool{}
+	for _, p := range m.TopicFiles[0] {
+		topic0[p] = true
+	}
+	all, _ := vfs.Files(fs, "/corpus")
+	for _, p := range all {
+		data, _ := fs.ReadFile(p)
+		has := strings.Contains(string(data), m.TopicTerm[0])
+		if has != topic0[p] {
+			t.Fatalf("topic term membership mismatch at %s (has=%v, want=%v)", p, has, topic0[p])
+		}
+	}
+}
+
+func TestCustomMarkers(t *testing.T) {
+	_, m := generate(t, Spec{
+		Files:   50,
+		Seed:    9,
+		Markers: map[string]float64{"needle": 0.02},
+	})
+	if got := len(m.MarkerFiles["needle"]); got != 1 {
+		t.Fatalf("needle count = %d, want 1", got)
+	}
+	if _, ok := m.MarkerFiles["markerfew"]; ok {
+		t.Fatal("default markers present despite custom Markers")
+	}
+}
+
+func TestKindsPresent(t *testing.T) {
+	_, m := generate(t, Spec{Files: 90, Seed: 5})
+	seen := map[Kind]int{}
+	for _, f := range m.Files {
+		seen[f.Kind]++
+	}
+	for _, k := range []Kind{KindNote, KindEmail, KindSource} {
+		if seen[k] == 0 {
+			t.Fatalf("no files of kind %v generated", k)
+		}
+	}
+}
+
+func TestDirSpread(t *testing.T) {
+	fs, _ := generate(t, Spec{Files: 40, Dirs: 4, Seed: 6})
+	entries, err := fs.ReadDir("/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("corpus has %d dirs, want 4", len(entries))
+	}
+	for _, e := range entries {
+		sub, _ := fs.ReadDir("/corpus/" + e.Name)
+		if len(sub) != 10 {
+			t.Fatalf("dir %s holds %d files, want 10", e.Name, len(sub))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package hac
+
+import (
+	"sync"
+
+	"hacfs/internal/vfs"
+)
+
+// autoSyncSet tracks path prefixes with immediate data consistency.
+type autoSyncSet struct {
+	mu       sync.RWMutex
+	prefixes map[string]bool
+}
+
+func (s *autoSyncSet) covers(path string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for p := range s.prefixes {
+		if vfs.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// EnableAutoSync makes file changes under prefix take effect
+// immediately: the changed file is re-indexed and scope consistency
+// restored as part of the mutating call, instead of waiting for the
+// next Reindex. This is §2.4's "users can decide to update certain
+// semantic directories as soon as new mail comes in, but not when an
+// application modifies some files" — enable it for the mail spool,
+// leave the rest lazy.
+func (fs *FS) EnableAutoSync(prefix string) error {
+	clean, err := vfs.Clean(prefix)
+	if err != nil {
+		return &vfs.PathError{Op: "autosync", Path: prefix, Err: err}
+	}
+	fs.autoSync.mu.Lock()
+	if fs.autoSync.prefixes == nil {
+		fs.autoSync.prefixes = make(map[string]bool)
+	}
+	fs.autoSync.prefixes[clean] = true
+	fs.autoSync.mu.Unlock()
+	return nil
+}
+
+// DisableAutoSync removes a prefix registered with EnableAutoSync.
+func (fs *FS) DisableAutoSync(prefix string) {
+	clean, err := vfs.Clean(prefix)
+	if err != nil {
+		return
+	}
+	fs.autoSync.mu.Lock()
+	delete(fs.autoSync.prefixes, clean)
+	fs.autoSync.mu.Unlock()
+}
+
+// autoSyncTouch is called after a successful mutation of the file at
+// path (removed reports deletions). If the path is covered by an
+// auto-sync prefix, the index entry is refreshed and every semantic
+// directory re-evaluated. Callers must not hold fs.mu.
+func (fs *FS) autoSyncTouch(path string, removed bool) {
+	if !fs.autoSync.covers(path) {
+		return
+	}
+	if removed {
+		fs.ix.Remove(path)
+	} else {
+		info, err := fs.under.Stat(path)
+		if err != nil || info.IsDir() {
+			return
+		}
+		data, err := fs.under.ReadFile(path)
+		if err != nil {
+			return
+		}
+		fs.ix.AddWithTime(path, data, info.ModTime)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	// The change can affect any semantic directory whose scope covers
+	// the file; re-evaluate everything in dependency order.
+	_ = fs.syncAllLocked()
+}

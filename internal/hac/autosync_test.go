@@ -1,0 +1,87 @@
+package hac
+
+import "testing"
+
+func TestAutoSyncNewMail(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/inbox-apple", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.EnableAutoSync("/mail"); err != nil {
+		t.Fatal(err)
+	}
+	// New mail appears immediately, no Reindex call.
+	if err := fs.WriteFile("/mail/m3.txt", []byte("apple arrives instantly")); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, target := range targetsOf(t, fs, "/inbox-apple") {
+		if target == "/mail/m3.txt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("auto-synced file did not appear")
+	}
+	// Deleting the mail removes the link immediately too.
+	if err := fs.Remove("/mail/m3.txt"); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range targetsOf(t, fs, "/inbox-apple") {
+		if target == "/mail/m3.txt" {
+			t.Fatal("deleted auto-synced file still linked")
+		}
+	}
+}
+
+func TestAutoSyncScopeLimited(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.EnableAutoSync("/mail"); err != nil {
+		t.Fatal(err)
+	}
+	// A change outside the auto-sync prefix stays lazy (§2.4: "but not
+	// when an application modifies some files").
+	if err := fs.WriteFile("/docs/lazy.txt", []byte("apple but lazy")); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range targetsOf(t, fs, "/sel") {
+		if target == "/docs/lazy.txt" {
+			t.Fatal("out-of-prefix change applied eagerly")
+		}
+	}
+	// Until the periodic pass runs.
+	if _, err := fs.Reindex("/"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, target := range targetsOf(t, fs, "/sel") {
+		if target == "/docs/lazy.txt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("lazy change lost")
+	}
+}
+
+func TestAutoSyncDisable(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.EnableAutoSync("/mail"); err != nil {
+		t.Fatal(err)
+	}
+	fs.DisableAutoSync("/mail")
+	if err := fs.WriteFile("/mail/m9.txt", []byte("apple after disable")); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range targetsOf(t, fs, "/sel") {
+		if target == "/mail/m9.txt" {
+			t.Fatal("auto-sync still active after disable")
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package hac
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"hacfs/internal/vfs"
+)
+
+// Volume persistence. The paper's HAC stores its per-directory
+// structures on disk alongside the file system; here the whole volume —
+// substrate tree plus HAC's semantic metadata — serializes to one
+// stream. The index is not stored: it is rebuilt by the Reindex pass
+// that loading performs (exactly the paper's recovery story, where
+// reindexing settles all consistency).
+
+const volumeVersion = 1
+
+type volumeImage struct {
+	Version int
+	Nodes   []vfs.SnapNode
+	Dirs    []dirImage
+}
+
+// dirImage is the persisted form of one directory's HAC state. The
+// query is stored in display form (dir: references as path names) and
+// re-bound on load, since UIDs are an in-memory notion.
+type dirImage struct {
+	Path       string
+	Semantic   bool
+	Query      string
+	Class      map[string]int    // target → LinkClass (transient/permanent)
+	LinkNames  map[string]string // target → symlink base name
+	Prohibited []string
+}
+
+// SaveVolume writes the volume — files, directories, links, queries and
+// link classifications — to w.
+func (fs *FS) SaveVolume(w io.Writer) error {
+	mem, ok := fs.under.(*vfs.MemFS)
+	if !ok {
+		return fmt.Errorf("hac: SaveVolume requires a MemFS substrate, not %T", fs.under)
+	}
+	img := volumeImage{Version: volumeVersion, Nodes: mem.Snapshot()}
+
+	fs.mu.Lock()
+	uids := make([]uint64, 0, len(fs.dirs))
+	for uid := range fs.dirs {
+		uids = append(uids, uid)
+	}
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+	for _, uid := range uids {
+		ds := fs.dirs[uid]
+		p, ok := fs.pathOfLocked(uid)
+		if !ok {
+			continue
+		}
+		di := dirImage{Path: p, Semantic: ds.semantic}
+		if ds.semantic {
+			di.Class = make(map[string]int, len(ds.class))
+			di.LinkNames = make(map[string]string, len(ds.linkName))
+			for t, c := range ds.class {
+				di.Class[t] = int(c)
+				di.LinkNames[t] = ds.linkName[t]
+			}
+			for t := range ds.prohibited {
+				di.Prohibited = append(di.Prohibited, t)
+			}
+			sort.Strings(di.Prohibited)
+		}
+		img.Dirs = append(img.Dirs, di)
+	}
+	// Queries in display form, which requires the lock released per the
+	// QueryDisplay API; collect paths first.
+	type pending struct {
+		idx  int
+		path string
+	}
+	var queries []pending
+	for i, di := range img.Dirs {
+		if di.Semantic {
+			queries = append(queries, pending{i, di.Path})
+		}
+	}
+	fs.mu.Unlock()
+
+	for _, q := range queries {
+		disp, err := fs.QueryDisplay(q.path)
+		if err != nil {
+			return fmt.Errorf("hac: serializing query of %s: %w", q.path, err)
+		}
+		img.Dirs[q.idx].Query = disp
+	}
+
+	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+		return fmt.Errorf("hac: encoding volume: %w", err)
+	}
+	return nil
+}
+
+// LoadVolume reconstructs a volume saved by SaveVolume: the substrate
+// tree is restored, semantic metadata re-attached, queries re-bound,
+// and a full Reindex run so the index and all transient links are
+// consistent.
+func LoadVolume(r io.Reader, opts Options) (*FS, error) {
+	var img volumeImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("hac: decoding volume: %w", err)
+	}
+	if img.Version != volumeVersion {
+		return nil, fmt.Errorf("hac: unsupported volume version %d", img.Version)
+	}
+	mem, err := vfs.FromSnapshot(img.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	fs := New(mem, opts)
+
+	// Register every directory first, so queries can reference any of
+	// them during binding.
+	fs.mu.Lock()
+	for _, di := range img.Dirs {
+		fs.registerDirLocked(di.Path)
+	}
+	// Restore semantic state.
+	for _, di := range img.Dirs {
+		if !di.Semantic {
+			continue
+		}
+		ds, _ := fs.stateAtLocked(di.Path)
+		ds.semantic = true
+		for t, c := range di.Class {
+			ds.class[t] = LinkClass(c)
+			if name, ok := di.LinkNames[t]; ok {
+				ds.linkName[t] = name
+			}
+		}
+		for _, t := range di.Prohibited {
+			ds.prohibited[t] = true
+		}
+	}
+	// Bind queries (display form → UIDs) and dependency edges.
+	for _, di := range img.Dirs {
+		if !di.Semantic {
+			continue
+		}
+		ds, _ := fs.stateAtLocked(di.Path)
+		ast, err := parseQuery(di.Query)
+		if err != nil {
+			fs.mu.Unlock()
+			return nil, fmt.Errorf("hac: re-parsing query of %s: %w", di.Path, err)
+		}
+		if err := fs.installQueryLocked(ds, di.Path, ast); err != nil {
+			fs.mu.Unlock()
+			return nil, fmt.Errorf("hac: re-binding query of %s: %w", di.Path, err)
+		}
+	}
+	fs.mu.Unlock()
+
+	// Rebuild the index and settle every consistency, as the paper's
+	// reindex does.
+	if _, err := fs.Reindex("/"); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}

@@ -1,0 +1,176 @@
+package hac
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hacfs/internal/vfs"
+)
+
+// saveLoad round-trips a volume through the persistence format.
+func saveLoad(t *testing.T, fs *FS) *FS {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fs.SaveVolume(&buf); err != nil {
+		t.Fatalf("SaveVolume: %v", err)
+	}
+	restored, err := LoadVolume(&buf, Options{})
+	if err != nil {
+		t.Fatalf("LoadVolume: %v", err)
+	}
+	return restored
+}
+
+func TestVolumeRoundTripBasics(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple AND NOT banana"); err != nil {
+		t.Fatal(err)
+	}
+	restored := saveLoad(t, fs)
+
+	// Files survived.
+	data, err := restored.ReadFile("/docs/apple1.txt")
+	if err != nil || string(data) != "apple fruit red" {
+		t.Fatalf("content = %q, %v", data, err)
+	}
+	// The semantic directory survived with its query and links.
+	if !restored.IsSemantic("/sel") {
+		t.Fatal("semantic flag lost")
+	}
+	q, err := restored.Query("/sel")
+	if err != nil || q != "(apple AND (NOT banana))" {
+		t.Fatalf("query = %q, %v", q, err)
+	}
+	want := targetsOf(t, fs, "/sel")
+	got := targetsOf(t, restored, "/sel")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("targets = %v, want %v", got, want)
+	}
+}
+
+func TestVolumeRoundTripUserEdits(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	// A prohibition and a permanent link — the user's investment the
+	// paper says HAC must never lose.
+	if err := fs.Remove("/sel/apple2.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/docs/cherry.txt", "/sel/mine.txt"); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := saveLoad(t, fs)
+	links, err := restored.Links("/sel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]LinkClass{}
+	for _, l := range links {
+		classes[l.Target] = l.Class
+	}
+	if classes["/docs/apple2.txt"] != Prohibited {
+		t.Fatalf("prohibition lost: %v", classes)
+	}
+	if classes["/docs/cherry.txt"] != Permanent {
+		t.Fatalf("permanent link lost: %v", classes)
+	}
+	// The prohibited link stays out even after the load's reindex.
+	for _, target := range targetsOf(t, restored, "/sel") {
+		if target == "/docs/apple2.txt" {
+			t.Fatal("prohibited target resurrected by load")
+		}
+	}
+	// Link names survive (no duplicate links on the reload's sync).
+	entries, _ := restored.ReadDir("/sel")
+	names := map[string]bool{}
+	for _, e := range entries {
+		if names[e.Name] {
+			t.Fatalf("duplicate link name %s", e.Name)
+		}
+		names[e.Name] = true
+	}
+	if !names["mine.txt"] {
+		t.Fatalf("permanent link name lost: %v", names)
+	}
+}
+
+func TestVolumeRoundTripDirRefs(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/curated", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkSemDir("/combo", "dir:/curated AND NOT banana"); err != nil {
+		t.Fatal(err)
+	}
+	want := targetsOf(t, fs, "/combo")
+
+	restored := saveLoad(t, fs)
+	if got := targetsOf(t, restored, "/combo"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("dir-ref targets = %v, want %v", got, want)
+	}
+	// The dependency is live: editing /curated propagates.
+	if err := restored.Remove("/curated/apple1.txt"); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range targetsOf(t, restored, "/combo") {
+		if target == "/docs/apple1.txt" {
+			t.Fatal("restored dependency graph inert")
+		}
+	}
+	// Display form still renders a path.
+	disp, err := restored.QueryDisplay("/combo")
+	if err != nil || disp != "(dir:/curated AND (NOT banana))" {
+		t.Fatalf("display query = %q, %v", disp, err)
+	}
+}
+
+func TestVolumeRoundTripHierarchy(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple OR cherry"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkSemDir("/sel/sub", "cherry"); err != nil {
+		t.Fatal(err)
+	}
+	want := targetsOf(t, fs, "/sel/sub")
+	restored := saveLoad(t, fs)
+	if got := targetsOf(t, restored, "/sel/sub"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("child targets = %v, want %v", got, want)
+	}
+	// Data consistency after load: new files flow in on reindex.
+	if err := restored.WriteFile("/docs/cherry2.txt", []byte("cherry again")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Reindex("/"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, target := range targetsOf(t, restored, "/sel/sub") {
+		if target == "/docs/cherry2.txt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("restored volume does not pick up new files")
+	}
+}
+
+func TestLoadVolumeRejectsGarbage(t *testing.T) {
+	if _, err := LoadVolume(bytes.NewReader([]byte("junk")), Options{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveVolumeRequiresMemFS(t *testing.T) {
+	// A HAC-over-HAC stack has a non-MemFS substrate.
+	inner := New(vfs.New(), Options{})
+	outer := New(inner, Options{})
+	var buf bytes.Buffer
+	if err := outer.SaveVolume(&buf); err == nil {
+		t.Fatal("SaveVolume over non-MemFS substrate succeeded")
+	}
+}

@@ -1,0 +1,92 @@
+package hac
+
+import (
+	"testing"
+)
+
+func TestPermanentLinkFollowsFileRename(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	// A permanent link to a non-matching file.
+	if err := fs.Symlink("/docs/cherry.txt", "/sel/keep.txt"); err != nil {
+		t.Fatal(err)
+	}
+	// The file is renamed: the link must keep tracking it.
+	if err := fs.Rename("/docs/cherry.txt", "/docs/cherry-v2.txt"); err != nil {
+		t.Fatal(err)
+	}
+	target, err := fs.Readlink("/sel/keep.txt")
+	if err != nil || target != "/docs/cherry-v2.txt" {
+		t.Fatalf("link target after file rename = %q, %v", target, err)
+	}
+	data, err := fs.ReadFile("/sel/keep.txt")
+	if err != nil || string(data) != "cherry tree dark" {
+		t.Fatalf("read through rewritten link = %q, %v", data, err)
+	}
+	links, _ := fs.Links("/sel")
+	for _, l := range links {
+		if l.Target == "/docs/cherry.txt" {
+			t.Fatal("stale target survives in classification")
+		}
+		if l.Target == "/docs/cherry-v2.txt" && l.Class != Permanent {
+			t.Fatalf("rewritten link class = %v", l.Class)
+		}
+	}
+	if problems := fs.CheckConsistency(); len(problems) != 0 {
+		t.Fatalf("inconsistent after file rename: %v", problems)
+	}
+}
+
+func TestProhibitionFollowsFileRename(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/sel/apple1.txt"); err != nil {
+		t.Fatal(err)
+	}
+	// The prohibited document moves; the prohibition must follow it.
+	if err := fs.Rename("/docs/apple1.txt", "/docs/apple1-renamed.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Reindex("/"); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range targetsOf(t, fs, "/sel") {
+		if target == "/docs/apple1-renamed.txt" {
+			t.Fatal("prohibition did not follow the renamed document")
+		}
+	}
+}
+
+func TestLinksFollowDirectoryRename(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/docs/cherry.txt", "/sel/pinned.txt"); err != nil {
+		t.Fatal(err)
+	}
+	// Renaming the whole directory rewrites every target under it.
+	if err := fs.Rename("/docs", "/papers"); err != nil {
+		t.Fatal(err)
+	}
+	target, err := fs.Readlink("/sel/pinned.txt")
+	if err != nil || target != "/papers/cherry.txt" {
+		t.Fatalf("permanent link after dir rename = %q, %v", target, err)
+	}
+	// Transient links were rewritten too; everything readable.
+	for _, tg := range targetsOf(t, fs, "/sel") {
+		if _, _, remote := splitRemoteTarget(tg); remote {
+			continue
+		}
+		if _, err := fs.ReadFile(tg); err != nil {
+			t.Fatalf("target %s unreadable after dir rename: %v", tg, err)
+		}
+	}
+	if problems := fs.CheckConsistency(); len(problems) != 0 {
+		t.Fatalf("inconsistent after dir rename: %v", problems)
+	}
+}

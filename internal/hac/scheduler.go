@@ -1,0 +1,102 @@
+package hac
+
+import (
+	"sync"
+	"time"
+
+	"hacfs/internal/index"
+)
+
+// RegisterTransducer attaches an attribute-extracting transducer to a
+// file extension in the volume's index (see index.Transducer). Newly
+// indexed files of that type gain the attribute terms; run Reindex to
+// re-process existing files.
+func (fs *FS) RegisterTransducer(ext string, t index.Transducer) {
+	fs.ix.RegisterTransducer(ext, t)
+}
+
+// Scheduler periodically runs the §2.4 data-consistency pass: "HAC
+// invokes the CBA mechanism to reindex the file system periodically
+// (say, once a day or once an hour), determined by the user." Users can
+// also trigger a pass at any time with TriggerNow.
+type Scheduler struct {
+	fs   *FS
+	root string
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	kick    chan chan error
+	stopped bool
+	runs    int
+	lastErr error
+}
+
+// StartAutoReindex begins reindexing the subtree at root every
+// interval. Stop the scheduler when done.
+func (fs *FS) StartAutoReindex(root string, interval time.Duration) *Scheduler {
+	s := &Scheduler{
+		fs:   fs,
+		root: root,
+		stop: make(chan struct{}),
+		kick: make(chan chan error),
+	}
+	go s.loop(interval)
+	return s
+}
+
+func (s *Scheduler) loop(interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.runOnce(nil)
+		case reply := <-s.kick:
+			s.runOnce(reply)
+		}
+	}
+}
+
+func (s *Scheduler) runOnce(reply chan error) {
+	_, err := s.fs.Reindex(s.root)
+	s.mu.Lock()
+	s.runs++
+	s.lastErr = err
+	s.mu.Unlock()
+	if reply != nil {
+		reply <- err
+	}
+}
+
+// TriggerNow runs a reindex pass immediately ("HAC also allows users to
+// initiate reindexing at any time", §2.4) and returns its error. After
+// Stop it is a no-op returning nil.
+func (s *Scheduler) TriggerNow() error {
+	reply := make(chan error, 1)
+	select {
+	case <-s.stop:
+		return nil
+	case s.kick <- reply:
+		return <-reply
+	}
+}
+
+// Stop halts the scheduler. It is idempotent.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+}
+
+// Runs returns how many passes have completed and the error of the most
+// recent one.
+func (s *Scheduler) Runs() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs, s.lastErr
+}

@@ -1,0 +1,409 @@
+package hac
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"hacfs/internal/bitset"
+	"hacfs/internal/query"
+	"hacfs/internal/vfs"
+)
+
+// Sync restores scope consistency (§2.3) for the directory at path and
+// everything that directly or indirectly depends on it — the paper's
+// ssync command. Directories are re-evaluated in topological order of
+// the dependency DAG (§2.5), which for purely hierarchical dependencies
+// reduces to the top-down subtree traversal the paper describes.
+func (fs *FS) Sync(path string) error {
+	clean, err := vfs.Clean(path)
+	if err != nil {
+		return &vfs.PathError{Op: "ssync", Path: path, Err: err}
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	info, err := fs.under.Stat(clean)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		return &vfs.PathError{Op: "ssync", Path: path, Err: vfs.ErrNotDir}
+	}
+	ds := fs.registerDirLocked(clean)
+	return fs.syncFromLocked(ds.uid)
+}
+
+// SyncAll restores scope consistency for the whole volume.
+func (fs *FS) SyncAll() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, uid := range fs.graph.TopoAll() {
+		ds, ok := fs.dirs[uid]
+		if !ok || !ds.semantic {
+			continue
+		}
+		if err := fs.reevalLocked(ds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncFromLocked re-evaluates uid itself (if semantic) and then every
+// transitive dependent, in topological order. Caller holds fs.mu.
+func (fs *FS) syncFromLocked(uid uint64) error {
+	if ds, ok := fs.dirs[uid]; ok && ds.semantic {
+		if err := fs.reevalLocked(ds); err != nil {
+			return err
+		}
+	}
+	return fs.syncDependentsLocked(uid)
+}
+
+// syncDependentsLocked re-evaluates every transitive dependent of uid,
+// but not uid itself. Used when uid's link set was changed directly by
+// the user: their edit is authoritative, only downstream scopes must
+// adapt. Caller holds fs.mu.
+func (fs *FS) syncDependentsLocked(uid uint64) error {
+	for _, dep := range fs.graph.AffectedBy(uid) {
+		ds, ok := fs.dirs[dep]
+		if !ok || !ds.semantic {
+			continue
+		}
+		if err := fs.reevalLocked(ds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reevalLocked recomputes the transient links of ds — the core of the
+// paper's scope-consistency algorithm:
+//
+//  1. re-evaluate the query over the scope provided by the parent;
+//  2. discard results that are permanent or prohibited in ds;
+//  3. the remainder is the new transient set (permanent and prohibited
+//     sets are never touched).
+//
+// Caller holds fs.mu.
+func (fs *FS) reevalLocked(ds *dirState) error {
+	dirPath, ok := fs.pathOfLocked(ds.uid)
+	if !ok {
+		return fmt.Errorf("%w: uid %d", ErrDanglingRef, ds.uid)
+	}
+	parentPath := vfs.Dir(dirPath)
+
+	newTargets := make(map[string]bool)
+	if ds.ast != nil {
+		local, err := query.Eval(ds.ast, &evalEnv{fs: fs})
+		if err != nil {
+			return fmt.Errorf("hac: evaluating query of %s: %w", dirPath, err)
+		}
+		// Scope restriction (§2.3/§2.5). A query without directory
+		// references gets the strict hierarchical behavior: an implicit
+		// "AND dir:<parent>". A query with explicit dir: references has
+		// chosen DAG-based scoping, and the paper leaves the scope
+		// entirely to the query ("users can choose strict hierarchical
+		// dependencies, DAG based dependencies, or both").
+		if len(query.Refs(ds.ast)) == 0 {
+			local.And(fs.providedScopeLocalLocked(parentPath))
+		}
+		matched := fs.ix.Paths(local)
+		if fs.verify {
+			// Glimpse-style second level: confirm each candidate by
+			// scanning its content for the query terms.
+			verifyMatches(fs.under, matched, query.Terms(ds.ast))
+		}
+		for _, p := range matched {
+			newTargets[p] = true
+		}
+		remote, err := fs.evalRemoteLocked(ds, parentPath)
+		if err != nil {
+			return err
+		}
+		for t := range remote {
+			newTargets[t] = true
+		}
+	}
+
+	// Never add what the user prohibited; never duplicate what the user
+	// made permanent.
+	for t := range ds.prohibited {
+		delete(newTargets, t)
+	}
+	for t, c := range ds.class {
+		if c == Permanent {
+			delete(newTargets, t)
+		}
+	}
+
+	// Diff against the current transient set, mutating the underlying
+	// directory to match.
+	for t, c := range ds.class {
+		if c != Transient || newTargets[t] {
+			continue
+		}
+		if name, ok := ds.linkName[t]; ok {
+			if err := fs.under.Remove(vfs.Join(dirPath, name)); err != nil && !isNotExist(err) {
+				return err
+			}
+		}
+		delete(ds.class, t)
+		delete(ds.linkName, t)
+	}
+	for t := range newTargets {
+		if _, ok := ds.class[t]; ok {
+			continue // already linked (transient survivor)
+		}
+		name, err := fs.materializeLinkLocked(ds, dirPath, t)
+		if err != nil {
+			return err
+		}
+		ds.class[t] = Transient
+		ds.linkName[t] = name
+	}
+	return nil
+}
+
+func isNotExist(err error) bool { return errors.Is(err, vfs.ErrNotExist) }
+
+// verifyMatches reads each candidate file and counts occurrences of the
+// query terms, mimicking the grep pass of a two-level index like
+// Glimpse. The count is returned so the scan has an observable result.
+func verifyMatches(fsys vfs.FileSystem, paths []string, terms []string) int {
+	total := 0
+	for _, p := range paths {
+		data, err := fsys.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		content := strings.ToLower(string(data))
+		for _, t := range terms {
+			total += strings.Count(content, t)
+		}
+	}
+	return total
+}
+
+// providedScopeLocalLocked returns the local-document scope a directory
+// provides (§2.3):
+//
+//   - a semantic directory provides its current link targets plus the
+//     regular files physically inside it;
+//   - a syntactic directory (including the root) provides every indexed
+//     file in its subtree.
+//
+// Caller holds fs.mu.
+func (fs *FS) providedScopeLocalLocked(dirPath string) *bitset.Bitmap {
+	ds, ok := fs.stateAtLocked(dirPath)
+	if !ok || !ds.semantic {
+		return fs.ix.DocsUnder(dirPath)
+	}
+	var paths []string
+	for t := range ds.class {
+		if _, _, remote := splitRemoteTarget(t); remote {
+			continue
+		}
+		if p, ok := fs.resolveToIndexedLocked(t); ok {
+			paths = append(paths, p)
+		}
+	}
+	if entries, err := fs.under.ReadDir(dirPath); err == nil {
+		for _, e := range entries {
+			if e.Type == vfs.TypeFile {
+				paths = append(paths, vfs.Join(dirPath, e.Name))
+			}
+		}
+	}
+	return fs.ix.IDsOf(paths)
+}
+
+// resolveToIndexedLocked maps a link target to an indexed document
+// path, following symlink chains (a link in one semantic directory may
+// point at a link in another). Caller holds fs.mu.
+func (fs *FS) resolveToIndexedLocked(target string) (string, bool) {
+	p := target
+	for depth := 0; depth < 10; depth++ {
+		if _, ok := fs.ix.IDOf(p); ok {
+			return p, true
+		}
+		info, err := fs.under.Lstat(p)
+		if err != nil || info.Type != vfs.TypeSymlink {
+			return "", false
+		}
+		next, err := fs.under.Readlink(p)
+		if err != nil {
+			return "", false
+		}
+		if !vfs.IsAbs(next) {
+			next = vfs.Join(vfs.Dir(p), next)
+		}
+		p = next
+	}
+	return "", false
+}
+
+// evalEnv adapts the CBA engine and directory scopes to the query
+// evaluator — the paper's API between HAC and the CBA mechanism.
+type evalEnv struct{ fs *FS }
+
+func (e *evalEnv) Term(w string) (*bitset.Bitmap, error) { return e.fs.ix.Lookup(w), nil }
+
+func (e *evalEnv) Prefix(p string) (*bitset.Bitmap, error) { return e.fs.ix.LookupPrefix(p), nil }
+
+func (e *evalEnv) Fuzzy(w string) (*bitset.Bitmap, error) { return e.fs.ix.LookupFuzzy(w), nil }
+
+func (e *evalEnv) Universe() (*bitset.Bitmap, error) { return e.fs.ix.AllDocs(), nil }
+
+// DirRef returns the scope provided by the referenced directory (§2.5:
+// "the CBA mechanism can use HAC's API to obtain the existing
+// query-result stored in that directory").
+func (e *evalEnv) DirRef(ref *query.DirRef) (*bitset.Bitmap, error) {
+	p, ok := e.fs.pathOfLocked(ref.UID)
+	if !ok {
+		return nil, fmt.Errorf("%w: dir:#%d", ErrDanglingRef, ref.UID)
+	}
+	return e.fs.providedScopeLocalLocked(p), nil
+}
+
+// Search evaluates an ad-hoc query against the scope provided by
+// scopePath, without creating a semantic directory. It returns the
+// matching local paths, sorted. This is the programmatic equivalent of
+// running Glimpse directly, restricted to a HAC scope.
+func (fs *FS) Search(queryStr, scopePath string) ([]string, error) {
+	clean, err := vfs.Clean(scopePath)
+	if err != nil {
+		return nil, &vfs.PathError{Op: "search", Path: scopePath, Err: err}
+	}
+	ast, err := parseQuery(queryStr)
+	if err != nil {
+		return nil, err
+	}
+	if ast == nil {
+		return nil, nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	// Bind path references without registering permanent state.
+	for _, ref := range query.Refs(ast) {
+		if ref.UID != 0 {
+			continue
+		}
+		rp, cerr := vfs.Clean(ref.Path)
+		if cerr != nil {
+			return nil, fmt.Errorf("%w: dir:%s", ErrDanglingRef, ref.Path)
+		}
+		uid, ok := fs.names.UIDOf(rp)
+		if !ok {
+			return nil, fmt.Errorf("%w: dir:%s", ErrDanglingRef, ref.Path)
+		}
+		ref.UID = uid
+	}
+	local, err := query.Eval(ast, &evalEnv{fs: fs})
+	if err != nil {
+		return nil, err
+	}
+	local.And(fs.providedScopeLocalLocked(clean))
+	return fs.ix.Paths(local), nil
+}
+
+// IndexReport summarizes a Reindex run.
+type IndexReport struct {
+	Added   int
+	Updated int
+	Removed int
+}
+
+// Reindex runs the paper's §2.4 data-consistency pass over the subtree
+// at root: every directory is registered in the global map (so it can
+// serve as a scope or query reference), the CBA mechanism incrementally
+// re-indexes the files, and every semantic directory is re-evaluated
+// ("at reindexing time, all scope and data inconsistencies are
+// settled"). The file walk goes through the HAC layer itself, as in
+// the paper's Table 3 setup.
+func (fs *FS) Reindex(root string) (IndexReport, error) {
+	var rep IndexReport
+	// Register directories first — the paper's per-directory structures
+	// and global-map entries are part of HAC's indexing cost.
+	err := vfs.Walk(fs, root, func(p string, info vfs.Info) error {
+		if info.IsDir() {
+			fs.mu.Lock()
+			fs.registerDirLocked(p)
+			fs.mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	added, updated, removed, err := fs.ix.SyncTree(fs, root)
+	rep = IndexReport{Added: added, Updated: updated, Removed: removed}
+	if err != nil {
+		return rep, err
+	}
+	return rep, fs.SyncAll()
+}
+
+// Stats reports HAC-layer health counters.
+type Stats struct {
+	Directories  int // directories with HAC bookkeeping
+	SemanticDirs int
+	GraphNodes   int
+	AttrHits     int64
+	AttrMisses   int64
+	OpenHandles  int64
+}
+
+// Stats returns a snapshot of the layer's counters.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	s := Stats{
+		Directories: len(fs.dirs),
+		GraphNodes:  fs.graph.Len(),
+		OpenHandles: fs.fds.open64.Load(),
+	}
+	for _, ds := range fs.dirs {
+		if ds.semantic {
+			s.SemanticDirs++
+		}
+	}
+	s.AttrHits, s.AttrMisses = fs.attrs.stats()
+	return s
+}
+
+// MetadataBytes estimates the on-disk footprint of HAC's per-directory
+// data structures (queries, link classifications, the global map, the
+// dependency graph, and the per-semantic-directory result bitmap of N/8
+// bytes) — the paper's "222 KB vs 210 KB" experiment.
+func (fs *FS) MetadataBytes() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	total := fs.names.SizeBytes()
+	universe := fs.ix.Universe()
+	for _, ds := range fs.dirs {
+		total += 48 // fixed per-directory record
+		total += len(ds.queryText)
+		for t := range ds.class {
+			total += len(t) + len(ds.linkName[t]) + 8
+		}
+		for t := range ds.prohibited {
+			total += len(t) + 8
+		}
+		// The compact query-result representation: one bit per indexed
+		// file (§4). The paper initializes this structure (to "empty")
+		// for every directory at mkdir time, so every registered
+		// directory carries the N/8-byte slot.
+		total += (universe + 7) / 8
+		// One dependency-graph node with its edges.
+		total += 16 + 16*len(fs.graph.Deps(ds.uid))
+	}
+	return total
+}
+
+// SharedMemoryBytes reports the footprint of the attribute cache and
+// descriptor table — the structures the paper keeps in per-process
+// shared memory (~16 KB per process in §4).
+func (fs *FS) SharedMemoryBytes() int {
+	return fs.attrs.sizeBytes() + fs.fds.sizeBytes()
+}

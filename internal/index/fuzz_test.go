@@ -1,0 +1,51 @@
+package index
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTokenize checks the tokenizer's contract on arbitrary bytes: no
+// panics, every term within length bounds, lowercase, and only
+// alphanumeric bytes.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range []string{
+		"", "hello world", "CamelCase42", "a", strings.Repeat("x", 100),
+		"\x00\xff\xfe", "tab\tsep", "mixed123abc!@#", "ünïcödé",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, content []byte) {
+		for _, term := range Tokenize(content) {
+			if len(term) < minTermLen || len(term) > maxTermLen {
+				t.Fatalf("term %q violates length bounds", term)
+			}
+			for i := 0; i < len(term); i++ {
+				b := term[i]
+				ok := b >= 'a' && b <= 'z' || b >= '0' && b <= '9'
+				if !ok {
+					t.Fatalf("term %q contains non-lowercase-alnum byte %q", term, b)
+				}
+			}
+		}
+	})
+}
+
+// FuzzWithinOneEdit cross-checks the fast edit-distance predicate
+// against the reference implementation on arbitrary short strings.
+func FuzzWithinOneEdit(f *testing.F) {
+	f.Add("apple", "aple")
+	f.Add("", "")
+	f.Add("ab", "ba")
+	f.Add("xyz", "zyx")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 12 || len(b) > 12 {
+			return // keep the O(n²) reference cheap
+		}
+		got := withinOneEdit(a, b)
+		want := damerau(a, b) <= 1
+		if got != want {
+			t.Fatalf("withinOneEdit(%q, %q) = %v, reference says %v", a, b, got, want)
+		}
+	})
+}

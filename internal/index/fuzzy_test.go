@@ -1,0 +1,140 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWithinOneEdit(t *testing.T) {
+	yes := [][2]string{
+		{"apple", "apple"},  // equal
+		{"apple", "applee"}, // insertion at end
+		{"apple", "aapple"}, // insertion at start
+		{"apple", "aple"},   // deletion
+		{"apple", "ample"},  // substitution
+		{"apple", "papple"}, // insertion
+		{"ab", "ba"},        // transposition
+		{"apple", "aplpe"},  // transposition middle
+		{"a", ""},           // deletion to empty
+		{"x", "y"},          // substitution single char
+	}
+	no := [][2]string{
+		{"apple", "applesx"}, // distance 2 (two insertions)
+		{"apple", "apl"},     // two deletions
+		{"apple", "orange"},
+		{"ab", "cd"},     // two substitutions
+		{"abcd", "badc"}, // two transpositions
+		{"", "xy"},
+		{"abc", "cba"}, // not adjacent swap
+	}
+	for _, c := range yes {
+		if !withinOneEdit(c[0], c[1]) || !withinOneEdit(c[1], c[0]) {
+			t.Errorf("withinOneEdit(%q, %q) = false, want true", c[0], c[1])
+		}
+	}
+	for _, c := range no {
+		if withinOneEdit(c[0], c[1]) || withinOneEdit(c[1], c[0]) {
+			t.Errorf("withinOneEdit(%q, %q) = true, want false", c[0], c[1])
+		}
+	}
+}
+
+// Property: withinOneEdit agrees with a reference Damerau–Levenshtein
+// implementation (restricted distance) for short strings.
+func TestPropertyWithinOneEditMatchesReference(t *testing.T) {
+	alphabet := []byte("abc")
+	mk := func(seed []byte, maxLen int) string {
+		out := make([]byte, 0, maxLen)
+		for i, b := range seed {
+			if i >= maxLen {
+				break
+			}
+			out = append(out, alphabet[int(b)%len(alphabet)])
+		}
+		return string(out)
+	}
+	f := func(sa, sb []byte) bool {
+		a, b := mk(sa, 5), mk(sb, 5)
+		want := damerau(a, b) <= 1
+		return withinOneEdit(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// damerau computes the optimal-string-alignment distance (reference
+// implementation for tests).
+func damerau(a, b string) int {
+	la, lb := len(a), len(b)
+	d := make([][]int, la+1)
+	for i := range d {
+		d[i] = make([]int, lb+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= lb; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := d[i-1][j] + 1
+			if v := d[i][j-1] + 1; v < m {
+				m = v
+			}
+			if v := d[i-1][j-1] + cost; v < m {
+				m = v
+			}
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if v := d[i-2][j-2] + 1; v < m {
+					m = v
+				}
+			}
+			d[i][j] = m
+		}
+	}
+	return d[la][lb]
+}
+
+func TestLookupFuzzy(t *testing.T) {
+	ix := New()
+	ix.Add("/a", []byte("fingerprint"))
+	ix.Add("/b", []byte("fingerprints")) // one insertion away
+	ix.Add("/c", []byte("fingerpaint"))  // one substitution away
+	ix.Add("/d", []byte("footprint"))    // far away
+
+	got := ix.Paths(ix.LookupFuzzy("fingerprint"))
+	want := map[string]bool{"/a": true, "/b": true, "/c": true}
+	if len(got) != 3 {
+		t.Fatalf("fuzzy matches = %v", got)
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Fatalf("unexpected fuzzy match %s", p)
+		}
+	}
+	// Exact lookups stay exact.
+	if got := ix.Lookup("fingerprint").Len(); got != 1 {
+		t.Fatalf("exact matches = %d", got)
+	}
+	// Empty and unknown terms.
+	if ix.LookupFuzzy("").Any() {
+		t.Fatal("empty fuzzy term matched")
+	}
+	if ix.LookupFuzzy("zzzzzzz").Any() {
+		t.Fatal("distant fuzzy term matched")
+	}
+}
+
+func TestLookupFuzzyRespectsTombstones(t *testing.T) {
+	ix := New()
+	ix.Add("/a", []byte("typo"))
+	ix.Add("/b", []byte("typos"))
+	ix.Remove("/b")
+	if got := ix.LookupFuzzy("typo").Len(); got != 1 {
+		t.Fatalf("fuzzy after remove = %d, want 1", got)
+	}
+}

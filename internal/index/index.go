@@ -1,0 +1,421 @@
+// Package index implements the content-based access (CBA) engine HAC
+// delegates searches to — the role Glimpse played in the paper. It is a
+// classic in-memory inverted index: documents are tokenized into terms
+// and each term maps to a bitmap of document IDs.
+//
+// The paper's data-consistency model (§2.4) shapes the API: documents
+// can be added and updated incrementally, removals are tombstoned, and
+// a periodic Compact (the paper's "reindexing") rebuilds the ID space
+// and settles everything. SyncTree walks a file system and performs the
+// incremental reindex the paper describes ("re-index the file system
+// periodically ... or on user request, for any part of the file
+// system").
+package index
+
+import (
+	"sync"
+	"time"
+
+	"hacfs/internal/bitset"
+	"hacfs/internal/vfs"
+)
+
+// DocID identifies an indexed document. IDs are dense and stable until
+// the next Compact.
+type DocID = uint32
+
+type docEntry struct {
+	path    string
+	modTime time.Time
+	size    int
+	alive   bool
+}
+
+// Index is an inverted index over documents named by path. It is safe
+// for concurrent use.
+type Index struct {
+	mu       sync.RWMutex
+	docs     []docEntry
+	byPath   map[string]DocID
+	postings map[string]*bitset.Bitmap
+	alive    *bitset.Bitmap
+	deadDocs int
+	tok      Tokenizer
+	// transducers, keyed by lowercase file extension ("" = all files),
+	// add attribute terms alongside the tokenizer's words.
+	transducers map[string][]Transducer
+}
+
+// Tokenizer splits document content into terms. The default is
+// Tokenize.
+type Tokenizer func(content []byte) []string
+
+// New returns an empty index using the default tokenizer.
+func New() *Index {
+	return &Index{
+		byPath:   make(map[string]DocID),
+		postings: make(map[string]*bitset.Bitmap),
+		alive:    bitset.NewBitmap(0),
+		tok:      Tokenize,
+	}
+}
+
+// SetTokenizer replaces the tokenizer. It must be called before any
+// documents are added.
+func (ix *Index) SetTokenizer(t Tokenizer) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.tok = t
+}
+
+// Add indexes content under path, replacing any previous document at
+// the same path, and returns the document's ID.
+func (ix *Index) Add(path string, content []byte) DocID {
+	return ix.AddWithTime(path, content, time.Time{})
+}
+
+// AddWithTime is Add recording the document's modification time, used
+// by SyncTree to detect staleness.
+func (ix *Index) AddWithTime(path string, content []byte, modTime time.Time) DocID {
+	terms := ix.termSet(content)
+	for _, t := range ix.applyTransducers(path, content) {
+		terms[t] = struct{}{}
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if old, ok := ix.byPath[path]; ok {
+		ix.tombstone(old)
+	}
+	id := DocID(len(ix.docs))
+	ix.docs = append(ix.docs, docEntry{path: path, modTime: modTime, size: len(content), alive: true})
+	ix.byPath[path] = id
+	ix.alive.Add(id)
+	for term := range terms {
+		bm, ok := ix.postings[term]
+		if !ok {
+			bm = bitset.NewBitmap(0)
+			ix.postings[term] = bm
+		}
+		bm.Add(id)
+	}
+	return id
+}
+
+// termSet tokenizes content into a set of unique terms.
+func (ix *Index) termSet(content []byte) map[string]struct{} {
+	terms := ix.tok(content)
+	set := make(map[string]struct{}, len(terms))
+	for _, t := range terms {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+// tombstone marks id dead. Caller holds ix.mu.
+func (ix *Index) tombstone(id DocID) {
+	if int(id) < len(ix.docs) && ix.docs[id].alive {
+		ix.docs[id].alive = false
+		ix.alive.Remove(id)
+		ix.deadDocs++
+		delete(ix.byPath, ix.docs[id].path)
+	}
+}
+
+// Remove deletes the document at path from the index. It reports
+// whether a document was present.
+func (ix *Index) Remove(path string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id, ok := ix.byPath[path]
+	if !ok {
+		return false
+	}
+	ix.tombstone(id)
+	return true
+}
+
+// RenamePath records that a document moved without content change.
+func (ix *Index) RenamePath(oldPath, newPath string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id, ok := ix.byPath[oldPath]
+	if !ok {
+		return false
+	}
+	delete(ix.byPath, oldPath)
+	ix.docs[id].path = newPath
+	ix.byPath[newPath] = id
+	return true
+}
+
+// RenamePrefix records that the directory at oldRoot moved to newRoot,
+// rewriting the paths of every indexed document beneath it. It returns
+// the number of documents updated.
+func (ix *Index) RenamePrefix(oldRoot, newRoot string) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	type move struct {
+		old string
+		id  DocID
+	}
+	var moves []move
+	for p, id := range ix.byPath {
+		if vfs.HasPrefix(p, oldRoot) {
+			moves = append(moves, move{p, id})
+		}
+	}
+	for _, m := range moves {
+		np := newRoot + m.old[len(oldRoot):]
+		delete(ix.byPath, m.old)
+		ix.docs[m.id].path = np
+		ix.byPath[np] = m.id
+	}
+	return len(moves)
+}
+
+// Lookup returns the set of live documents containing term. The result
+// is owned by the caller.
+func (ix *Index) Lookup(term string) *bitset.Bitmap {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	bm, ok := ix.postings[normalizeTerm(term)]
+	if !ok {
+		return bitset.NewBitmap(0)
+	}
+	out := bm.Clone()
+	out.And(ix.alive)
+	return out
+}
+
+// LookupPrefix returns the set of live documents containing any term
+// with the given prefix (the query language's "foo*").
+func (ix *Index) LookupPrefix(prefix string) *bitset.Bitmap {
+	prefix = normalizeTerm(prefix)
+	out := bitset.NewBitmap(0)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for term, bm := range ix.postings {
+		if len(term) >= len(prefix) && term[:len(prefix)] == prefix {
+			out.Or(bm)
+		}
+	}
+	out.And(ix.alive)
+	return out
+}
+
+// AllDocs returns the set of all live document IDs.
+func (ix *Index) AllDocs() *bitset.Bitmap {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.alive.Clone()
+}
+
+// PathOf resolves a document ID to its path.
+func (ix *Index) PathOf(id DocID) (string, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if int(id) >= len(ix.docs) || !ix.docs[id].alive {
+		return "", false
+	}
+	return ix.docs[id].path, true
+}
+
+// IDOf resolves a path to its live document ID.
+func (ix *Index) IDOf(path string) (DocID, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	id, ok := ix.byPath[path]
+	return id, ok
+}
+
+// Paths maps a result set to its sorted document paths. IDs that no
+// longer resolve are skipped.
+func (ix *Index) Paths(bm *bitset.Bitmap) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, bm.Len())
+	bm.Range(func(id uint32) bool {
+		if int(id) < len(ix.docs) && ix.docs[id].alive {
+			out = append(out, ix.docs[id].path)
+		}
+		return true
+	})
+	// docs are appended in ID order, not path order; sort for stable output.
+	sortStrings(out)
+	return out
+}
+
+// IDsOf maps paths to a bitmap of their live document IDs. Unindexed
+// paths are skipped.
+func (ix *Index) IDsOf(paths []string) *bitset.Bitmap {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := bitset.NewBitmap(len(ix.docs))
+	for _, p := range paths {
+		if id, ok := ix.byPath[p]; ok {
+			out.Add(id)
+		}
+	}
+	return out
+}
+
+// DocsUnder returns the set of live documents whose path lies in the
+// subtree rooted at root. This is how a syntactic directory "provides a
+// scope" to the semantic directories beneath it.
+func (ix *Index) DocsUnder(root string) *bitset.Bitmap {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := bitset.NewBitmap(len(ix.docs))
+	if root == "/" {
+		out.Or(ix.alive)
+		return out
+	}
+	for id, d := range ix.docs {
+		if d.alive && vfs.HasPrefix(d.path, root) {
+			out.Add(DocID(id))
+		}
+	}
+	return out
+}
+
+// NumDocs returns the number of live documents.
+func (ix *Index) NumDocs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs) - ix.deadDocs
+}
+
+// Universe returns the size of the current ID space (live + dead), the
+// N in the paper's "N/8 bytes per semantic directory".
+func (ix *Index) Universe() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Stats describes the index footprint, for the Table 3 experiment.
+type Stats struct {
+	Docs         int   // live documents
+	DeadDocs     int   // tombstoned documents awaiting Compact
+	Terms        int   // distinct terms
+	IndexBytes   int   // approximate index payload size
+	ContentBytes int64 // total size of live indexed content
+}
+
+// Stats returns a snapshot of the index footprint.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s := Stats{
+		Docs:     len(ix.docs) - ix.deadDocs,
+		DeadDocs: ix.deadDocs,
+		Terms:    len(ix.postings),
+	}
+	for term, bm := range ix.postings {
+		s.IndexBytes += len(term) + bm.SizeBytes()
+	}
+	for _, d := range ix.docs {
+		s.IndexBytes += len(d.path) + 32
+		if d.alive {
+			s.ContentBytes += int64(d.size)
+		}
+	}
+	return s
+}
+
+// Compact rebuilds the index with a dense ID space, dropping
+// tombstones. This is the paper's full "reindexing" step. It returns a
+// mapping from old to new IDs (dead IDs map to NoDoc).
+const NoDoc DocID = ^DocID(0)
+
+func (ix *Index) Compact() map[DocID]DocID {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	remap := make(map[DocID]DocID, len(ix.docs))
+	newDocs := make([]docEntry, 0, len(ix.docs)-ix.deadDocs)
+	for id, d := range ix.docs {
+		if d.alive {
+			remap[DocID(id)] = DocID(len(newDocs))
+			newDocs = append(newDocs, d)
+		} else {
+			remap[DocID(id)] = NoDoc
+		}
+	}
+	newPostings := make(map[string]*bitset.Bitmap, len(ix.postings))
+	for term, bm := range ix.postings {
+		nb := bitset.NewBitmap(len(newDocs))
+		bm.Range(func(old uint32) bool {
+			if nid := remap[old]; nid != NoDoc {
+				nb.Add(nid)
+			}
+			return true
+		})
+		if nb.Any() {
+			newPostings[term] = nb
+		}
+	}
+	ix.docs = newDocs
+	ix.postings = newPostings
+	ix.byPath = make(map[string]DocID, len(newDocs))
+	ix.alive = bitset.NewBitmap(len(newDocs))
+	for id, d := range ix.docs {
+		ix.byPath[d.path] = DocID(id)
+		ix.alive.Add(DocID(id))
+	}
+	ix.deadDocs = 0
+	return remap
+}
+
+// SyncTree incrementally reindexes all regular files under root in
+// fsys: new files are added, files whose modification time changed are
+// re-indexed, and indexed files that no longer exist under root are
+// removed. It returns the number of added, updated and removed
+// documents.
+func (ix *Index) SyncTree(fsys vfs.FileSystem, root string) (added, updated, removed int, err error) {
+	seen := make(map[string]bool)
+	err = vfs.Walk(fsys, root, func(p string, info vfs.Info) error {
+		if info.Type != vfs.TypeFile {
+			return nil
+		}
+		seen[p] = true
+		ix.mu.RLock()
+		id, ok := ix.byPath[p]
+		var stale bool
+		if ok {
+			stale = !ix.docs[id].modTime.Equal(info.ModTime)
+		}
+		ix.mu.RUnlock()
+		if ok && !stale {
+			return nil
+		}
+		content, err := fsys.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		ix.AddWithTime(p, content, info.ModTime)
+		if ok {
+			updated++
+		} else {
+			added++
+		}
+		return nil
+	})
+	if err != nil {
+		return added, updated, removed, err
+	}
+	// Remove vanished documents under root.
+	ix.mu.RLock()
+	var gone []string
+	for p := range ix.byPath {
+		if vfs.HasPrefix(p, root) && !seen[p] {
+			gone = append(gone, p)
+		}
+	}
+	ix.mu.RUnlock()
+	for _, p := range gone {
+		if ix.Remove(p) {
+			removed++
+		}
+	}
+	return added, updated, removed, nil
+}

@@ -1,0 +1,125 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"hacfs/internal/bitset"
+)
+
+// Index persistence. Glimpse keeps its index on disk and loads it at
+// startup; Save/Load give this index the same property, so a server
+// (cmd/hacindexd) can restart without re-reading its document tree.
+// Tombstoned documents are compacted away in the image.
+
+const indexVersion = 1
+
+type indexHeader struct {
+	Version int
+	Docs    int
+	Terms   int
+}
+
+type docImage struct {
+	Path    string
+	ModTime time.Time
+	Size    int
+}
+
+type postingImage struct {
+	Term string
+	IDs  []uint32
+}
+
+// Save writes a compacted image of the index to w. The in-memory index
+// is not modified (a compacted copy of the ID space is written, so
+// Load yields dense IDs regardless of tombstones).
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	// Dense remap of live documents.
+	remap := make(map[DocID]uint32, len(ix.docs))
+	var docs []docImage
+	for id, d := range ix.docs {
+		if !d.alive {
+			continue
+		}
+		remap[DocID(id)] = uint32(len(docs))
+		docs = append(docs, docImage{Path: d.path, ModTime: d.modTime, Size: d.size})
+	}
+
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(indexHeader{Version: indexVersion, Docs: len(docs), Terms: len(ix.postings)}); err != nil {
+		return fmt.Errorf("index: encoding header: %w", err)
+	}
+	for i := range docs {
+		if err := enc.Encode(&docs[i]); err != nil {
+			return fmt.Errorf("index: encoding document %q: %w", docs[i].Path, err)
+		}
+	}
+	for term, bm := range ix.postings {
+		pi := postingImage{Term: term}
+		bm.Range(func(id uint32) bool {
+			if nid, ok := remap[id]; ok {
+				pi.IDs = append(pi.IDs, nid)
+			}
+			return true
+		})
+		if len(pi.IDs) == 0 {
+			pi.IDs = nil
+		}
+		if err := enc.Encode(&pi); err != nil {
+			return fmt.Errorf("index: encoding term %q: %w", term, err)
+		}
+	}
+	return nil
+}
+
+// LoadIndex reads an image written by Save. Tokenizers and transducers
+// are code, not data: register them on the returned index before
+// adding new documents.
+func LoadIndex(r io.Reader) (*Index, error) {
+	dec := gob.NewDecoder(r)
+	var hdr indexHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("index: decoding header: %w", err)
+	}
+	if hdr.Version != indexVersion {
+		return nil, fmt.Errorf("index: unsupported version %d", hdr.Version)
+	}
+	ix := New()
+	for i := 0; i < hdr.Docs; i++ {
+		var di docImage
+		if err := dec.Decode(&di); err != nil {
+			return nil, fmt.Errorf("index: decoding document %d: %w", i, err)
+		}
+		id := DocID(len(ix.docs))
+		ix.docs = append(ix.docs, docEntry{path: di.Path, modTime: di.ModTime, size: di.Size, alive: true})
+		ix.byPath[di.Path] = id
+		ix.alive.Add(id)
+	}
+	for i := 0; i < hdr.Terms; i++ {
+		var pi postingImage
+		if err := dec.Decode(&pi); err != nil {
+			return nil, fmt.Errorf("index: decoding posting %d: %w", i, err)
+		}
+		if len(pi.IDs) == 0 {
+			continue
+		}
+		bm := ix.postings[pi.Term]
+		if bm == nil {
+			bm = bitset.NewBitmap(hdr.Docs)
+			ix.postings[pi.Term] = bm
+		}
+		for _, id := range pi.IDs {
+			if int(id) >= hdr.Docs {
+				return nil, fmt.Errorf("index: posting for %q references document %d of %d", pi.Term, id, hdr.Docs)
+			}
+			bm.Add(id)
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,91 @@
+package index
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	ix := New()
+	mt := time.Date(2026, 5, 1, 10, 0, 0, 0, time.UTC)
+	ix.AddWithTime("/a", []byte("apple banana"), mt)
+	ix.AddWithTime("/b", []byte("banana cherry"), mt.Add(time.Hour))
+	ix.Add("/c", []byte("cherry"))
+	ix.Remove("/c") // tombstone: must not survive the image
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.NumDocs() != 2 || loaded.Universe() != 2 {
+		t.Fatalf("loaded docs = %d universe = %d", loaded.NumDocs(), loaded.Universe())
+	}
+	for _, term := range []string{"apple", "banana", "cherry"} {
+		want := ix.Paths(ix.Lookup(term))
+		got := loaded.Paths(loaded.Lookup(term))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: loaded %v, want %v", term, got, want)
+		}
+	}
+	// Tombstoned term gone entirely.
+	if loaded.Lookup("cherry").Len() != 1 {
+		t.Fatalf("cherry matches = %d, want 1", loaded.Lookup("cherry").Len())
+	}
+	// Modification times survive (SyncTree staleness detection works).
+	id, _ := loaded.IDOf("/a")
+	if p, ok := loaded.PathOf(id); !ok || p != "/a" {
+		t.Fatalf("PathOf = %q, %v", p, ok)
+	}
+	// Incremental updates still work on the loaded index.
+	loaded.Add("/d", []byte("date"))
+	if !loaded.Lookup("date").Any() {
+		t.Fatal("loaded index rejects new documents")
+	}
+}
+
+func TestIndexSaveLoadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDocs() != 0 {
+		t.Fatalf("docs = %d", loaded.NumDocs())
+	}
+}
+
+func TestLoadIndexRejectsGarbage(t *testing.T) {
+	if _, err := LoadIndex(bytes.NewReader([]byte("not an index"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestIndexSaveLoadPreservesModTimes(t *testing.T) {
+	ix := New()
+	mt := time.Date(2026, 6, 2, 0, 0, 0, 0, time.UTC)
+	ix.AddWithTime("/f", []byte("word"), mt)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded.mu.RLock()
+	got := loaded.docs[0].modTime
+	loaded.mu.RUnlock()
+	if !got.Equal(mt) {
+		t.Fatalf("modTime = %v, want %v", got, mt)
+	}
+}

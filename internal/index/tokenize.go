@@ -1,0 +1,56 @@
+package index
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Term length bounds: shorter terms are noise, longer ones are almost
+// certainly binary garbage.
+const (
+	minTermLen = 2
+	maxTermLen = 40
+)
+
+// Tokenize is the default tokenizer: it splits content into maximal
+// runs of letters and digits, lowercased. Runs outside the length
+// bounds are dropped.
+func Tokenize(content []byte) []string {
+	var out []string
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		if n := end - start; n >= minTermLen && n <= maxTermLen {
+			out = append(out, strings.ToLower(string(content[start:end])))
+		}
+		start = -1
+	}
+	for i, b := range content {
+		if isTermByte(b) {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i)
+		}
+	}
+	flush(len(content))
+	return out
+}
+
+func isTermByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+// normalizeTerm canonicalizes a query term the same way Tokenize
+// canonicalizes document terms.
+func normalizeTerm(term string) string {
+	return strings.ToLower(strings.TrimFunc(term, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	}))
+}
+
+func sortStrings(s []string) { sort.Strings(s) }

@@ -1,0 +1,138 @@
+// Package namemap implements the paper's global mapping of unique
+// directory identifiers to path names (§2.5).
+//
+// Queries that reference other directories store UIDs, not paths, so
+// that renaming a directory does not invalidate the queries that refer
+// to it: "instead of updating the queries of all directories like new
+// that depend on old, HAC simply updates the global map when old is
+// renamed". Rename here does exactly that one update, for the renamed
+// directory and everything registered beneath it.
+//
+// The map is safe for concurrent use.
+package namemap
+
+import (
+	"sort"
+	"sync"
+
+	"hacfs/internal/vfs"
+)
+
+// Map is a bidirectional UID ↔ path registry. UIDs are issued by the
+// map and never reused.
+type Map struct {
+	mu      sync.RWMutex
+	nextUID uint64
+	byUID   map[uint64]string
+	byPath  map[string]uint64
+}
+
+// New returns an empty map.
+func New() *Map {
+	return &Map{
+		nextUID: 1, // UID 0 means "unbound" in query.DirRef
+		byUID:   make(map[uint64]string),
+		byPath:  make(map[string]uint64),
+	}
+}
+
+// Register assigns a fresh UID to path, or returns the existing UID if
+// path is already registered.
+func (m *Map) Register(path string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if uid, ok := m.byPath[path]; ok {
+		return uid
+	}
+	uid := m.nextUID
+	m.nextUID++
+	m.byUID[uid] = path
+	m.byPath[path] = uid
+	return uid
+}
+
+// PathOf resolves a UID to its current path.
+func (m *Map) PathOf(uid uint64) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	p, ok := m.byUID[uid]
+	return p, ok
+}
+
+// UIDOf resolves a path to its UID.
+func (m *Map) UIDOf(path string) (uint64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	uid, ok := m.byPath[path]
+	return uid, ok
+}
+
+// Len returns the number of registered directories.
+func (m *Map) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.byUID)
+}
+
+// Rename records that the directory at oldPath moved to newPath,
+// updating it and every registered descendant. It returns the number of
+// entries updated.
+func (m *Map) Rename(oldPath, newPath string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for uid, p := range m.byUID {
+		if !vfs.HasPrefix(p, oldPath) {
+			continue
+		}
+		np := newPath + p[len(oldPath):]
+		delete(m.byPath, p)
+		m.byUID[uid] = np
+		m.byPath[np] = uid
+		n++
+	}
+	return n
+}
+
+// RemoveSubtree drops the registration of path and every registered
+// descendant, returning the removed UIDs.
+func (m *Map) RemoveSubtree(path string) []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var gone []uint64
+	for uid, p := range m.byUID {
+		if vfs.HasPrefix(p, path) {
+			gone = append(gone, uid)
+			delete(m.byPath, p)
+			delete(m.byUID, uid)
+		}
+	}
+	sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
+	return gone
+}
+
+// Paths returns all registered paths, sorted. Intended for diagnostics
+// and the space-overhead experiment.
+func (m *Map) Paths() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.byPath))
+	for p := range m.byPath {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SizeBytes estimates the map's in-memory footprint for the
+// space-overhead experiment.
+func (m *Map) SizeBytes() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	total := 0
+	for _, p := range m.byUID {
+		// Each entry appears in two maps: uid→path and path→uid.
+		total += 2*len(p) + 2*16
+	}
+	return total
+}

@@ -1,0 +1,145 @@
+package namemap
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterAndResolve(t *testing.T) {
+	m := New()
+	uid := m.Register("/projects/fingerprint")
+	if uid == 0 {
+		t.Fatal("Register returned the reserved UID 0")
+	}
+	if again := m.Register("/projects/fingerprint"); again != uid {
+		t.Fatalf("re-Register returned %d, want %d", again, uid)
+	}
+	if p, ok := m.PathOf(uid); !ok || p != "/projects/fingerprint" {
+		t.Fatalf("PathOf = %q, %v", p, ok)
+	}
+	if got, ok := m.UIDOf("/projects/fingerprint"); !ok || got != uid {
+		t.Fatalf("UIDOf = %d, %v", got, ok)
+	}
+	if _, ok := m.PathOf(9999); ok {
+		t.Fatal("PathOf of unknown UID succeeded")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestUIDsAreUnique(t *testing.T) {
+	m := New()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		uid := m.Register(fmt.Sprintf("/d%d", i))
+		if seen[uid] {
+			t.Fatalf("duplicate UID %d", uid)
+		}
+		seen[uid] = true
+	}
+}
+
+func TestRenameUpdatesSubtree(t *testing.T) {
+	m := New()
+	a := m.Register("/old")
+	b := m.Register("/old/sub")
+	c := m.Register("/old/sub/deep")
+	d := m.Register("/other")
+
+	// The rename-stability property from §2.5: UIDs survive renames.
+	if n := m.Rename("/old", "/new"); n != 3 {
+		t.Fatalf("Rename updated %d entries, want 3", n)
+	}
+	for uid, want := range map[uint64]string{
+		a: "/new",
+		b: "/new/sub",
+		c: "/new/sub/deep",
+		d: "/other",
+	} {
+		if p, ok := m.PathOf(uid); !ok || p != want {
+			t.Fatalf("PathOf(%d) = %q, want %q", uid, p, want)
+		}
+	}
+	if _, ok := m.UIDOf("/old"); ok {
+		t.Fatal("old path still registered")
+	}
+	// Prefix must be component-wise: /newt is not inside /new.
+	e := m.Register("/newt")
+	m.Rename("/new", "/renamed")
+	if p, _ := m.PathOf(e); p != "/newt" {
+		t.Fatalf("sibling path corrupted: %q", p)
+	}
+}
+
+func TestRemoveSubtree(t *testing.T) {
+	m := New()
+	a := m.Register("/gone")
+	b := m.Register("/gone/child")
+	c := m.Register("/stays")
+
+	gone := m.RemoveSubtree("/gone")
+	if !reflect.DeepEqual(gone, []uint64{a, b}) {
+		t.Fatalf("RemoveSubtree = %v, want [%d %d]", gone, a, b)
+	}
+	if _, ok := m.PathOf(a); ok {
+		t.Fatal("removed UID still resolves")
+	}
+	if _, ok := m.PathOf(c); !ok {
+		t.Fatal("unrelated UID removed")
+	}
+}
+
+func TestPathsSorted(t *testing.T) {
+	m := New()
+	m.Register("/z")
+	m.Register("/a")
+	if got := m.Paths(); !reflect.DeepEqual(got, []string{"/a", "/z"}) {
+		t.Fatalf("Paths = %v", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	m := New()
+	if m.SizeBytes() != 0 {
+		t.Fatal("empty map has nonzero size")
+	}
+	m.Register("/abc")
+	if m.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes not positive after Register")
+	}
+}
+
+// Property: after any sequence of renames, PathOf∘UIDOf is the identity
+// on all registered paths.
+func TestPropertyBijection(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := New()
+		for i, op := range ops {
+			switch op % 3 {
+			case 0:
+				m.Register(fmt.Sprintf("/d%d", int(op)%8))
+			case 1:
+				m.Rename(fmt.Sprintf("/d%d", int(op)%8), fmt.Sprintf("/r%d", i))
+			case 2:
+				m.RemoveSubtree(fmt.Sprintf("/d%d", int(op)%8))
+			}
+		}
+		for _, p := range m.Paths() {
+			uid, ok := m.UIDOf(p)
+			if !ok {
+				return false
+			}
+			back, ok := m.PathOf(uid)
+			if !ok || back != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package query implements HAC's query language: the boolean search
+// expressions users attach to semantic directories.
+//
+// The grammar is Glimpse-flavored boolean search extended with the
+// paper's §2.5 directory references:
+//
+//	expr    = or
+//	or      = and { ("OR" | "|") and }
+//	and     = not { ("AND" | "&")? not }     // adjacency is AND
+//	not     = ("NOT" | "!")* primary
+//	primary = "(" expr ")" | term | prefix | fuzzy | dirref
+//	term    = word                            // case-insensitive
+//	prefix  = word "*"                        // prefix match
+//	fuzzy   = "~" word                        // approximate (edit distance 1)
+//	dirref  = "dir:" path | "dir:#" uid       // §2.5 directory reference
+//
+// A dirref evaluates to the current link set of another directory,
+// letting users combine searching with edited query results. HAC
+// rewrites path dirrefs to UID dirrefs before storing a query, so
+// renaming a referenced directory does not invalidate it (§2.5); both
+// spellings parse.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"hacfs/internal/bitset"
+)
+
+// Node is a parsed query expression.
+type Node interface {
+	// String renders the node in canonical re-parseable form.
+	String() string
+}
+
+// And matches documents matched by both operands.
+type And struct{ L, R Node }
+
+// Or matches documents matched by either operand.
+type Or struct{ L, R Node }
+
+// Not matches documents in the universe not matched by the operand.
+type Not struct{ X Node }
+
+// Term matches documents containing the (normalized) word.
+type Term struct{ Text string }
+
+// Prefix matches documents containing any word with the given prefix.
+type Prefix struct{ Text string }
+
+// Fuzzy matches documents containing any word within edit distance 1
+// of the text — Glimpse's approximate matching, spelled "~word".
+type Fuzzy struct{ Text string }
+
+// DirRef evaluates to the current link set of another directory. After
+// binding, UID is non-zero and is what gets serialized; before binding
+// only Path is set.
+type DirRef struct {
+	Path string // as written by the user ("" once bound and re-parsed)
+	UID  uint64 // stable directory identity (0 until bound)
+}
+
+func (n *And) String() string { return "(" + n.L.String() + " AND " + n.R.String() + ")" }
+func (n *Or) String() string  { return "(" + n.L.String() + " OR " + n.R.String() + ")" }
+func (n *Not) String() string { return "(NOT " + n.X.String() + ")" }
+func (n *Term) String() string {
+	return n.Text
+}
+func (n *Prefix) String() string { return n.Text + "*" }
+func (n *Fuzzy) String() string  { return "~" + n.Text }
+func (n *DirRef) String() string {
+	if n.UID != 0 {
+		return fmt.Sprintf("dir:#%d", n.UID)
+	}
+	return "dir:" + quoteIfNeeded(n.Path)
+}
+
+func quoteIfNeeded(p string) string {
+	if strings.ContainsAny(p, " \t()&|!\"") {
+		return `"` + p + `"`
+	}
+	return p
+}
+
+// Refs returns pointers to every DirRef in the expression, in
+// left-to-right order. Callers may mutate them (HAC uses this to bind
+// paths to UIDs).
+func Refs(n Node) []*DirRef {
+	var out []*DirRef
+	var visit func(Node)
+	visit = func(n Node) {
+		switch x := n.(type) {
+		case *And:
+			visit(x.L)
+			visit(x.R)
+		case *Or:
+			visit(x.L)
+			visit(x.R)
+		case *Not:
+			visit(x.X)
+		case *DirRef:
+			out = append(out, x)
+		}
+	}
+	visit(n)
+	return out
+}
+
+// Terms returns the distinct Term texts in the expression, in
+// left-to-right first-occurrence order.
+func Terms(n Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	var visit func(Node)
+	visit = func(n Node) {
+		switch x := n.(type) {
+		case *And:
+			visit(x.L)
+			visit(x.R)
+		case *Or:
+			visit(x.L)
+			visit(x.R)
+		case *Not:
+			visit(x.X)
+		case *Term:
+			if !seen[x.Text] {
+				seen[x.Text] = true
+				out = append(out, x.Text)
+			}
+		}
+	}
+	visit(n)
+	return out
+}
+
+// Env supplies the primitive result sets a query evaluates over. It is
+// the interface between the query language and the CBA mechanism —
+// the paper's "simple, well defined API" between HAC and Glimpse.
+type Env interface {
+	// Term returns the documents containing the word.
+	Term(word string) (*bitset.Bitmap, error)
+	// Prefix returns the documents containing any word with the prefix.
+	Prefix(prefix string) (*bitset.Bitmap, error)
+	// Fuzzy returns the documents containing any word within edit
+	// distance 1 of the word (approximate matching).
+	Fuzzy(word string) (*bitset.Bitmap, error)
+	// DirRef returns the current link set of the referenced directory.
+	DirRef(ref *DirRef) (*bitset.Bitmap, error)
+	// Universe returns all documents in scope, the complement base for
+	// NOT.
+	Universe() (*bitset.Bitmap, error)
+}
+
+// Eval evaluates the expression against env. The result is owned by
+// the caller.
+func Eval(n Node, env Env) (*bitset.Bitmap, error) {
+	switch x := n.(type) {
+	case *And:
+		l, err := Eval(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		if !l.Any() { // short-circuit: ∅ AND r = ∅
+			return l, nil
+		}
+		r, err := Eval(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		l.And(r)
+		return l, nil
+	case *Or:
+		l, err := Eval(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		l.Or(r)
+		return l, nil
+	case *Not:
+		u, err := env.Universe()
+		if err != nil {
+			return nil, err
+		}
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		u.AndNot(v)
+		return u, nil
+	case *Term:
+		return env.Term(x.Text)
+	case *Prefix:
+		return env.Prefix(x.Text)
+	case *Fuzzy:
+		return env.Fuzzy(x.Text)
+	case *DirRef:
+		return env.DirRef(x)
+	default:
+		return nil, fmt.Errorf("query: unknown node type %T", n)
+	}
+}

@@ -1,0 +1,34 @@
+package query
+
+import "testing"
+
+func BenchmarkParseSimple(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("fingerprint AND NOT murder"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseComplex(b *testing.B) {
+	const q = `(apple OR banana) AND NOT (cherry AND dir:/some/path) OR ch* AND ~fuzzy`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	env := testEnv()
+	n := MustParse("(apple OR cherry) AND NOT banana")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(n, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

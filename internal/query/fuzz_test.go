@@ -1,0 +1,50 @@
+package query
+
+import (
+	"testing"
+
+	"hacfs/internal/bitset"
+)
+
+// fuzzEnv answers every primitive with a fixed small set so Eval can
+// run on arbitrary parsed input.
+type fuzzEnv struct{}
+
+func (fuzzEnv) Term(string) (*bitset.Bitmap, error)    { return bitset.BitmapOf(1, 2), nil }
+func (fuzzEnv) Prefix(string) (*bitset.Bitmap, error)  { return bitset.BitmapOf(2, 3), nil }
+func (fuzzEnv) Fuzzy(string) (*bitset.Bitmap, error)   { return bitset.BitmapOf(3), nil }
+func (fuzzEnv) Universe() (*bitset.Bitmap, error)      { return bitset.BitmapOf(1, 2, 3, 4), nil }
+func (fuzzEnv) DirRef(*DirRef) (*bitset.Bitmap, error) { return bitset.BitmapOf(4), nil }
+
+// FuzzParse checks three total properties of the parser on arbitrary
+// input: it never panics; accepted input re-parses from its canonical
+// String form to the same canonical form; and Eval of accepted input
+// never panics.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"", "apple", "apple AND banana", "a OR (b AND NOT c)",
+		"ch* ~fuzzy dir:/x dir:#12", `dir:"/with space"`, "((((", "a )",
+		"NOT NOT NOT x", "!a|b&c", "~", "*", "dir:", "a\x00b", "AND",
+		"dir:#99999999999999999999", "\"quoted\"", "~x* AND y",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		n, err := Parse(input)
+		if err != nil {
+			return
+		}
+		canon := n.String()
+		n2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", canon, input, err)
+		}
+		if n2.String() != canon {
+			t.Fatalf("canonical form unstable: %q → %q", canon, n2.String())
+		}
+		if _, err := Eval(n, fuzzEnv{}); err != nil {
+			t.Fatalf("Eval of accepted query %q failed: %v", canon, err)
+		}
+	})
+}

@@ -1,0 +1,307 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrEmpty is returned by Parse for queries with no expression.
+var ErrEmpty = errors.New("query: empty expression")
+
+// SyntaxError describes a parse failure with its byte offset in the
+// input.
+type SyntaxError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("query: %s at offset %d in %q", e.Msg, e.Pos, e.Input)
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokLParen
+	tokRParen
+	tokAnd
+	tokOr
+	tokNot
+	tokTerm
+	tokPrefix
+	tokFuzzy
+	tokDirPath
+	tokDirUID
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+func isSpecial(b byte) bool {
+	switch b {
+	case '(', ')', '&', '|', '!', '"', ' ', '\t', '\n', '\r':
+		return true
+	}
+	return false
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.in) {
+		switch b := lx.in[lx.pos]; b {
+		case ' ', '\t', '\n', '\r':
+			lx.pos++
+			continue
+		case '(':
+			lx.pos++
+			return token{tokLParen, "(", lx.pos - 1}, nil
+		case ')':
+			lx.pos++
+			return token{tokRParen, ")", lx.pos - 1}, nil
+		case '&':
+			lx.pos++
+			return token{tokAnd, "&", lx.pos - 1}, nil
+		case '|':
+			lx.pos++
+			return token{tokOr, "|", lx.pos - 1}, nil
+		case '!':
+			lx.pos++
+			return token{tokNot, "!", lx.pos - 1}, nil
+		case '"':
+			return token{}, &SyntaxError{lx.in, lx.pos, "unexpected quote outside dir:"}
+		default:
+			return lx.word()
+		}
+	}
+	return token{tokEOF, "", lx.pos}, nil
+}
+
+// word lexes a bare word, a keyword, a prefix term, or a dir: reference.
+func (lx *lexer) word() (token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.in) && !isSpecial(lx.in[lx.pos]) {
+		lx.pos++
+	}
+	w := lx.in[start:lx.pos]
+
+	// dir: references may continue with a quoted path (spaces allowed).
+	if strings.HasPrefix(strings.ToLower(w), "dir:") {
+		rest := w[4:]
+		if rest == "" && lx.pos < len(lx.in) && lx.in[lx.pos] == '"' {
+			lx.pos++ // consume opening quote
+			qstart := lx.pos
+			for lx.pos < len(lx.in) && lx.in[lx.pos] != '"' {
+				lx.pos++
+			}
+			if lx.pos >= len(lx.in) {
+				return token{}, &SyntaxError{lx.in, start, "unterminated quoted path"}
+			}
+			rest = lx.in[qstart:lx.pos]
+			lx.pos++ // consume closing quote
+		}
+		if rest == "" {
+			return token{}, &SyntaxError{lx.in, start, "dir: requires a path or #uid"}
+		}
+		if rest[0] == '#' {
+			uid, err := strconv.ParseUint(rest[1:], 10, 64)
+			if err != nil {
+				return token{}, &SyntaxError{lx.in, start, "malformed dir:#uid"}
+			}
+			if uid == 0 {
+				// UID 0 is the reserved "unbound" value and never names
+				// a directory.
+				return token{}, &SyntaxError{lx.in, start, "dir:#0 is not a valid directory id"}
+			}
+			return token{tokDirUID, rest[1:], start}, nil
+		}
+		return token{tokDirPath, rest, start}, nil
+	}
+
+	switch strings.ToUpper(w) {
+	case "AND":
+		return token{tokAnd, w, start}, nil
+	case "OR":
+		return token{tokOr, w, start}, nil
+	case "NOT":
+		return token{tokNot, w, start}, nil
+	}
+	if strings.HasPrefix(w, "~") {
+		f := strings.TrimLeft(w, "~")
+		if f == "" {
+			return token{}, &SyntaxError{lx.in, start, "bare ~ is not a term"}
+		}
+		return token{tokFuzzy, strings.ToLower(f), start}, nil
+	}
+	if strings.HasSuffix(w, "*") {
+		p := strings.TrimRight(w, "*")
+		if p == "" {
+			return token{}, &SyntaxError{lx.in, start, "bare * is not a term"}
+		}
+		return token{tokPrefix, strings.ToLower(p), start}, nil
+	}
+	return token{tokTerm, strings.ToLower(w), start}, nil
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+	in  string
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) fail(msg string) error {
+	return &SyntaxError{p.in, p.tok.pos, msg}
+}
+
+// Parse parses a query expression. It returns ErrEmpty for blank input.
+func Parse(input string) (Node, error) {
+	p := &parser{lx: &lexer{in: input}, in: input}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokEOF {
+		return nil, ErrEmpty
+	}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.fail("unexpected trailing input")
+	}
+	return n, nil
+}
+
+// MustParse is Parse for tests and examples with known-good queries.
+func MustParse(input string) Node {
+	n, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokAnd:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokNot, tokLParen, tokTerm, tokPrefix, tokFuzzy, tokDirPath, tokDirUID:
+			// adjacency is implicit AND
+		default:
+			return l, nil
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &And{L: l, R: r}
+	}
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.tok.kind == tokNot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	switch t := p.tok; t.kind {
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.fail("missing )")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tokTerm:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Term{Text: t.text}, nil
+	case tokPrefix:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Prefix{Text: t.text}, nil
+	case tokFuzzy:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Fuzzy{Text: t.text}, nil
+	case tokDirPath:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &DirRef{Path: t.text}, nil
+	case tokDirUID:
+		uid, _ := strconv.ParseUint(t.text, 10, 64)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &DirRef{UID: uid}, nil
+	case tokEOF:
+		return nil, p.fail("unexpected end of query")
+	default:
+		return nil, p.fail("unexpected token " + t.text)
+	}
+}

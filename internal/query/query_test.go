@@ -1,0 +1,338 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hacfs/internal/bitset"
+)
+
+// mapEnv is a test Env backed by literal sets.
+type mapEnv struct {
+	terms    map[string][]uint32
+	dirs     map[uint64][]uint32
+	universe []uint32
+}
+
+func (e *mapEnv) Term(w string) (*bitset.Bitmap, error) {
+	return bitset.BitmapOf(e.terms[w]...), nil
+}
+
+func (e *mapEnv) Prefix(p string) (*bitset.Bitmap, error) {
+	out := bitset.NewBitmap(0)
+	for w, ids := range e.terms {
+		if strings.HasPrefix(w, p) {
+			out.Or(bitset.BitmapOf(ids...))
+		}
+	}
+	return out, nil
+}
+
+func (e *mapEnv) Fuzzy(w string) (*bitset.Bitmap, error) {
+	out := bitset.NewBitmap(0)
+	for t, ids := range e.terms {
+		if t == w || oneOff(t, w) {
+			out.Or(bitset.BitmapOf(ids...))
+		}
+	}
+	return out, nil
+}
+
+// oneOff is a simple same-length substitution check for the test env.
+func oneOff(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	return diff == 1
+}
+
+func (e *mapEnv) DirRef(r *DirRef) (*bitset.Bitmap, error) {
+	ids, ok := e.dirs[r.UID]
+	if !ok {
+		return nil, fmt.Errorf("no directory #%d", r.UID)
+	}
+	return bitset.BitmapOf(ids...), nil
+}
+
+func (e *mapEnv) Universe() (*bitset.Bitmap, error) {
+	return bitset.BitmapOf(e.universe...), nil
+}
+
+func testEnv() *mapEnv {
+	return &mapEnv{
+		terms: map[string][]uint32{
+			"apple":  {1, 2, 3},
+			"banana": {2, 3, 4},
+			"cherry": {3, 5},
+			"chess":  {6},
+		},
+		dirs:     map[uint64][]uint32{7: {1, 5}},
+		universe: []uint32{1, 2, 3, 4, 5, 6},
+	}
+}
+
+func evalStr(t *testing.T, q string) []uint32 {
+	t.Helper()
+	n, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	bm, err := Eval(n, testEnv())
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", q, err)
+	}
+	return bm.Slice()
+}
+
+func ids(xs ...uint32) []uint32 { return xs }
+
+func equal(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEvalBasics(t *testing.T) {
+	cases := []struct {
+		q    string
+		want []uint32
+	}{
+		{"apple", ids(1, 2, 3)},
+		{"apple AND banana", ids(2, 3)},
+		{"apple banana", ids(2, 3)}, // adjacency is AND
+		{"apple & banana", ids(2, 3)},
+		{"apple OR cherry", ids(1, 2, 3, 5)},
+		{"apple | cherry", ids(1, 2, 3, 5)},
+		{"NOT apple", ids(4, 5, 6)},
+		{"!apple", ids(4, 5, 6)},
+		{"apple AND NOT banana", ids(1)},
+		{"(apple OR cherry) AND banana", ids(2, 3)},
+		{"apple OR banana AND cherry", ids(1, 2, 3)}, // AND binds tighter
+		{"ch*", ids(3, 5, 6)},
+		{"dir:#7", ids(1, 5)},
+		{"dir:#7 AND cherry", ids(5)},
+		{"NOT NOT apple", ids(1, 2, 3)},
+		{"missing", nil},
+		{"APPLE", ids(1, 2, 3)}, // terms are case-folded
+		{"apple and banana", ids(2, 3)},
+		{"~apble", ids(1, 2, 3)}, // fuzzy: one substitution from apple
+		{"~chess", ids(6)},       // fuzzy: exact term also matches
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.q); !equal(got, c.want) {
+			t.Errorf("Eval(%q) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"(apple",
+		"apple)",
+		"AND apple",
+		"apple AND",
+		"apple OR",
+		"NOT",
+		"*",
+		"dir:",
+		`dir:"unterminated`,
+		"dir:#notanumber",
+		`"quoted"`,
+	}
+	for _, q := range bad {
+		_, err := Parse(q)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+			continue
+		}
+		if q == "" || strings.TrimSpace(q) == "" {
+			if !errors.Is(err, ErrEmpty) {
+				t.Errorf("Parse(%q) err = %v, want ErrEmpty", q, err)
+			}
+			continue
+		}
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Errorf("Parse(%q) err %T, want *SyntaxError", q, err)
+		}
+	}
+}
+
+func TestDirRefForms(t *testing.T) {
+	n, err := Parse(`dir:/projects/fingerprint`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := Refs(n)
+	if len(refs) != 1 || refs[0].Path != "/projects/fingerprint" || refs[0].UID != 0 {
+		t.Fatalf("refs = %+v", refs)
+	}
+	n, err = Parse(`dir:"/with spaces/dir"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs := Refs(n); refs[0].Path != "/with spaces/dir" {
+		t.Fatalf("quoted path = %q", refs[0].Path)
+	}
+	n, err = Parse("dir:#42 AND apple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs := Refs(n); len(refs) != 1 || refs[0].UID != 42 {
+		t.Fatalf("uid refs = %+v", refs)
+	}
+}
+
+func TestRefsMutation(t *testing.T) {
+	n := MustParse("dir:/a AND (dir:/b OR apple)")
+	refs := Refs(n)
+	if len(refs) != 2 {
+		t.Fatalf("len(refs) = %d", len(refs))
+	}
+	refs[0].UID = 10
+	refs[1].UID = 20
+	s := n.String()
+	if !strings.Contains(s, "dir:#10") || !strings.Contains(s, "dir:#20") {
+		t.Fatalf("bound query = %q", s)
+	}
+}
+
+func TestTerms(t *testing.T) {
+	n := MustParse("apple AND (banana OR apple) AND NOT cherry")
+	got := Terms(n)
+	want := []string{"apple", "banana", "cherry"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"apple",
+		"apple AND banana",
+		"apple OR (banana AND NOT cherry)",
+		"ch* AND dir:#9",
+		"NOT (apple OR banana)",
+		"dir:/some/path AND apple",
+	}
+	for _, q := range queries {
+		n1 := MustParse(q)
+		s := n1.String()
+		n2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", s, q, err)
+		}
+		if n2.String() != s {
+			t.Fatalf("round trip unstable: %q → %q", s, n2.String())
+		}
+	}
+}
+
+func TestEvalUnboundDirRefErrors(t *testing.T) {
+	n := MustParse("dir:#999")
+	if _, err := Eval(n, testEnv()); err == nil {
+		t.Fatal("Eval of unknown dir ref succeeded")
+	}
+}
+
+// Property: parsing never panics and either errors or yields a
+// re-parseable string.
+func TestPropertyParseTotal(t *testing.T) {
+	f := func(s string) bool {
+		n, err := Parse(s)
+		if err != nil {
+			return true
+		}
+		_, err = Parse(n.String())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan's law holds under Eval for random term pairs.
+func TestPropertyEvalDeMorgan(t *testing.T) {
+	env := testEnv()
+	words := []string{"apple", "banana", "cherry", "chess", "missing"}
+	f := func(ai, bi uint8) bool {
+		a, b := words[int(ai)%len(words)], words[int(bi)%len(words)]
+		lhs, err := Eval(MustParse(fmt.Sprintf("NOT (%s OR %s)", a, b)), env)
+		if err != nil {
+			return false
+		}
+		rhs, err := Eval(MustParse(fmt.Sprintf("(NOT %s) AND (NOT %s)", a, b)), env)
+		if err != nil {
+			return false
+		}
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AND is commutative and OR distributes over AND.
+func TestPropertyBooleanAlgebra(t *testing.T) {
+	env := testEnv()
+	words := []string{"apple", "banana", "cherry", "chess"}
+	f := func(ai, bi, ci uint8) bool {
+		a := words[int(ai)%len(words)]
+		b := words[int(bi)%len(words)]
+		c := words[int(ci)%len(words)]
+		and1, _ := Eval(MustParse(a+" AND "+b), env)
+		and2, _ := Eval(MustParse(b+" AND "+a), env)
+		if !and1.Equal(and2) {
+			return false
+		}
+		lhs, _ := Eval(MustParse(fmt.Sprintf("%s OR (%s AND %s)", a, b, c)), env)
+		rhs, _ := Eval(MustParse(fmt.Sprintf("(%s OR %s) AND (%s OR %s)", a, b, a, c)), env)
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzyParsing(t *testing.T) {
+	n := MustParse("~apple AND banana")
+	if n.String() != "(~apple AND banana)" {
+		t.Fatalf("String = %q", n.String())
+	}
+	if _, err := Parse("~"); err == nil {
+		t.Fatal("bare ~ accepted")
+	}
+	// Round trip.
+	n2, err := Parse(n.String())
+	if err != nil || n2.String() != n.String() {
+		t.Fatalf("round trip: %v, %q", err, n2)
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("apple AND (")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(se.Error(), "offset") {
+		t.Fatalf("Error() = %q", se.Error())
+	}
+}

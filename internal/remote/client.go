@@ -1,0 +1,201 @@
+package remote
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client talks the remote CBA protocol and implements hac.Namespace, so
+// a remote server can be semantically mounted into a local HAC volume.
+// A single connection is maintained and re-dialed on failure; the
+// client is safe for concurrent use (requests are serialized).
+type Client struct {
+	name    string
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial creates a client for the server at addr. name becomes the
+// namespace name inside the HAC volume. No connection is made until the
+// first request.
+func Dial(name, addr string) *Client {
+	return &Client{name: name, addr: addr, timeout: 10 * time.Second}
+}
+
+// SetTimeout changes the per-request deadline.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// Name returns the namespace name.
+func (c *Client) Name() string { return c.name }
+
+// Close tears down the connection; later requests re-dial.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropLocked()
+}
+
+func (c *Client) dropLocked() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.r, c.w = nil, nil, nil
+	return err
+}
+
+func (c *Client) ensureLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("remote: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.w = bufio.NewWriter(conn)
+	return nil
+}
+
+// roundTrip sends one request line and returns the first reply line.
+// On transport errors the connection is dropped and the request retried
+// once on a fresh connection.
+func (c *Client) roundTrip(parts ...string) (string, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := c.ensureLocked(); err != nil {
+			return "", err
+		}
+		if c.timeout > 0 {
+			c.conn.SetDeadline(time.Now().Add(c.timeout))
+		}
+		if err := writeLine(c.w, parts...); err == nil {
+			if err = c.w.Flush(); err == nil {
+				line, err := readLine(c.r)
+				if err == nil {
+					return line, nil
+				}
+				lastErr = err
+			} else {
+				lastErr = err
+			}
+		} else {
+			lastErr = err
+		}
+		c.dropLocked()
+	}
+	return "", fmt.Errorf("remote: %s: %w", c.addr, lastErr)
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	line, err := c.roundTrip(verbPing)
+	if err != nil {
+		return err
+	}
+	if line != replyPong {
+		return fmt.Errorf("remote: unexpected ping reply %q", line)
+	}
+	return nil
+}
+
+// Search evaluates a query on the remote system and returns matching
+// remote paths.
+func (c *Client) Search(q string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	line, err := c.roundTrip(verbSearch, quote(q))
+	if err != nil {
+		return nil, err
+	}
+	verb, arg := splitVerb(line)
+	switch verb {
+	case replyOK:
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 {
+			c.dropLocked()
+			return nil, fmt.Errorf("remote: malformed result count %q", arg)
+		}
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			pl, err := readLine(c.r)
+			if err != nil {
+				c.dropLocked()
+				return nil, err
+			}
+			p, err := unquote(pl)
+			if err != nil {
+				c.dropLocked()
+				return nil, fmt.Errorf("remote: malformed result line %q", pl)
+			}
+			out = append(out, p)
+		}
+		return out, nil
+	case replyErr:
+		msg, _ := unquote(arg)
+		return nil, errors.New("remote: server: " + msg)
+	default:
+		c.dropLocked()
+		return nil, fmt.Errorf("remote: unexpected reply %q", line)
+	}
+}
+
+// Fetch retrieves one remote document.
+func (c *Client) Fetch(path string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	line, err := c.roundTrip(verbFetch, quote(path))
+	if err != nil {
+		return nil, err
+	}
+	verb, arg := splitVerb(line)
+	switch verb {
+	case replyData:
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 || n > maxFetch {
+			c.dropLocked()
+			return nil, fmt.Errorf("remote: malformed data length %q", arg)
+		}
+		buf := make([]byte, n)
+		if _, err := readFull(c.r, buf); err != nil {
+			c.dropLocked()
+			return nil, err
+		}
+		return buf, nil
+	case replyErr:
+		msg, _ := unquote(arg)
+		return nil, errors.New("remote: server: " + msg)
+	default:
+		c.dropLocked()
+		return nil, fmt.Errorf("remote: unexpected reply %q", line)
+	}
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,84 @@
+// Package remote implements a network protocol for content-based
+// access, so a HAC volume can semantically mount query systems running
+// elsewhere (§3 of the paper). The server side exposes an index over a
+// document tree; the client side implements hac.Namespace.
+//
+// The wire protocol is a line-oriented text protocol over TCP:
+//
+//	C: SEARCH <quoted-query>\n        S: OK <n>\n  then n path lines
+//	C: FETCH <quoted-path>\n          S: DATA <len>\n then len bytes
+//	C: PING\n                         S: PONG\n
+//	any error                         S: ERR <quoted-message>\n
+//
+// Strings are Go-quoted (strconv.Quote) so queries and paths may
+// contain spaces safely.
+package remote
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Protocol verbs.
+const (
+	verbSearch = "SEARCH"
+	verbFetch  = "FETCH"
+	verbPing   = "PING"
+
+	replyOK   = "OK"
+	replyData = "DATA"
+	replyErr  = "ERR"
+	replyPong = "PONG"
+)
+
+// maxLine bounds a single protocol line; longer lines are rejected.
+const maxLine = 64 * 1024
+
+// maxFetch bounds a FETCH response body.
+const maxFetch = 16 << 20
+
+// writeLine writes one protocol line.
+func writeLine(w io.Writer, parts ...string) error {
+	_, err := io.WriteString(w, strings.Join(parts, " ")+"\n")
+	return err
+}
+
+// readLine reads one protocol line, enforcing the length bound
+// incrementally so an unterminated line cannot consume unbounded
+// memory.
+func readLine(r *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		chunk, err := r.ReadSlice('\n')
+		sb.Write(chunk)
+		if sb.Len() > maxLine {
+			return "", fmt.Errorf("remote: protocol line exceeds %d bytes", maxLine)
+		}
+		switch err {
+		case nil:
+			return strings.TrimRight(sb.String(), "\r\n"), nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return "", err
+		}
+	}
+}
+
+// splitVerb separates the verb from its argument.
+func splitVerb(line string) (verb, arg string) {
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return line, ""
+	}
+	return line[:i], line[i+1:]
+}
+
+// quote encodes an argument for the wire.
+func quote(s string) string { return strconv.Quote(s) }
+
+// unquote decodes a wire argument.
+func unquote(s string) (string, error) { return strconv.Unquote(s) }

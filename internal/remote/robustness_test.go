@@ -1,0 +1,90 @@
+package remote
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rawConn opens a raw TCP connection to the test server.
+func rawConn(t *testing.T) net.Conn {
+	t.Helper()
+	c, _ := startServer(t)
+	if err := c.Ping(); err != nil { // ensures the server is up
+		t.Fatal(err)
+	}
+	addr := c.addr
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	return conn
+}
+
+func TestServerSurvivesGarbage(t *testing.T) {
+	conn := rawConn(t)
+	if _, err := conn.Write([]byte("\x00\xff\x13garbage\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		// Dropping the connection is acceptable; crashing is not, and
+		// the next test would catch a dead server.
+		return
+	}
+	if !strings.HasPrefix(line, "ERR") {
+		t.Fatalf("garbage reply = %q, want ERR", line)
+	}
+	// The protocol keeps working on the same connection after an error.
+	if _, err := conn.Write([]byte("PING\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err = r.ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "PONG" {
+		t.Fatalf("ping after garbage = %q, %v", line, err)
+	}
+}
+
+func TestServerRejectsMalformedArgs(t *testing.T) {
+	conn := rawConn(t)
+	r := bufio.NewReader(conn)
+	for _, bad := range []string{
+		"SEARCH notquoted\n",
+		"FETCH \"unterminated\n",
+		"SEARCH\n",
+	} {
+		if _, err := conn.Write([]byte(bad)); err != nil {
+			t.Fatal(err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("server dropped connection on %q: %v", bad, err)
+		}
+		if !strings.HasPrefix(line, "ERR") {
+			t.Fatalf("reply to %q = %q, want ERR", bad, line)
+		}
+	}
+}
+
+func TestServerBoundsLineLength(t *testing.T) {
+	conn := rawConn(t)
+	// A line above maxLine must not be buffered indefinitely; the server
+	// either errors or drops the connection without consuming unbounded
+	// memory. Send maxLine+2 bytes.
+	big := make([]byte, maxLine+2)
+	for i := range big {
+		big[i] = 'a'
+	}
+	big[len(big)-1] = '\n'
+	if _, err := conn.Write(big); err != nil {
+		return // connection refused mid-write: fine
+	}
+	r := bufio.NewReader(conn)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, _ = r.ReadString('\n') // any outcome but a hang is acceptable
+}

@@ -1,0 +1,228 @@
+package remote
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+
+	"hacfs/internal/bitset"
+	"hacfs/internal/index"
+	"hacfs/internal/query"
+	"hacfs/internal/vfs"
+)
+
+// Backend answers the two remote operations. IndexBackend is the
+// standard implementation; tests may supply others.
+type Backend interface {
+	Search(q string) ([]string, error)
+	Fetch(path string) ([]byte, error)
+}
+
+// IndexBackend serves searches from an index over a file system tree —
+// a remote Glimpse, in the paper's terms.
+type IndexBackend struct {
+	ix   *index.Index
+	fsys vfs.FileSystem
+}
+
+// NewIndexBackend indexes the tree at root in fsys and serves it.
+func NewIndexBackend(fsys vfs.FileSystem, root string) (*IndexBackend, error) {
+	b := &IndexBackend{ix: index.New(), fsys: fsys}
+	if _, _, _, err := b.ix.SyncTree(fsys, root); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Index exposes the backend's index, e.g. for stats.
+func (b *IndexBackend) Index() *index.Index { return b.ix }
+
+// Search evaluates a query over the backend's index. Directory
+// references have no meaning in a remote namespace and match nothing.
+func (b *IndexBackend) Search(q string) ([]string, error) {
+	ast, err := query.Parse(q)
+	if err != nil {
+		if errors.Is(err, query.ErrEmpty) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	bm, err := query.Eval(ast, &backendEnv{b.ix})
+	if err != nil {
+		return nil, err
+	}
+	return b.ix.Paths(bm), nil
+}
+
+// Fetch reads one document.
+func (b *IndexBackend) Fetch(path string) ([]byte, error) {
+	return b.fsys.ReadFile(path)
+}
+
+// backendEnv evaluates query primitives over a bare index.
+type backendEnv struct{ ix *index.Index }
+
+func (e *backendEnv) Term(w string) (*bitset.Bitmap, error)   { return e.ix.Lookup(w), nil }
+func (e *backendEnv) Prefix(p string) (*bitset.Bitmap, error) { return e.ix.LookupPrefix(p), nil }
+func (e *backendEnv) Fuzzy(w string) (*bitset.Bitmap, error)  { return e.ix.LookupFuzzy(w), nil }
+func (e *backendEnv) Universe() (*bitset.Bitmap, error)       { return e.ix.AllDocs(), nil }
+func (e *backendEnv) DirRef(*query.DirRef) (*bitset.Bitmap, error) {
+	// No local directories exist here; the reference selects nothing.
+	return bitset.NewBitmap(0), nil
+}
+
+// Server accepts protocol connections and answers them from a Backend.
+type Server struct {
+	backend Backend
+	logger  *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server for the given backend. logger may be nil
+// to disable logging.
+func NewServer(backend Backend, logger *log.Logger) *Server {
+	return &Server{
+		backend: backend,
+		logger:  logger,
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on l until Close is called. It always
+// returns a non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves. It returns the bound
+// address on a channel-free API by blocking; use Listen + Serve to
+// learn the port first.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Close stops accepting and closes all live connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// serveConn handles one client connection until EOF or error.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		if err := s.handle(w, line); err != nil {
+			s.logf("remote: %v", err)
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(w *bufio.Writer, line string) error {
+	verb, arg := splitVerb(line)
+	switch verb {
+	case verbPing:
+		return writeLine(w, replyPong)
+	case verbSearch:
+		q, err := unquote(arg)
+		if err != nil {
+			return writeLine(w, replyErr, quote("malformed query argument"))
+		}
+		results, err := s.backend.Search(q)
+		if err != nil {
+			return writeLine(w, replyErr, quote(err.Error()))
+		}
+		if err := writeLine(w, replyOK, strconv.Itoa(len(results))); err != nil {
+			return err
+		}
+		for _, p := range results {
+			if err := writeLine(w, quote(p)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case verbFetch:
+		p, err := unquote(arg)
+		if err != nil {
+			return writeLine(w, replyErr, quote("malformed path argument"))
+		}
+		data, err := s.backend.Fetch(p)
+		if err != nil {
+			return writeLine(w, replyErr, quote(err.Error()))
+		}
+		if len(data) > maxFetch {
+			return writeLine(w, replyErr, quote("document too large"))
+		}
+		if err := writeLine(w, replyData, strconv.Itoa(len(data))); err != nil {
+			return err
+		}
+		_, err = w.Write(data)
+		return err
+	default:
+		return writeLine(w, replyErr, quote(fmt.Sprintf("unknown verb %q", verb)))
+	}
+}

@@ -1,0 +1,310 @@
+package remotefs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"hacfs/internal/vfs"
+)
+
+// Client is a vfs.FileSystem backed by a remote Server. All local
+// layers compose over it: it can be mounted syntactically into a
+// MemFS, or serve as the substrate of a local HAC volume.
+//
+// One connection carries all requests; the client serializes them, so
+// it is safe for concurrent use.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+var _ vfs.FileSystem = (*Client)(nil)
+
+// Dial creates a client for the server at addr. The connection is
+// established lazily.
+func Dial(addr string) *Client {
+	return &Client{addr: addr, timeout: 10 * time.Second}
+}
+
+// SetTimeout changes the per-request deadline.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// Close drops the connection; later requests re-dial.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropLocked()
+}
+
+func (c *Client) dropLocked() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.enc, c.dec = nil, nil, nil
+	return err
+}
+
+func (c *Client) ensureLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("remotefs: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// call performs one round trip, retrying once on a fresh connection
+// after transport errors. Requests carrying open handles are not
+// retried (the handle died with the connection).
+func (c *Client) call(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	attempts := 2
+	if req.Handle != 0 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := c.ensureLocked(); err != nil {
+			return nil, err
+		}
+		if c.timeout > 0 {
+			c.conn.SetDeadline(time.Now().Add(c.timeout))
+		}
+		if err := c.enc.Encode(req); err != nil {
+			lastErr = err
+			c.dropLocked()
+			continue
+		}
+		var resp response
+		if err := c.dec.Decode(&resp); err != nil {
+			lastErr = err
+			c.dropLocked()
+			continue
+		}
+		return &resp, nil
+	}
+	return nil, fmt.Errorf("remotefs: %s: %w", c.addr, lastErr)
+}
+
+// do is call for operations whose only interesting result is an error.
+func (c *Client) do(req *request) error {
+	resp, err := c.call(req)
+	if err != nil {
+		return err
+	}
+	return resp.Err.decode()
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error { return c.do(&request{Op: opPing}) }
+
+// Mkdir creates a directory on the remote volume.
+func (c *Client) Mkdir(path string) error {
+	return c.do(&request{Op: opMkdir, Path: path})
+}
+
+// MkdirAll creates a directory and missing parents.
+func (c *Client) MkdirAll(path string) error {
+	return c.do(&request{Op: opMkdirAll, Path: path})
+}
+
+// Create creates or truncates a remote file.
+func (c *Client) Create(path string) (vfs.File, error) {
+	return c.OpenFile(path, vfs.ORead|vfs.OWrite|vfs.OCreate|vfs.OTrunc)
+}
+
+// Open opens a remote file for reading.
+func (c *Client) Open(path string) (vfs.File, error) {
+	return c.OpenFile(path, vfs.ORead)
+}
+
+// OpenFile opens a remote file.
+func (c *Client) OpenFile(path string, flag int) (vfs.File, error) {
+	resp, err := c.call(&request{Op: opOpenFile, Path: path, Flag: flag})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err.decode(); err != nil {
+		return nil, err
+	}
+	return &remoteFile{c: c, handle: resp.Handle, name: path}, nil
+}
+
+// ReadFile reads a whole remote file.
+func (c *Client) ReadFile(path string) ([]byte, error) {
+	resp, err := c.call(&request{Op: opReadFile, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, resp.Err.decode()
+}
+
+// WriteFile writes a whole remote file.
+func (c *Client) WriteFile(path string, data []byte) error {
+	return c.do(&request{Op: opWriteFile, Path: path, Data: data})
+}
+
+// Symlink creates a remote symbolic link.
+func (c *Client) Symlink(target, link string) error {
+	return c.do(&request{Op: opSymlink, Path: link, Path2: target})
+}
+
+// Readlink reads a remote symbolic link.
+func (c *Client) Readlink(path string) (string, error) {
+	resp, err := c.call(&request{Op: opReadlink, Path: path})
+	if err != nil {
+		return "", err
+	}
+	return resp.Str, resp.Err.decode()
+}
+
+// Remove deletes one remote object.
+func (c *Client) Remove(path string) error {
+	return c.do(&request{Op: opRemove, Path: path})
+}
+
+// RemoveAll deletes a remote subtree.
+func (c *Client) RemoveAll(path string) error {
+	return c.do(&request{Op: opRemoveAll, Path: path})
+}
+
+// Rename moves a remote object.
+func (c *Client) Rename(oldPath, newPath string) error {
+	return c.do(&request{Op: opRename, Path: oldPath, Path2: newPath})
+}
+
+// Stat returns remote metadata, following symlinks.
+func (c *Client) Stat(path string) (vfs.Info, error) {
+	resp, err := c.call(&request{Op: opStat, Path: path})
+	if err != nil {
+		return vfs.Info{}, err
+	}
+	return resp.Info, resp.Err.decode()
+}
+
+// Lstat returns remote metadata without following a final symlink.
+func (c *Client) Lstat(path string) (vfs.Info, error) {
+	resp, err := c.call(&request{Op: opLstat, Path: path})
+	if err != nil {
+		return vfs.Info{}, err
+	}
+	return resp.Info, resp.Err.decode()
+}
+
+// ReadDir lists a remote directory.
+func (c *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
+	resp, err := c.call(&request{Op: opReadDir, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, resp.Err.decode()
+}
+
+// remoteFile is an open handle on the server.
+type remoteFile struct {
+	c      *Client
+	handle uint64
+	name   string
+}
+
+var _ vfs.File = (*remoteFile)(nil)
+
+func (f *remoteFile) Name() string { return f.name }
+
+func (f *remoteFile) Read(p []byte) (int, error) {
+	resp, err := f.c.call(&request{Op: opFileRead, Handle: f.handle, N: len(p)})
+	if err != nil {
+		return 0, err
+	}
+	if err := resp.Err.decode(); err != nil {
+		return 0, err
+	}
+	n := copy(p, resp.Data)
+	if resp.EOF {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *remoteFile) ReadAt(p []byte, off int64) (int, error) {
+	resp, err := f.c.call(&request{Op: opFileReadAt, Handle: f.handle, N: len(p), Offset: off})
+	if err != nil {
+		return 0, err
+	}
+	if err := resp.Err.decode(); err != nil {
+		return 0, err
+	}
+	n := copy(p, resp.Data)
+	if resp.EOF {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *remoteFile) Write(p []byte) (int, error) {
+	resp, err := f.c.call(&request{Op: opFileWrite, Handle: f.handle, Data: p})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, resp.Err.decode()
+}
+
+func (f *remoteFile) WriteAt(p []byte, off int64) (int, error) {
+	resp, err := f.c.call(&request{Op: opFileWriteAt, Handle: f.handle, Data: p, Offset: off})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, resp.Err.decode()
+}
+
+func (f *remoteFile) Seek(offset int64, whence int) (int64, error) {
+	resp, err := f.c.call(&request{Op: opFileSeek, Handle: f.handle, Offset: offset, Whence: whence})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Off, resp.Err.decode()
+}
+
+func (f *remoteFile) Truncate(size int64) error {
+	resp, err := f.c.call(&request{Op: opFileTruncate, Handle: f.handle, Size: size})
+	if err != nil {
+		return err
+	}
+	return resp.Err.decode()
+}
+
+func (f *remoteFile) Stat() (vfs.Info, error) {
+	resp, err := f.c.call(&request{Op: opFileStat, Handle: f.handle})
+	if err != nil {
+		return vfs.Info{}, err
+	}
+	return resp.Info, resp.Err.decode()
+}
+
+func (f *remoteFile) Close() error {
+	resp, err := f.c.call(&request{Op: opFileClose, Handle: f.handle})
+	if err != nil {
+		return err
+	}
+	return resp.Err.decode()
+}

@@ -1,0 +1,230 @@
+package remotefs
+
+import (
+	"encoding/gob"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"hacfs/internal/vfs"
+)
+
+// Server exports one file system to any number of clients. Each client
+// connection is served by its own goroutine with its own open-handle
+// table; the wrapped file system provides whatever concurrency safety
+// it has (MemFS and hac.FS are both safe).
+type Server struct {
+	fsys   vfs.FileSystem
+	logger *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server exporting fsys. logger may be nil.
+func NewServer(fsys vfs.FileSystem, logger *log.Logger) *Server {
+	return &Server{fsys: fsys, logger: logger, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Close stops the server and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// session is one client connection's state.
+type session struct {
+	fsys       vfs.FileSystem
+	handles    map[uint64]vfs.File
+	nextHandle uint64
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sess := &session{fsys: s.fsys, handles: make(map[uint64]vfs.File)}
+	defer sess.closeAll()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF {
+				s.logf("remotefs: decode: %v", err)
+			}
+			return
+		}
+		resp := sess.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			s.logf("remotefs: encode: %v", err)
+			return
+		}
+	}
+}
+
+func (sess *session) closeAll() {
+	for _, f := range sess.handles {
+		f.Close()
+	}
+}
+
+// maxIO bounds one read/write payload.
+const maxIO = 16 << 20
+
+func (sess *session) handle(req *request) *response {
+	switch req.Op {
+	case opPing:
+		return &response{}
+	case opMkdir:
+		return &response{Err: encodeErr(sess.fsys.Mkdir(req.Path))}
+	case opMkdirAll:
+		return &response{Err: encodeErr(sess.fsys.MkdirAll(req.Path))}
+	case opOpenFile:
+		f, err := sess.fsys.OpenFile(req.Path, req.Flag)
+		if err != nil {
+			return &response{Err: encodeErr(err)}
+		}
+		sess.nextHandle++
+		sess.handles[sess.nextHandle] = f
+		return &response{Handle: sess.nextHandle}
+	case opReadFile:
+		data, err := sess.fsys.ReadFile(req.Path)
+		return &response{Data: data, Err: encodeErr(err)}
+	case opWriteFile:
+		return &response{Err: encodeErr(sess.fsys.WriteFile(req.Path, req.Data))}
+	case opSymlink:
+		return &response{Err: encodeErr(sess.fsys.Symlink(req.Path2, req.Path))}
+	case opReadlink:
+		str, err := sess.fsys.Readlink(req.Path)
+		return &response{Str: str, Err: encodeErr(err)}
+	case opRemove:
+		return &response{Err: encodeErr(sess.fsys.Remove(req.Path))}
+	case opRemoveAll:
+		return &response{Err: encodeErr(sess.fsys.RemoveAll(req.Path))}
+	case opRename:
+		return &response{Err: encodeErr(sess.fsys.Rename(req.Path, req.Path2))}
+	case opStat:
+		info, err := sess.fsys.Stat(req.Path)
+		return &response{Info: info, Err: encodeErr(err)}
+	case opLstat:
+		info, err := sess.fsys.Lstat(req.Path)
+		return &response{Info: info, Err: encodeErr(err)}
+	case opReadDir:
+		entries, err := sess.fsys.ReadDir(req.Path)
+		return &response{Entries: entries, Err: encodeErr(err)}
+	}
+
+	// Handle-based operations.
+	f, ok := sess.handles[req.Handle]
+	if !ok {
+		return &response{Err: &wireError{Kind: "Closed", Msg: "remotefs: unknown handle"}}
+	}
+	switch req.Op {
+	case opFileRead:
+		n := req.N
+		if n <= 0 || n > maxIO {
+			n = 64 << 10
+		}
+		buf := make([]byte, n)
+		rn, err := f.Read(buf)
+		resp := &response{Data: buf[:rn], N: rn}
+		if err == io.EOF {
+			resp.EOF = true
+		} else if err != nil {
+			resp.Err = encodeErr(err)
+		}
+		return resp
+	case opFileReadAt:
+		n := req.N
+		if n <= 0 || n > maxIO {
+			n = 64 << 10
+		}
+		buf := make([]byte, n)
+		rn, err := f.ReadAt(buf, req.Offset)
+		resp := &response{Data: buf[:rn], N: rn}
+		if err == io.EOF {
+			resp.EOF = true
+		} else if err != nil {
+			resp.Err = encodeErr(err)
+		}
+		return resp
+	case opFileWrite:
+		n, err := f.Write(req.Data)
+		return &response{N: n, Err: encodeErr(err)}
+	case opFileWriteAt:
+		n, err := f.WriteAt(req.Data, req.Offset)
+		return &response{N: n, Err: encodeErr(err)}
+	case opFileSeek:
+		off, err := f.Seek(req.Offset, req.Whence)
+		return &response{Off: off, Err: encodeErr(err)}
+	case opFileTruncate:
+		return &response{Err: encodeErr(f.Truncate(req.Size))}
+	case opFileStat:
+		info, err := f.Stat()
+		return &response{Info: info, Err: encodeErr(err)}
+	case opFileClose:
+		delete(sess.handles, req.Handle)
+		return &response{Err: encodeErr(f.Close())}
+	default:
+		return &response{Err: &wireError{Kind: "Unsupported", Msg: "remotefs: unknown op"}}
+	}
+}

@@ -1,0 +1,70 @@
+package shell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// lineReader yields input lines without their terminators.
+type lineReader struct {
+	r *bufio.Reader
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{r: bufio.NewReader(r)}
+}
+
+// next returns the next line, or io.EOF when input is exhausted.
+func (lr *lineReader) next() (string, error) {
+	line, err := lr.r.ReadString('\n')
+	if err == io.EOF && line != "" {
+		return strings.TrimRight(line, "\r\n"), nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// splitArgs tokenizes a command line. Double-quoted segments keep their
+// spaces: `squery /d "apple AND banana"` yields three arguments.
+func splitArgs(line string) ([]string, error) {
+	var args []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			args = append(args, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			if inQuote {
+				args = append(args, cur.String())
+				cur.Reset()
+				inQuote = false
+			} else {
+				flush()
+				inQuote = true
+			}
+		case c == ' ' || c == '\t':
+			if inQuote {
+				cur.WriteByte(c)
+			} else {
+				flush()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	flush()
+	return args, nil
+}

@@ -1,0 +1,37 @@
+package shell
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestLineReaderVariants(t *testing.T) {
+	lr := newLineReader(strings.NewReader("one\r\ntwo\nthree"))
+	for _, want := range []string{"one", "two", "three"} {
+		got, err := lr.next()
+		if err != nil || got != want {
+			t.Fatalf("next = %q, %v; want %q", got, err, want)
+		}
+	}
+	if _, err := lr.next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestLineReaderEmptyInput(t *testing.T) {
+	lr := newLineReader(strings.NewReader(""))
+	if _, err := lr.next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestLineReaderBlankLines(t *testing.T) {
+	lr := newLineReader(strings.NewReader("\n\nx\n"))
+	for _, want := range []string{"", "", "x"} {
+		got, err := lr.next()
+		if err != nil || got != want {
+			t.Fatalf("next = %q, %v; want %q", got, err, want)
+		}
+	}
+}

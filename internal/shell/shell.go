@@ -1,0 +1,619 @@
+// Package shell implements the interactive command interpreter behind
+// cmd/hacsh. It exposes the paper's command suite — the ordinary
+// hierarchical commands (cd, ls, mkdir, mv, rm, cat, ...) and the
+// semantic extensions (smkdir, squery, slinks, ssync, sreindex, smount,
+// sact, search) — over a HAC volume.
+package shell
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"hacfs/internal/catalog"
+	"hacfs/internal/hac"
+	"hacfs/internal/remote"
+	"hacfs/internal/remotefs"
+	"hacfs/internal/vfs"
+)
+
+// Shell interprets commands against one HAC volume. It is not safe for
+// concurrent use.
+type Shell struct {
+	fs  *hac.FS
+	cwd string
+	out io.Writer
+	// quit is set by the exit command.
+	quit bool
+}
+
+// New returns a shell over the given volume, writing output to out.
+func New(fs *hac.FS, out io.Writer) *Shell {
+	return &Shell{fs: fs, cwd: "/", out: out}
+}
+
+// FS returns the underlying volume.
+func (sh *Shell) FS() *hac.FS { return sh.fs }
+
+// Cwd returns the current working directory.
+func (sh *Shell) Cwd() string { return sh.cwd }
+
+// Quit reports whether the exit command has been issued.
+func (sh *Shell) Quit() bool { return sh.quit }
+
+// abs resolves an operand against the working directory.
+func (sh *Shell) abs(p string) string {
+	if p == "" {
+		return sh.cwd
+	}
+	if vfs.IsAbs(p) {
+		return vfs.Join(p)
+	}
+	return vfs.Join(sh.cwd, p)
+}
+
+func (sh *Shell) printf(format string, args ...interface{}) {
+	fmt.Fprintf(sh.out, format, args...)
+}
+
+// Run reads commands from r until EOF or exit, printing a prompt to the
+// output writer when prompt is true.
+func (sh *Shell) Run(r io.Reader, prompt bool) error {
+	lines := newLineReader(r)
+	for !sh.quit {
+		if prompt {
+			sh.printf("hac:%s> ", sh.cwd)
+		}
+		line, err := lines.next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := sh.Exec(line); err != nil {
+			sh.printf("error: %v\n", err)
+		}
+	}
+	return nil
+}
+
+// Exec runs a single command line.
+func (sh *Shell) Exec(line string) error {
+	args, err := splitArgs(line)
+	if err != nil {
+		return err
+	}
+	if len(args) == 0 || strings.HasPrefix(args[0], "#") {
+		return nil
+	}
+	cmd, rest := args[0], args[1:]
+	fn, ok := sh.commands()[cmd]
+	if !ok {
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+	return fn(rest)
+}
+
+type command func(args []string) error
+
+func (sh *Shell) commands() map[string]command {
+	return map[string]command{
+		"help":     sh.cmdHelp,
+		"exit":     sh.cmdExit,
+		"quit":     sh.cmdExit,
+		"pwd":      sh.cmdPwd,
+		"cd":       sh.cmdCd,
+		"ls":       sh.cmdLs,
+		"tree":     sh.cmdTree,
+		"cat":      sh.cmdCat,
+		"write":    sh.cmdWrite,
+		"mkdir":    sh.cmdMkdir,
+		"rm":       sh.cmdRm,
+		"rmdir":    sh.cmdRm,
+		"mv":       sh.cmdMv,
+		"ln":       sh.cmdLn,
+		"stat":     sh.cmdStat,
+		"smkdir":   sh.cmdSmkdir,
+		"squery":   sh.cmdSquery,
+		"slinks":   sh.cmdSlinks,
+		"ssync":    sh.cmdSsync,
+		"sreindex": sh.cmdSreindex,
+		"smount":   sh.cmdSmount,
+		"sumount":  sh.cmdSumount,
+		"sact":     sh.cmdSact,
+		"search":   sh.cmdSearch,
+		"sstat":    sh.cmdSstat,
+		"save":     sh.cmdSave,
+		"load":     sh.cmdLoad,
+		"mount":    sh.cmdMount,
+		"umount":   sh.cmdUmount,
+		"spublish": sh.cmdSpublish,
+		"scatalog": sh.cmdScatalog,
+		"ssimilar": sh.cmdSsimilar,
+	}
+}
+
+// cmdSpublish publishes this volume's semantic directories to a
+// catalog server (haccatd).
+func (sh *Shell) cmdSpublish(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: spublish <user> <host:port>")
+	}
+	c := catalog.Dial(args[1])
+	defer c.Close()
+	n, err := c.Publish(args[0], sh.fs)
+	if err != nil {
+		return err
+	}
+	sh.printf("published %d semantic directories as %s\n", n, args[0])
+	return nil
+}
+
+// cmdScatalog searches the central catalog.
+func (sh *Shell) cmdScatalog(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: scatalog <host:port> <query...>")
+	}
+	c := catalog.Dial(args[0])
+	defer c.Close()
+	hits, err := c.Search(strings.Join(args[1:], " "))
+	if err != nil {
+		return err
+	}
+	for _, h := range hits {
+		sh.printf("%-12s %-24s %s (%d results)\n", h.User, h.Path, h.Query, len(h.Targets))
+	}
+	sh.printf("%d entr%s\n", len(hits), plural(len(hits), "y", "ies"))
+	return nil
+}
+
+// cmdSsimilar finds classifications similar to one published entry.
+func (sh *Shell) cmdSsimilar(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: ssimilar <host:port> <user> <dir>")
+	}
+	c := catalog.Dial(args[0])
+	defer c.Close()
+	matches, err := c.SimilarTo(args[1], args[2])
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		sh.printf("%-12s %-24s %.0f%% overlap\n", m.Entry.User, m.Entry.Path, 100*m.Similarity)
+	}
+	if len(matches) == 0 {
+		sh.printf("no similar classifications\n")
+	}
+	return nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// cmdMount syntactically mounts a remote volume served by hacvold.
+func (sh *Shell) cmdMount(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: mount <dir> <host:port>")
+	}
+	mem, ok := sh.fs.Under().(*vfs.MemFS)
+	if !ok {
+		return fmt.Errorf("mount: volume substrate does not support mounts")
+	}
+	client := remotefs.Dial(args[1])
+	if err := client.Ping(); err != nil {
+		return fmt.Errorf("cannot reach %s: %w", args[1], err)
+	}
+	return mem.Mount(sh.abs(args[0]), client)
+}
+
+// cmdUmount detaches a syntactic mount.
+func (sh *Shell) cmdUmount(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: umount <dir>")
+	}
+	mem, ok := sh.fs.Under().(*vfs.MemFS)
+	if !ok {
+		return fmt.Errorf("umount: volume substrate does not support mounts")
+	}
+	return mem.Unmount(sh.abs(args[0]))
+}
+
+func (sh *Shell) cmdSave(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: save <host-file>")
+	}
+	f, err := os.Create(args[0])
+	if err != nil {
+		return err
+	}
+	if err := sh.fs.SaveVolume(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	sh.printf("volume saved to %s\n", args[0])
+	return nil
+}
+
+func (sh *Shell) cmdLoad(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: load <host-file>")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fs, err := hac.LoadVolume(f, hac.Options{})
+	if err != nil {
+		return err
+	}
+	sh.fs = fs
+	sh.cwd = "/"
+	sh.printf("volume loaded from %s\n", args[0])
+	return nil
+}
+
+var helpText = `hierarchical commands:
+  pwd                         print working directory
+  cd [dir]                    change directory
+  ls [dir]                    list directory (semantic dirs marked *)
+  tree [dir]                  recursive listing
+  cat <file>                  print file contents
+  write <file> <text...>      create/overwrite file with text
+  mkdir <dir>                 create directory
+  rm <path>                   remove file, link or empty directory
+  mv <old> <new>              rename/move
+  ln <target> <link>          create symbolic link
+  stat <path>                 show metadata
+
+semantic commands (the paper's extensions):
+  smkdir <dir> <query...>     create semantic directory
+  squery <dir> [query...]     show or replace a directory's query
+  slinks <dir>                show classified links
+  ssync [dir]                 restore scope consistency from dir down
+  sreindex [dir]              re-index files, settle all consistency
+  smount <dir> <name> <addr>  semantically mount remote query system
+  sumount <dir> <name>        detach a mounted namespace
+  sact <link>                 print content behind a link (local/remote)
+  search <scope> <query...>   evaluate a query without creating a dir
+  sstat                       show HAC layer statistics
+
+  spublish <user> <addr>      publish semantic dirs to a catalog (haccatd)
+  scatalog <addr> <query...>  search the central catalog
+  ssimilar <addr> <user> <dir> find similar published classifications
+  mount <dir> <host:port>     syntactically mount a remote volume (hacvold)
+  umount <dir>                detach a syntactic mount
+  save <host-file>            persist the volume to a file on the host
+  load <host-file>            replace the volume with a saved one
+  exit | quit                 leave the shell
+`
+
+func (sh *Shell) cmdHelp([]string) error {
+	sh.printf("%s", helpText)
+	return nil
+}
+
+func (sh *Shell) cmdExit([]string) error {
+	sh.quit = true
+	return nil
+}
+
+func (sh *Shell) cmdPwd([]string) error {
+	sh.printf("%s\n", sh.cwd)
+	return nil
+}
+
+func (sh *Shell) cmdCd(args []string) error {
+	target := "/"
+	if len(args) > 0 {
+		target = sh.abs(args[0])
+	}
+	info, err := sh.fs.Stat(target)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		return fmt.Errorf("%s: not a directory", target)
+	}
+	sh.cwd = target
+	return nil
+}
+
+func (sh *Shell) cmdLs(args []string) error {
+	dir := sh.cwd
+	if len(args) > 0 {
+		dir = sh.abs(args[0])
+	}
+	// Wildcards list the matching paths instead of a directory.
+	if strings.ContainsAny(dir, "*?[") {
+		matches, err := vfs.Glob(sh.fs, dir)
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			info, err := sh.fs.Lstat(m)
+			if err != nil {
+				continue
+			}
+			sh.printf("%s\n", sh.describeEntry(vfs.Dir(m), vfs.DirEntry{
+				Name: vfs.Base(m), Type: info.Type, Ino: info.Ino,
+			}))
+		}
+		return nil
+	}
+	entries, err := sh.fs.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		sh.printf("%s\n", sh.describeEntry(dir, e))
+	}
+	return nil
+}
+
+func (sh *Shell) describeEntry(dir string, e vfs.DirEntry) string {
+	full := vfs.Join(dir, e.Name)
+	switch e.Type {
+	case vfs.TypeDir:
+		if sh.fs.IsSemantic(full) {
+			return e.Name + "/*"
+		}
+		return e.Name + "/"
+	case vfs.TypeSymlink:
+		target, err := sh.fs.Readlink(full)
+		if err != nil {
+			return e.Name + " -> ?"
+		}
+		return e.Name + " -> " + target
+	default:
+		return e.Name
+	}
+}
+
+func (sh *Shell) cmdTree(args []string) error {
+	root := sh.cwd
+	if len(args) > 0 {
+		root = sh.abs(args[0])
+	}
+	return vfs.Walk(sh.fs, root, func(p string, info vfs.Info) error {
+		depth := strings.Count(strings.TrimPrefix(p, root), "/")
+		indent := strings.Repeat("  ", depth)
+		name := vfs.Base(p)
+		if p == root {
+			name = p
+		}
+		switch info.Type {
+		case vfs.TypeDir:
+			mark := "/"
+			if sh.fs.IsSemantic(p) {
+				mark = "/*"
+			}
+			sh.printf("%s%s%s\n", indent, name, mark)
+		case vfs.TypeSymlink:
+			sh.printf("%s%s -> %s\n", indent, name, info.Target)
+		default:
+			sh.printf("%s%s (%dB)\n", indent, name, info.Size)
+		}
+		return nil
+	})
+}
+
+func (sh *Shell) cmdCat(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: cat <file>")
+	}
+	data, err := sh.fs.ReadFile(sh.abs(args[0]))
+	if err != nil {
+		return err
+	}
+	sh.printf("%s", data)
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		sh.printf("\n")
+	}
+	return nil
+}
+
+func (sh *Shell) cmdWrite(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: write <file> <text...>")
+	}
+	return sh.fs.WriteFile(sh.abs(args[0]), []byte(strings.Join(args[1:], " ")+"\n"))
+}
+
+func (sh *Shell) cmdMkdir(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: mkdir <dir>")
+	}
+	return sh.fs.MkdirAll(sh.abs(args[0]))
+}
+
+func (sh *Shell) cmdRm(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: rm <path>")
+	}
+	return sh.fs.Remove(sh.abs(args[0]))
+}
+
+func (sh *Shell) cmdMv(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: mv <old> <new>")
+	}
+	return sh.fs.Rename(sh.abs(args[0]), sh.abs(args[1]))
+}
+
+func (sh *Shell) cmdLn(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: ln <target> <link>")
+	}
+	target := args[0]
+	if vfs.IsAbs(target) {
+		target = vfs.Join(target)
+	} else if !hac.IsRemoteTarget(target) {
+		target = sh.abs(target)
+	}
+	return sh.fs.Symlink(target, sh.abs(args[1]))
+}
+
+func (sh *Shell) cmdStat(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: stat <path>")
+	}
+	p := sh.abs(args[0])
+	info, err := sh.fs.Lstat(p)
+	if err != nil {
+		return err
+	}
+	sh.printf("path:  %s\ntype:  %s\nsize:  %d\nmtime: %s\n",
+		p, info.Type, info.Size, info.ModTime.Format("2006-01-02 15:04:05"))
+	if info.Type == vfs.TypeSymlink {
+		sh.printf("target: %s\n", info.Target)
+	}
+	if sh.fs.IsSemantic(p) {
+		q, _ := sh.fs.QueryDisplay(p)
+		sh.printf("query: %s\n", q)
+	}
+	return nil
+}
+
+func (sh *Shell) cmdSmkdir(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: smkdir <dir> [query...]")
+	}
+	return sh.fs.MkSemDir(sh.abs(args[0]), strings.Join(args[1:], " "))
+}
+
+func (sh *Shell) cmdSquery(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: squery <dir> [new query...]")
+	}
+	dir := sh.abs(args[0])
+	if len(args) == 1 {
+		q, err := sh.fs.QueryDisplay(dir)
+		if err != nil {
+			return err
+		}
+		sh.printf("%s\n", q)
+		return nil
+	}
+	return sh.fs.SetQuery(dir, strings.Join(args[1:], " "))
+}
+
+func (sh *Shell) cmdSlinks(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: slinks <dir>")
+	}
+	links, err := sh.fs.Links(sh.abs(args[0]))
+	if err != nil {
+		return err
+	}
+	for _, l := range links {
+		name := l.Name
+		if name == "" {
+			name = "-"
+		}
+		sh.printf("%-10s %-20s %s\n", l.Class, name, l.Target)
+	}
+	return nil
+}
+
+func (sh *Shell) cmdSsync(args []string) error {
+	dir := "/"
+	if len(args) > 0 {
+		dir = sh.abs(args[0])
+	}
+	return sh.fs.Sync(dir)
+}
+
+func (sh *Shell) cmdSreindex(args []string) error {
+	root := "/"
+	if len(args) > 0 {
+		root = sh.abs(args[0])
+	}
+	rep, err := sh.fs.Reindex(root)
+	if err != nil {
+		return err
+	}
+	sh.printf("indexed: %d added, %d updated, %d removed (%d documents)\n",
+		rep.Added, rep.Updated, rep.Removed, sh.fs.Index().NumDocs())
+	return nil
+}
+
+func (sh *Shell) cmdSmount(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: smount <dir> <name> <host:port>")
+	}
+	client := remote.Dial(args[1], args[2])
+	if err := client.Ping(); err != nil {
+		return fmt.Errorf("cannot reach %s: %w", args[2], err)
+	}
+	return sh.fs.SemanticMount(sh.abs(args[0]), client)
+}
+
+func (sh *Shell) cmdSumount(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: sumount <dir> <name>")
+	}
+	return sh.fs.SemanticUnmount(sh.abs(args[0]), args[1])
+}
+
+func (sh *Shell) cmdSact(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: sact <link>")
+	}
+	data, err := sh.fs.Extract(sh.abs(args[0]))
+	if err != nil {
+		return err
+	}
+	sh.printf("%s", data)
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		sh.printf("\n")
+	}
+	return nil
+}
+
+func (sh *Shell) cmdSearch(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: search <scope-dir> <query...>")
+	}
+	results, err := sh.fs.Search(strings.Join(args[1:], " "), sh.abs(args[0]))
+	if err != nil {
+		return err
+	}
+	for _, p := range results {
+		sh.printf("%s\n", p)
+	}
+	sh.printf("%d match(es)\n", len(results))
+	return nil
+}
+
+func (sh *Shell) cmdSstat([]string) error {
+	s := sh.fs.Stats()
+	ixStats := sh.fs.Index().Stats()
+	sh.printf("directories:     %d (%d semantic)\n", s.Directories, s.SemanticDirs)
+	sh.printf("indexed files:   %d (%d terms)\n", ixStats.Docs, ixStats.Terms)
+	sh.printf("index size:      %d KB\n", ixStats.IndexBytes/1024)
+	sh.printf("hac metadata:    %d KB\n", sh.fs.MetadataBytes()/1024)
+	sh.printf("attr cache:      %d hits / %d misses\n", s.AttrHits, s.AttrMisses)
+	mounts := sh.fs.SemanticMounts()
+	if len(mounts) > 0 {
+		var points []string
+		for p := range mounts {
+			points = append(points, p)
+		}
+		sort.Strings(points)
+		for _, p := range points {
+			sh.printf("semantic mount:  %s -> %s\n", p, strings.Join(mounts[p], ", "))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package vfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchTree(b *testing.B, files int) *MemFS {
+	b.Helper()
+	fs := New()
+	for i := 0; i < files; i++ {
+		dir := fmt.Sprintf("/d%02d", i%16)
+		if err := fs.MkdirAll(dir); err != nil {
+			b.Fatal(err)
+		}
+		if err := fs.WriteFile(fmt.Sprintf("%s/f%04d.txt", dir, i), []byte("content")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func BenchmarkStat(b *testing.B) {
+	fs := benchTree(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Stat("/d07/f0007.txt"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteFile4K(b *testing.B) {
+	fs := New()
+	if err := fs.MkdirAll("/d"); err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fs.WriteFile("/d/f", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFile4K(b *testing.B) {
+	fs := New()
+	if err := fs.MkdirAll("/d"); err != nil {
+		b.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/f", make([]byte, 4096)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.ReadFile("/d/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	fs := benchTree(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := Walk(fs, "/", func(string, Info) error {
+			n++
+			return nil
+		})
+		if err != nil || n < 1000 {
+			b.Fatalf("walk visited %d, %v", n, err)
+		}
+	}
+}
+
+func BenchmarkSymlinkResolution(b *testing.B) {
+	fs := New()
+	if err := fs.MkdirAll("/real/deep/path"); err != nil {
+		b.Fatal(err)
+	}
+	if err := fs.WriteFile("/real/deep/path/f", []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	if err := fs.Symlink("/real", "/l1"); err != nil {
+		b.Fatal(err)
+	}
+	if err := fs.Symlink("/l1/deep", "/l2"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Stat("/l2/path/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRename(b *testing.B) {
+	fs := New()
+	if err := fs.MkdirAll("/a"); err != nil {
+		b.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/x", []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fs.Rename("/a/x", "/a/y"); err != nil {
+			b.Fatal(err)
+		}
+		if err := fs.Rename("/a/y", "/a/x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestOpenFileFlagMatrix pins the behavior of every meaningful flag
+// combination against both an existing and a missing file.
+func TestOpenFileFlagMatrix(t *testing.T) {
+	cases := []struct {
+		name      string
+		flag      int
+		exists    bool
+		wantErr   error // nil means success
+		wantSize  int64 // size right after open (existing file starts at 5)
+		canRead   bool
+		canWrite  bool
+		appendsTo bool
+	}{
+		{"read-existing", ORead, true, nil, 5, true, false, false},
+		{"read-missing", ORead, false, ErrNotExist, 0, false, false, false},
+		{"write-existing", OWrite, true, nil, 5, false, true, false},
+		{"write-missing", OWrite, false, ErrNotExist, 0, false, false, false},
+		{"create-missing", ORead | OWrite | OCreate, false, nil, 0, true, true, false},
+		{"create-existing-keeps", ORead | OWrite | OCreate, true, nil, 5, true, true, false},
+		{"trunc", ORead | OWrite | OCreate | OTrunc, true, nil, 0, true, true, false},
+		{"excl-existing", OWrite | OCreate | OExcl, true, ErrExist, 0, false, false, false},
+		{"excl-missing", ORead | OWrite | OCreate | OExcl, false, nil, 0, true, true, false},
+		{"append", OWrite | OAppend, true, nil, 5, false, true, true},
+		{"no-direction", OCreate, true, ErrInvalid, 0, false, false, false},
+		{"trunc-readonly", ORead | OTrunc, true, ErrInvalid, 0, false, false, false},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			fs := New()
+			if c.exists {
+				mustWrite(t, fs, "/f", "12345")
+			}
+			f, err := fs.OpenFile("/f", c.flag)
+			if c.wantErr != nil {
+				if !errors.Is(err, c.wantErr) {
+					t.Fatalf("err = %v, want %v", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			info, err := f.Stat()
+			if err != nil || info.Size != c.wantSize {
+				t.Fatalf("size = %d, want %d (%v)", info.Size, c.wantSize, err)
+			}
+			_, rerr := f.ReadAt(make([]byte, 1), 0)
+			canRead := rerr == nil || errors.Is(rerr, errEOF())
+			if canRead != c.canRead {
+				t.Fatalf("canRead = %v (err %v), want %v", canRead, rerr, c.canRead)
+			}
+			_, werr := f.Write([]byte("XY"))
+			if (werr == nil) != c.canWrite {
+				t.Fatalf("canWrite = %v (err %v), want %v", werr == nil, werr, c.canWrite)
+			}
+			if c.appendsTo && werr == nil {
+				st, _ := f.Stat()
+				if st.Size != c.wantSize+2 {
+					t.Fatalf("append size = %d, want %d", st.Size, c.wantSize+2)
+				}
+				data, _ := fs.ReadFile("/f")
+				if string(data[:5]) != "12345" {
+					t.Fatalf("append clobbered prefix: %q", data)
+				}
+			}
+		})
+	}
+}
+
+func errEOF() error { return errIOEOF }
+
+var errIOEOF = func() error {
+	fs := New()
+	mustWriteQuiet(fs, "/e", "")
+	f, _ := fs.Open("/e")
+	_, err := f.ReadAt(make([]byte, 1), 0)
+	return err
+}()
+
+func mustWriteQuiet(fs *MemFS, p, data string) {
+	if err := fs.WriteFile(p, []byte(data)); err != nil {
+		panic(err)
+	}
+}
+
+// TestConcurrentMemFS hammers one MemFS from many goroutines; run
+// under -race.
+func TestConcurrentMemFS(t *testing.T) {
+	fs := New()
+	mustMkdirAll(t, fs, "/shared")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dir := fmt.Sprintf("/shared/g%d", g)
+			if err := fs.MkdirAll(dir); err != nil {
+				t.Errorf("mkdir: %v", err)
+				return
+			}
+			for i := 0; i < 50; i++ {
+				p := fmt.Sprintf("%s/f%d", dir, i%7)
+				switch i % 5 {
+				case 0, 1:
+					if err := fs.WriteFile(p, []byte(fmt.Sprintf("%d-%d", g, i))); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+				case 2:
+					fs.ReadFile(p) // may race with remove; error OK
+				case 3:
+					fs.Stat(p)
+					fs.ReadDir(dir)
+				case 4:
+					fs.Remove(p) // may not exist; error OK
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The tree is still traversable and self-consistent.
+	if _, err := Files(fs, "/"); err != nil {
+		t.Fatal(err)
+	}
+}

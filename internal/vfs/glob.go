@@ -1,0 +1,64 @@
+package vfs
+
+import (
+	gopath "path"
+	"sort"
+	"strings"
+)
+
+// Glob returns the paths matching pattern, which is interpreted
+// component-wise with path.Match syntax (*, ?, [...]). The pattern must
+// be absolute. Matching is purely name-based: symlinks are matched by
+// name, never followed. Results are sorted. A pattern with no
+// metacharacters matches itself iff the object exists.
+func Glob(fsys FileSystem, pattern string) ([]string, error) {
+	clean, err := Clean(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if !hasMeta(clean) {
+		if _, err := fsys.Lstat(clean); err != nil {
+			return nil, nil
+		}
+		return []string{clean}, nil
+	}
+	comps := components(clean)
+	matches := []string{"/"}
+	for _, comp := range comps {
+		var next []string
+		if !hasMeta(comp) {
+			for _, dir := range matches {
+				p := Join(dir, comp)
+				if _, err := fsys.Lstat(p); err == nil {
+					next = append(next, p)
+				}
+			}
+		} else {
+			for _, dir := range matches {
+				entries, err := fsys.ReadDir(dir)
+				if err != nil {
+					continue
+				}
+				for _, e := range entries {
+					ok, err := gopath.Match(comp, e.Name)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						next = append(next, Join(dir, e.Name))
+					}
+				}
+			}
+		}
+		matches = next
+		if len(matches) == 0 {
+			return nil, nil
+		}
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+func hasMeta(s string) bool {
+	return strings.ContainsAny(s, "*?[")
+}

@@ -1,0 +1,76 @@
+package vfs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func globTree(t *testing.T) *MemFS {
+	t.Helper()
+	fs := New()
+	for _, p := range []string{
+		"/docs/a1.txt", "/docs/a2.txt", "/docs/b.md",
+		"/mail/m1.eml", "/mail/m2.eml",
+		"/src/main.c", "/src/util.c", "/src/util.h",
+	} {
+		mustMkdirAll(t, fs, Dir(p))
+		mustWrite(t, fs, p, "x")
+	}
+	return fs
+}
+
+func TestGlob(t *testing.T) {
+	fs := globTree(t)
+	cases := []struct {
+		pattern string
+		want    []string
+	}{
+		{"/docs/*.txt", []string{"/docs/a1.txt", "/docs/a2.txt"}},
+		{"/docs/a?.txt", []string{"/docs/a1.txt", "/docs/a2.txt"}},
+		{"/*/m*.eml", []string{"/mail/m1.eml", "/mail/m2.eml"}},
+		{"/src/util.[ch]", []string{"/src/util.c", "/src/util.h"}},
+		{"/docs/b.md", []string{"/docs/b.md"}},
+		{"/missing/*.x", nil},
+		{"/docs/*.pdf", nil},
+		{"/*", []string{"/docs", "/mail", "/src"}},
+	}
+	for _, c := range cases {
+		got, err := Glob(fs, c.pattern)
+		if err != nil {
+			t.Fatalf("Glob(%q): %v", c.pattern, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Glob(%q) = %v, want %v", c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestGlobLiteralMissing(t *testing.T) {
+	fs := globTree(t)
+	got, err := Glob(fs, "/docs/none.txt")
+	if err != nil || got != nil {
+		t.Fatalf("Glob literal missing = %v, %v", got, err)
+	}
+}
+
+func TestGlobBadPattern(t *testing.T) {
+	fs := globTree(t)
+	if _, err := Glob(fs, "/docs/[unclosed"); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+	if _, err := Glob(fs, "relative/*"); err == nil {
+		t.Fatal("relative pattern accepted")
+	}
+}
+
+func TestGlobDoesNotFollowSymlinks(t *testing.T) {
+	fs := globTree(t)
+	if err := fs.Symlink("/docs", "/alias"); err != nil {
+		t.Fatal(err)
+	}
+	// The symlink itself matches by name...
+	got, _ := Glob(fs, "/ali*")
+	if len(got) != 1 || got[0] != "/alias" {
+		t.Fatalf("Glob symlink name = %v", got)
+	}
+}

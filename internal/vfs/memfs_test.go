@@ -1,0 +1,469 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustMkdirAll(t *testing.T, fs FileSystem, p string) {
+	t.Helper()
+	if err := fs.MkdirAll(p); err != nil {
+		t.Fatalf("MkdirAll(%q): %v", p, err)
+	}
+}
+
+func mustWrite(t *testing.T, fs FileSystem, p, data string) {
+	t.Helper()
+	if err := fs.WriteFile(p, []byte(data)); err != nil {
+		t.Fatalf("WriteFile(%q): %v", p, err)
+	}
+}
+
+func TestMkdirAndStat(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDir() || info.Name != "a" {
+		t.Fatalf("Stat = %+v, want dir named a", info)
+	}
+	if err := fs.Mkdir("/a"); !errors.Is(err, ErrExist) {
+		t.Fatalf("second Mkdir err = %v, want ErrExist", err)
+	}
+	if err := fs.Mkdir("/missing/b"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Mkdir without parent err = %v, want ErrNotExist", err)
+	}
+	if err := fs.Mkdir("relative"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("relative Mkdir err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestMkdirAll(t *testing.T) {
+	fs := New()
+	mustMkdirAll(t, fs, "/a/b/c")
+	for _, p := range []string{"/a", "/a/b", "/a/b/c"} {
+		info, err := fs.Stat(p)
+		if err != nil || !info.IsDir() {
+			t.Fatalf("Stat(%q) = %+v, %v", p, info, err)
+		}
+	}
+	// Idempotent.
+	mustMkdirAll(t, fs, "/a/b/c")
+	// Fails when a component is a file.
+	mustWrite(t, fs, "/a/f", "x")
+	if err := fs.MkdirAll("/a/f/g"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("MkdirAll through file err = %v, want ErrNotDir", err)
+	}
+	if err := fs.MkdirAll("/"); err != nil {
+		t.Fatalf("MkdirAll(/) = %v", err)
+	}
+}
+
+func TestWriteAndReadFile(t *testing.T) {
+	fs := New()
+	mustWrite(t, fs, "/f.txt", "hello world")
+	data, err := fs.ReadFile("/f.txt")
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	// Overwrite truncates.
+	mustWrite(t, fs, "/f.txt", "x")
+	data, _ = fs.ReadFile("/f.txt")
+	if string(data) != "x" {
+		t.Fatalf("after overwrite = %q, want x", data)
+	}
+	// Returned slice is a copy.
+	data[0] = 'y'
+	again, _ := fs.ReadFile("/f.txt")
+	if string(again) != "x" {
+		t.Fatal("ReadFile returned aliased storage")
+	}
+	if _, err := fs.ReadFile("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("ReadFile missing err = %v", err)
+	}
+	if _, err := fs.ReadFile("/"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("ReadFile dir err = %v", err)
+	}
+}
+
+func TestOpenFileFlags(t *testing.T) {
+	fs := New()
+	mustWrite(t, fs, "/f", "abcdef")
+
+	// OExcl on existing file fails.
+	if _, err := fs.OpenFile("/f", OWrite|OCreate|OExcl); !errors.Is(err, ErrExist) {
+		t.Fatalf("OExcl err = %v, want ErrExist", err)
+	}
+	// OTrunc requires write.
+	if _, err := fs.OpenFile("/f", ORead|OTrunc); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("read+trunc err = %v, want ErrInvalid", err)
+	}
+	// No direction flags.
+	if _, err := fs.OpenFile("/f", OCreate); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("no-direction err = %v, want ErrInvalid", err)
+	}
+	// Append.
+	f, err := fs.OpenFile("/f", OWrite|OAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("XYZ")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, _ := fs.ReadFile("/f")
+	if string(data) != "abcdefXYZ" {
+		t.Fatalf("append result = %q", data)
+	}
+	// Opening a directory fails.
+	if _, err := fs.Open("/"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("open dir err = %v, want ErrIsDir", err)
+	}
+	// Reading from a write-only handle fails.
+	wo, _ := fs.OpenFile("/f", OWrite)
+	if _, err := wo.Read(make([]byte, 1)); !errors.Is(err, ErrWriteOnly) {
+		t.Fatalf("read on write-only err = %v", err)
+	}
+	// Writing to a read-only handle fails.
+	ro, _ := fs.Open("/f")
+	if _, err := ro.Write([]byte("z")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write on read-only err = %v", err)
+	}
+}
+
+func TestHandleReadWriteSeek(t *testing.T) {
+	fs := New()
+	f, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := f.Seek(2, io.SeekStart); err != nil || pos != 2 {
+		t.Fatalf("Seek = %d, %v", pos, err)
+	}
+	buf := make([]byte, 3)
+	if n, err := f.Read(buf); err != nil || n != 3 || string(buf) != "234" {
+		t.Fatalf("Read = %d %q %v", n, buf, err)
+	}
+	if pos, _ := f.Seek(-2, io.SeekEnd); pos != 8 {
+		t.Fatalf("SeekEnd pos = %d, want 8", pos)
+	}
+	if pos, _ := f.Seek(1, io.SeekCurrent); pos != 9 {
+		t.Fatalf("SeekCurrent pos = %d, want 9", pos)
+	}
+	if _, err := f.Seek(-100, io.SeekStart); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("negative seek err = %v", err)
+	}
+	// ReadAt does not move the offset.
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf) != "012" {
+		t.Fatalf("ReadAt = %q", buf)
+	}
+	if pos, _ := f.Seek(0, io.SeekCurrent); pos != 9 {
+		t.Fatalf("offset moved by ReadAt to %d", pos)
+	}
+	// WriteAt past end zero-fills.
+	if _, err := f.WriteAt([]byte("Z"), 12); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := f.Stat()
+	if st.Size != 13 {
+		t.Fatalf("size after WriteAt = %d, want 13", st.Size)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := f.Stat(); st.Size != 5 {
+		t.Fatalf("size after Truncate = %d, want 5", st.Size)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close err = %v", err)
+	}
+	if _, err := f.Read(buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close err = %v", err)
+	}
+}
+
+func TestReadAtEOF(t *testing.T) {
+	fs := New()
+	mustWrite(t, fs, "/f", "abc")
+	f, _ := fs.Open("/f")
+	defer f.Close()
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 1)
+	if n != 2 || err != io.EOF {
+		t.Fatalf("short ReadAt = %d, %v; want 2, EOF", n, err)
+	}
+	if _, err := f.ReadAt(buf, 99); err != io.EOF {
+		t.Fatalf("past-end ReadAt err = %v, want EOF", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	mustMkdirAll(t, fs, "/d/sub")
+	mustWrite(t, fs, "/d/f", "x")
+
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("remove non-empty err = %v", err)
+	}
+	if err := fs.Remove("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("remove missing err = %v", err)
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	fs := New()
+	mustMkdirAll(t, fs, "/d/a/b")
+	mustWrite(t, fs, "/d/a/f", "x")
+	mustWrite(t, fs, "/d/g", "y")
+	if err := fs.RemoveAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/d"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("after RemoveAll, Stat err = %v", err)
+	}
+	// Missing path is fine.
+	if err := fs.RemoveAll("/never"); err != nil {
+		t.Fatalf("RemoveAll missing = %v", err)
+	}
+	if err := fs.RemoveAll("/"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("RemoveAll root err = %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := New()
+	mustMkdirAll(t, fs, "/a/b")
+	mustWrite(t, fs, "/a/b/f", "data")
+
+	if err := fs.Rename("/a/b", "/c"); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := fs.ReadFile("/c/f"); err != nil || string(data) != "data" {
+		t.Fatalf("after rename ReadFile = %q, %v", data, err)
+	}
+	if _, err := fs.Stat("/a/b"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("source still exists after rename")
+	}
+	// Replace an existing file.
+	mustWrite(t, fs, "/x", "new")
+	mustWrite(t, fs, "/y", "old")
+	if err := fs.Rename("/x", "/y"); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := fs.ReadFile("/y"); string(data) != "new" {
+		t.Fatalf("replaced content = %q", data)
+	}
+	// Dir over non-empty dir fails.
+	mustMkdirAll(t, fs, "/full/inner")
+	mustMkdirAll(t, fs, "/src")
+	if err := fs.Rename("/src", "/full"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("rename over non-empty dir err = %v", err)
+	}
+	// File over dir fails.
+	if err := fs.Rename("/y", "/full"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("file over dir err = %v", err)
+	}
+	// Dir over file fails.
+	if err := fs.Rename("/src", "/y"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("dir over file err = %v", err)
+	}
+	// Move into own subtree fails.
+	mustMkdirAll(t, fs, "/t/u")
+	if err := fs.Rename("/t", "/t/u/v"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("rename into self err = %v", err)
+	}
+	// Rename to itself is a no-op.
+	if err := fs.Rename("/t", "/t"); err != nil {
+		t.Fatalf("self rename err = %v", err)
+	}
+	// Missing source.
+	if err := fs.Rename("/missing", "/z"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing source err = %v", err)
+	}
+}
+
+func TestRenamePreservesIno(t *testing.T) {
+	fs := New()
+	mustMkdirAll(t, fs, "/a")
+	before, _ := fs.Stat("/a")
+	if err := fs.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := fs.Stat("/b")
+	if before.Ino != after.Ino {
+		t.Fatalf("rename changed ino %d → %d", before.Ino, after.Ino)
+	}
+}
+
+func TestSymlinks(t *testing.T) {
+	fs := New()
+	mustMkdirAll(t, fs, "/real")
+	mustWrite(t, fs, "/real/f", "content")
+	if err := fs.Symlink("/real", "/link"); err != nil {
+		t.Fatal(err)
+	}
+	// Follow through the link.
+	if data, err := fs.ReadFile("/link/f"); err != nil || string(data) != "content" {
+		t.Fatalf("through-link read = %q, %v", data, err)
+	}
+	// Stat follows, Lstat does not.
+	if info, _ := fs.Stat("/link"); !info.IsDir() {
+		t.Fatal("Stat did not follow symlink")
+	}
+	li, err := fs.Lstat("/link")
+	if err != nil || li.Type != TypeSymlink || li.Target != "/real" {
+		t.Fatalf("Lstat = %+v, %v", li, err)
+	}
+	if target, err := fs.Readlink("/link"); err != nil || target != "/real" {
+		t.Fatalf("Readlink = %q, %v", target, err)
+	}
+	if _, err := fs.Readlink("/real"); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("Readlink on dir err = %v", err)
+	}
+	// Relative symlink.
+	if err := fs.Symlink("f", "/real/rel"); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := fs.ReadFile("/real/rel"); err != nil || string(data) != "content" {
+		t.Fatalf("relative link read = %q, %v", data, err)
+	}
+	// Dangling symlink: Lstat ok, Stat fails.
+	if err := fs.Symlink("/nowhere", "/dangling"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Lstat("/dangling"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/dangling"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Stat dangling err = %v", err)
+	}
+	// Remove deletes the link, not the target.
+	if err := fs.Remove("/link"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/real/f"); err != nil {
+		t.Fatal("removing symlink removed target")
+	}
+}
+
+func TestSymlinkLoop(t *testing.T) {
+	fs := New()
+	if err := fs.Symlink("/b", "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/a"); !errors.Is(err, ErrLoop) {
+		t.Fatalf("loop Stat err = %v, want ErrLoop", err)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	fs := New()
+	mustMkdirAll(t, fs, "/d")
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		mustWrite(t, fs, "/d/"+name, "x")
+	}
+	entries, err := fs.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name)
+	}
+	if strings.Join(names, ",") != "alpha,mid,zeta" {
+		t.Fatalf("ReadDir order = %v", names)
+	}
+	if _, err := fs.ReadDir("/d/alpha"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("ReadDir on file err = %v", err)
+	}
+}
+
+func TestModTime(t *testing.T) {
+	fs := New()
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	fs.SetClock(func() time.Time { return clock })
+	mustWrite(t, fs, "/f", "a")
+	first, _ := fs.Stat("/f")
+	clock = clock.Add(time.Hour)
+	mustWrite(t, fs, "/f", "b")
+	second, _ := fs.Stat("/f")
+	if !second.ModTime.After(first.ModTime) {
+		t.Fatalf("mtime not advanced: %v → %v", first.ModTime, second.ModTime)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	fs := New()
+	mustMkdirAll(t, fs, "/d")
+	mustWrite(t, fs, "/d/f", "x")
+	if _, err := fs.Stat("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	s := fs.Stats()
+	if s.Mkdirs == 0 || s.Writes == 0 || s.Stats == 0 {
+		t.Fatalf("stats not counted: %+v", s)
+	}
+}
+
+func TestPathErrorShape(t *testing.T) {
+	fs := New()
+	_, err := fs.Stat("/missing")
+	var perr *PathError
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %T is not *PathError", err)
+	}
+	if perr.Op != "stat" || perr.Path != "/missing" {
+		t.Fatalf("PathError = %+v", perr)
+	}
+	if !strings.Contains(perr.Error(), "/missing") {
+		t.Fatalf("Error() = %q", perr.Error())
+	}
+}
+
+func TestLookupThroughFileFails(t *testing.T) {
+	fs := New()
+	mustWrite(t, fs, "/f", "x")
+	if _, err := fs.Stat("/f/sub"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("lookup through file err = %v", err)
+	}
+}
+
+func TestDotDotResolution(t *testing.T) {
+	fs := New()
+	mustMkdirAll(t, fs, "/a/b")
+	mustWrite(t, fs, "/top", "x")
+	if _, err := fs.ReadFile("/a/b/../../top"); err != nil {
+		t.Fatalf("dotdot read err = %v", err)
+	}
+	if _, err := fs.ReadFile("/../top"); err != nil {
+		t.Fatalf("above-root read err = %v", err)
+	}
+}

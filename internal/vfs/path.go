@@ -1,0 +1,59 @@
+package vfs
+
+import (
+	gopath "path"
+	"strings"
+)
+
+// Clean normalizes p to an absolute, slash-separated path with no "."
+// or ".." components. It returns ErrInvalid for relative or empty paths.
+func Clean(p string) (string, error) {
+	if p == "" || p[0] != '/' {
+		return "", ErrInvalid
+	}
+	return gopath.Clean(p), nil
+}
+
+// Split returns the directory and base of p, both cleaned. For the root
+// it returns ("/", "").
+func Split(p string) (dir, base string) {
+	p = gopath.Clean(p)
+	if p == "/" {
+		return "/", ""
+	}
+	dir, base = gopath.Split(p)
+	return gopath.Clean(dir), base
+}
+
+// Join joins elements into a cleaned slash path.
+func Join(elem ...string) string { return gopath.Join(elem...) }
+
+// Base returns the last element of p.
+func Base(p string) string { return gopath.Base(p) }
+
+// Dir returns all but the last element of p.
+func Dir(p string) string { return gopath.Dir(p) }
+
+// components splits a cleaned absolute path into its path elements.
+// components("/") is the empty slice.
+func components(p string) []string {
+	p = strings.Trim(p, "/")
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, "/")
+}
+
+// IsAbs reports whether p is an absolute slash path.
+func IsAbs(p string) bool { return len(p) > 0 && p[0] == '/' }
+
+// HasPrefix reports whether path p is inside (or equal to) dir, in the
+// path-component sense: HasPrefix("/a/bc", "/a/b") is false.
+func HasPrefix(p, dir string) bool {
+	p = gopath.Clean(p)
+	dir = gopath.Clean(dir)
+	if dir == "/" {
+		return true
+	}
+	return p == dir || strings.HasPrefix(p, dir+"/")
+}

@@ -1,0 +1,135 @@
+package vfs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// SnapNode is one object in a serialized file system image. Nodes are
+// ordered parents-before-children so a snapshot can be replayed
+// directly.
+type SnapNode struct {
+	Path    string
+	Type    NodeType
+	Data    []byte // files
+	Target  string // symlinks
+	ModTime time.Time
+}
+
+const snapshotVersion = 1
+
+type snapshotHeader struct {
+	Version int
+	Nodes   int
+}
+
+// Snapshot captures the entire tree (excluding the contents of mounted
+// file systems; the mount points appear as ordinary directories).
+// Inode numbers are not part of the image and are reassigned on
+// restore.
+func (fs *MemFS) Snapshot() []SnapNode {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []SnapNode
+	var visit func(n *node)
+	visit = func(n *node) {
+		sn := SnapNode{Path: n.path(), Type: n.typ, Target: n.target, ModTime: n.modTime}
+		if n.typ == TypeFile {
+			sn.Data = make([]byte, len(n.data))
+			copy(sn.Data, n.data)
+		}
+		out = append(out, sn)
+		if !n.isDir() {
+			return
+		}
+		if _, mounted := fs.mounts[n.ino]; mounted {
+			return // do not descend into foreign file systems
+		}
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			visit(n.children[name])
+		}
+	}
+	visit(fs.root)
+	return out
+}
+
+// FromSnapshot builds a file system from a snapshot. The first node
+// must be the root directory.
+func FromSnapshot(nodes []SnapNode) (*MemFS, error) {
+	fs := New()
+	for i, sn := range nodes {
+		if i == 0 {
+			if sn.Path != "/" || sn.Type != TypeDir {
+				return nil, fmt.Errorf("vfs: snapshot does not start at the root (got %q)", sn.Path)
+			}
+			continue
+		}
+		var err error
+		switch sn.Type {
+		case TypeDir:
+			err = fs.Mkdir(sn.Path)
+		case TypeSymlink:
+			err = fs.Symlink(sn.Target, sn.Path)
+		case TypeFile:
+			err = fs.WriteFile(sn.Path, sn.Data)
+		default:
+			err = fmt.Errorf("vfs: snapshot node %q has unknown type %d", sn.Path, sn.Type)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("vfs: restoring %q: %w", sn.Path, err)
+		}
+	}
+	// Second pass: restore modification times (creation above bumped
+	// parent mtimes).
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, sn := range nodes {
+		if t, err := fs.walk(sn.Path, false); err == nil && t.n != nil {
+			t.n.modTime = sn.ModTime
+		}
+	}
+	return fs, nil
+}
+
+// Save writes a portable snapshot of the file system to w.
+func (fs *MemFS) Save(w io.Writer) error {
+	nodes := fs.Snapshot()
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(snapshotHeader{Version: snapshotVersion, Nodes: len(nodes)}); err != nil {
+		return fmt.Errorf("vfs: encoding snapshot header: %w", err)
+	}
+	for i := range nodes {
+		if err := enc.Encode(&nodes[i]); err != nil {
+			return fmt.Errorf("vfs: encoding snapshot node %q: %w", nodes[i].Path, err)
+		}
+	}
+	return nil
+}
+
+// Load reads a snapshot written by Save and reconstructs the file
+// system.
+func Load(r io.Reader) (*MemFS, error) {
+	dec := gob.NewDecoder(r)
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("vfs: decoding snapshot header: %w", err)
+	}
+	if hdr.Version != snapshotVersion {
+		return nil, fmt.Errorf("vfs: unsupported snapshot version %d", hdr.Version)
+	}
+	nodes := make([]SnapNode, hdr.Nodes)
+	for i := range nodes {
+		if err := dec.Decode(&nodes[i]); err != nil {
+			return nil, fmt.Errorf("vfs: decoding snapshot node %d: %w", i, err)
+		}
+	}
+	return FromSnapshot(nodes)
+}

@@ -1,0 +1,129 @@
+package vfs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	fs := New()
+	clock := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	fs.SetClock(func() time.Time { return clock })
+	mustMkdirAll(t, fs, "/a/b")
+	mustWrite(t, fs, "/a/b/f.txt", "file content")
+	mustWrite(t, fs, "/top.txt", "top")
+	if err := fs.Symlink("/a/b/f.txt", "/a/ln"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/nowhere", "/dangling"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := fs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same file set, contents, and link targets.
+	origFiles, _ := Files(fs, "/")
+	newFiles, _ := Files(restored, "/")
+	if !reflect.DeepEqual(origFiles, newFiles) {
+		t.Fatalf("files differ: %v vs %v", origFiles, newFiles)
+	}
+	data, err := restored.ReadFile("/a/b/f.txt")
+	if err != nil || string(data) != "file content" {
+		t.Fatalf("content = %q, %v", data, err)
+	}
+	target, err := restored.Readlink("/a/ln")
+	if err != nil || target != "/a/b/f.txt" {
+		t.Fatalf("link target = %q, %v", target, err)
+	}
+	if target, err := restored.Readlink("/dangling"); err != nil || target != "/nowhere" {
+		t.Fatalf("dangling link = %q, %v", target, err)
+	}
+	// Modification times survive.
+	info, err := restored.Stat("/a/b/f.txt")
+	if err != nil || !info.ModTime.Equal(clock) {
+		t.Fatalf("mtime = %v, want %v (%v)", info.ModTime, clock, err)
+	}
+}
+
+func TestSnapshotEmptyFS(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := restored.ReadDir("/")
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("restored root = %v, %v", entries, err)
+	}
+}
+
+func TestSnapshotExcludesMounts(t *testing.T) {
+	host, guest := New(), New()
+	mustMkdirAll(t, host, "/mnt")
+	mustWrite(t, guest, "/secret.txt", "guest data")
+	if err := host.Mount("/mnt", guest); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := host.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mount point exists as a plain directory; guest data is not in
+	// the image.
+	info, err := restored.Stat("/mnt")
+	if err != nil || !info.IsDir() {
+		t.Fatalf("mount point = %+v, %v", info, err)
+	}
+	if _, err := restored.Stat("/mnt/secret.txt"); err == nil {
+		t.Fatal("guest data leaked into snapshot")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFromSnapshotRejectsBadRoot(t *testing.T) {
+	if _, err := FromSnapshot([]SnapNode{{Path: "/x", Type: TypeFile}}); err == nil {
+		t.Fatal("snapshot without root accepted")
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	fs := New()
+	mustMkdirAll(t, fs, "/z")
+	mustMkdirAll(t, fs, "/a")
+	mustWrite(t, fs, "/z/f", "1")
+	mustWrite(t, fs, "/a/g", "2")
+	s1 := fs.Snapshot()
+	s2 := fs.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("snapshots differ between calls")
+	}
+	// Parents precede children.
+	pos := map[string]int{}
+	for i, n := range s1 {
+		pos[n.Path] = i
+	}
+	if pos["/a"] > pos["/a/g"] || pos["/z"] > pos["/z/f"] {
+		t.Fatalf("order violates parent-first: %v", pos)
+	}
+}

@@ -1,0 +1,51 @@
+package vfs
+
+import "sync/atomic"
+
+// Stats counts file system operations; used by the benchmark harness to
+// verify that the same workload issues the same operation mix against
+// the substrate and the layered file systems.
+type Stats struct {
+	Mkdirs   atomic.Int64
+	Opens    atomic.Int64
+	Reads    atomic.Int64
+	Writes   atomic.Int64
+	Stats    atomic.Int64
+	ReadDirs atomic.Int64
+	Removes  atomic.Int64
+	Renames  atomic.Int64
+	Symlinks atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	Mkdirs   int64
+	Opens    int64
+	Reads    int64
+	Writes   int64
+	Stats    int64
+	ReadDirs int64
+	Removes  int64
+	Renames  int64
+	Symlinks int64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Mkdirs:   s.Mkdirs.Load(),
+		Opens:    s.Opens.Load(),
+		Reads:    s.Reads.Load(),
+		Writes:   s.Writes.Load(),
+		Stats:    s.Stats.Load(),
+		ReadDirs: s.ReadDirs.Load(),
+		Removes:  s.Removes.Load(),
+		Renames:  s.Renames.Load(),
+		Symlinks: s.Symlinks.Load(),
+	}
+}
+
+// Total returns the sum of all counters.
+func (s StatsSnapshot) Total() int64 {
+	return s.Mkdirs + s.Opens + s.Reads + s.Writes + s.Stats +
+		s.ReadDirs + s.Removes + s.Renames + s.Symlinks
+}

@@ -1,0 +1,199 @@
+package vfs
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func buildTree(t *testing.T) *MemFS {
+	t.Helper()
+	fs := New()
+	mustMkdirAll(t, fs, "/a/b")
+	mustMkdirAll(t, fs, "/a/c")
+	mustWrite(t, fs, "/a/b/f1", "1")
+	mustWrite(t, fs, "/a/b/f2", "22")
+	mustWrite(t, fs, "/a/c/f3", "333")
+	mustWrite(t, fs, "/top", "t")
+	if err := fs.Symlink("/a/b/f1", "/a/link"); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestWalkOrderAndCompleteness(t *testing.T) {
+	fs := buildTree(t)
+	var visited []string
+	err := Walk(fs, "/", func(p string, info Info) error {
+		visited = append(visited, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/", "/a", "/a/b", "/a/b/f1", "/a/b/f2", "/a/c", "/a/c/f3", "/a/link", "/top"}
+	if !reflect.DeepEqual(visited, want) {
+		t.Fatalf("Walk order = %v, want %v", visited, want)
+	}
+}
+
+func TestWalkSkipDir(t *testing.T) {
+	fs := buildTree(t)
+	var visited []string
+	err := Walk(fs, "/", func(p string, info Info) error {
+		visited = append(visited, p)
+		if p == "/a/b" {
+			return SkipDir
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range visited {
+		if p == "/a/b/f1" || p == "/a/b/f2" {
+			t.Fatalf("SkipDir did not skip %s", p)
+		}
+	}
+}
+
+func TestWalkErrorPropagates(t *testing.T) {
+	fs := buildTree(t)
+	boom := errors.New("boom")
+	err := Walk(fs, "/", func(p string, info Info) error {
+		if p == "/a/c" {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Walk err = %v, want boom", err)
+	}
+}
+
+func TestWalkDoesNotFollowSymlinks(t *testing.T) {
+	fs := New()
+	mustMkdirAll(t, fs, "/d")
+	// Self-referential directory loop via symlink.
+	if err := fs.Symlink("/d", "/d/self"); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	err := Walk(fs, "/", func(p string, info Info) error {
+		count++
+		if count > 100 {
+			return errors.New("walk followed symlink loop")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiles(t *testing.T) {
+	fs := buildTree(t)
+	files, err := Files(fs, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/a/b/f1", "/a/b/f2", "/a/c/f3", "/top"}
+	if !reflect.DeepEqual(files, want) {
+		t.Fatalf("Files = %v, want %v", files, want)
+	}
+	sub, err := Files(fs, "/a/c")
+	if err != nil || len(sub) != 1 || sub[0] != "/a/c/f3" {
+		t.Fatalf("Files(/a/c) = %v, %v", sub, err)
+	}
+}
+
+func TestCopyTree(t *testing.T) {
+	src := buildTree(t)
+	dst := New()
+	mustMkdirAll(t, dst, "/copy")
+	if err := CopyTree(src, "/a", dst, "/copy"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := dst.ReadFile("/copy/b/f2")
+	if err != nil || string(data) != "22" {
+		t.Fatalf("copied file = %q, %v", data, err)
+	}
+	target, err := dst.Readlink("/copy/link")
+	if err != nil || target != "/a/b/f1" {
+		t.Fatalf("copied symlink = %q, %v", target, err)
+	}
+}
+
+// Property: for any sequence of file creations under distinct generated
+// paths, Files returns exactly the created set.
+func TestPropertyFilesMatchesCreations(t *testing.T) {
+	f := func(names []uint8) bool {
+		fs := New()
+		created := map[string]bool{}
+		for i, n := range names {
+			dir := "/d" + string(rune('a'+int(n)%4))
+			if fs.MkdirAll(dir) != nil {
+				return false
+			}
+			p := Join(dir, "f"+string(rune('a'+i%26))+string(rune('0'+i/26%10)))
+			if fs.WriteFile(p, []byte{n}) != nil {
+				return false
+			}
+			created[p] = true
+		}
+		files, err := Files(fs, "/")
+		if err != nil {
+			return false
+		}
+		if len(files) != len(created) {
+			return false
+		}
+		for _, p := range files {
+			if !created[p] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	cases := []struct {
+		p, dir string
+		want   bool
+	}{
+		{"/a/b", "/a", true},
+		{"/a", "/a", true},
+		{"/ab", "/a", false},
+		{"/a/b", "/", true},
+		{"/", "/", true},
+		{"/x", "/a", false},
+	}
+	for _, c := range cases {
+		if got := HasPrefix(c.p, c.dir); got != c.want {
+			t.Errorf("HasPrefix(%q, %q) = %v, want %v", c.p, c.dir, got, c.want)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cases := []struct {
+		in, dir, base string
+	}{
+		{"/a/b/c", "/a/b", "c"},
+		{"/a", "/", "a"},
+		{"/", "/", ""},
+		{"/a/b/", "/a", "b"},
+	}
+	for _, c := range cases {
+		dir, base := Split(c.in)
+		if dir != c.dir || base != c.base {
+			t.Errorf("Split(%q) = (%q, %q), want (%q, %q)", c.in, dir, base, c.dir, c.base)
+		}
+	}
+}
