@@ -31,6 +31,9 @@ var (
 	words       = flag.Int("words", 150, "corpus: mean words per file (paper-scale: ~1200)")
 	seed        = flag.Int64("seed", 1, "corpus: generator seed")
 	reps        = flag.Int("reps", 3, "repetitions per timed measurement")
+	semDirs     = flag.Int("sem-dirs", 12, "parallel: independent semantic directories")
+	maxWorkers  = flag.Int("workers", 4, "parallel: highest worker count measured")
+	ioLatency   = flag.Duration("io-latency", 200*time.Microsecond, "parallel: emulated per-read device latency (0 = pure in-memory)")
 )
 
 func main() {
@@ -59,6 +62,8 @@ func main() {
 			err = table4(cspec)
 		case "space":
 			err = space(aspec)
+		case "parallel":
+			err = parallel(cspec)
 		case "ablate-order":
 			err = ablateOrder()
 		case "ablate-sets":
@@ -88,6 +93,7 @@ Experiments (default: all):
   table3        indexing time/space, direct vs HAC     (paper Table 3)
   table4        query cost, smkdir vs direct search    (paper Table 4)
   space         metadata and shared-memory footprints  (§4 in-text)
+  parallel      evaluation engine vs worker count      (EXPERIMENTS.md)
   ablate-order  targeted vs full consistency updates   (DESIGN.md A1)
   ablate-sets   bitmap vs sparse result sets           (DESIGN.md A2)
   ablate-scope  scope-direction design comparison      (DESIGN.md A3)
@@ -105,6 +111,7 @@ func runAll(aspec andrew.Spec, cspec corpus.Spec) error {
 		func() error { return table3(cspec) },
 		func() error { return table4(cspec) },
 		func() error { return space(aspec) },
+		func() error { return parallel(cspec) },
 		ablateOrder,
 		ablateSets,
 		ablateScope,
@@ -241,6 +248,28 @@ func space(spec andrew.Spec) error {
 		res.SharedMemoryBytes/1024)
 	fmt.Fprintf(w, "result bitmap per semantic dir\t%d B\t(paper: N/8 ≈ 2KB at N=17000)\n",
 		res.BitmapBytesPerDir)
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func parallel(spec corpus.Spec) error {
+	fmt.Printf("== Parallel evaluation engine (files=%d sem-dirs=%d io-latency=%s) ==\n",
+		spec.Files, *semDirs, *ioLatency)
+	counts := []int{1}
+	for w := 2; w <= *maxWorkers; w *= 2 {
+		counts = append(counts, w)
+	}
+	rows, err := bench.ParallelEval(spec, counts, *semDirs, *reps, *ioLatency)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Workers\tReindex\tspeedup\tSyncAll\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%s\t%.2fx\t%s\t%.2fx\n",
+			r.Workers, ms(r.Reindex), r.ReindexSpeedup, ms(r.SyncAll), r.SyncAllSpeedup)
+	}
 	w.Flush()
 	fmt.Println()
 	return nil

@@ -32,7 +32,7 @@ func main() {
 	}
 
 	// One command gathers everything.
-	must(fs.MkSemDir("/fingerprint", "fingerprint"))
+	must(fs.SemDir("/fingerprint", "fingerprint"))
 	show(fs, "initial query result", "/fingerprint")
 
 	// §2.3: no query system is perfect. The crime story matches but is
@@ -47,12 +47,12 @@ func main() {
 
 	// Refinement by hierarchy: a child semantic directory scopes over
 	// the parent's links only.
-	must(fs.MkSemDir("/fingerprint/code", "int OR match"))
+	must(fs.SemDir("/fingerprint/code", "int OR match"))
 	show(fs, "refinement /fingerprint/code (scope = parent's links)", "/fingerprint/code")
 
 	// §2.5: queries can reference directories. Collect everything in
 	// the tuned fingerprint collection that is NOT source code.
-	must(fs.MkSemDir("/fp-reading", "dir:/fingerprint AND NOT int"))
+	must(fs.SemDir("/fp-reading", "dir:/fingerprint AND NOT int"))
 	show(fs, "dir-reference query /fp-reading", "/fp-reading")
 
 	// Consistency under change: new mail arrives, an old note is

@@ -44,10 +44,10 @@ func main() {
 	// reference scopes each folder over the mailbox (§2.5 DAG-based
 	// scoping), wherever the folder itself lives.
 	must(fs.MkdirAll("/folders"))
-	must(fs.MkSemDir("/folders/from-alice", "dir:/mail AND from AND alice"))
-	must(fs.MkSemDir("/folders/from-bob", "dir:/mail AND from AND bob"))
-	must(fs.MkSemDir("/folders/fingerprint", "dir:/mail AND fingerprint"))
-	must(fs.MkSemDir("/folders/alice-fingerprint", "dir:/mail AND from AND alice AND fingerprint"))
+	must(fs.SemDir("/folders/from-alice", "dir:/mail AND from AND alice"))
+	must(fs.SemDir("/folders/from-bob", "dir:/mail AND from AND bob"))
+	must(fs.SemDir("/folders/fingerprint", "dir:/mail AND fingerprint"))
+	must(fs.SemDir("/folders/alice-fingerprint", "dir:/mail AND from AND alice AND fingerprint"))
 
 	for _, f := range []string{
 		"/folders/from-alice", "/folders/from-bob",

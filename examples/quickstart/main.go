@@ -24,7 +24,7 @@ func main() {
 	if _, err := fs.Reindex("/"); err != nil {
 		log.Fatal(err)
 	}
-	must(fs.MkSemDir("/recipes", "recipe"))
+	must(fs.SemDir("/recipes", "recipe"))
 
 	fmt.Println("links in /recipes:")
 	printDir(fs, "/recipes")

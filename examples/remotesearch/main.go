@@ -42,7 +42,7 @@ func main() {
 	// "We can add a semantic mount point associated with a query for
 	// fingerprint, thus ensuring that our knowledge of the subject is
 	// up to date (at least with the library)."
-	must(fs.MkSemDir("/fp", "fingerprint"))
+	must(fs.SemDir("/fp", "fingerprint"))
 	fmt.Println("/fp gathers local and remote results:")
 	show(fs, "/fp")
 
@@ -60,7 +60,7 @@ func main() {
 	show(fs, "/fp")
 
 	// Refine within the personal collection: hardware papers only.
-	must(fs.MkSemDir("/fp/hardware", "sensor OR hardware"))
+	must(fs.SemDir("/fp/hardware", "sensor OR hardware"))
 	fmt.Println("\nrefinement /fp/hardware (scope = the tuned /fp):")
 	show(fs, "/fp/hardware")
 

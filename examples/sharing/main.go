@@ -25,7 +25,7 @@ func main() {
 		"/docs/iris.txt":      "iris recognition survey",
 		"/docs/pie.txt":       "apple pie recipe",
 	})
-	must(alice.MkSemDir("/fingerprint", "fingerprint"))
+	must(alice.SemDir("/fingerprint", "fingerprint"))
 	// Her personal touch: the iris survey belongs in the collection.
 	must(alice.Symlink("/docs/iris.txt", "/fingerprint/iris.txt"))
 
@@ -36,7 +36,7 @@ func main() {
 
 	// --- Bob mounts Alice's volume syntactically. ----------------------
 	bobUnder := hacfs.NewMemFS()
-	bob := hacfs.NewVolumeOver(bobUnder, hacfs.Options{})
+	bob := hacfs.New(bobUnder)
 	must(bob.MkdirAll("/net/alice"))
 	must(bobUnder.Mount("/net/alice", remotefs.Dial(l.Addr().String())))
 
@@ -56,7 +56,7 @@ func main() {
 		"/papers/fp-survey.txt": "fingerprint biometrics overview",
 		"/papers/gait.txt":      "gait recognition methods",
 	})
-	must(bob.MkSemDir("/biometrics", "fingerprint OR gait"))
+	must(bob.SemDir("/biometrics", "fingerprint OR gait"))
 
 	// --- The central catalog (§3.2). ------------------------------------
 	cat := catalog.New()
@@ -94,7 +94,7 @@ func main() {
 	if _, err := bob.Reindex("/net/alice/docs"); err != nil {
 		log.Fatal(err)
 	}
-	must(bob.MkSemDir("/all-fp", "dir:/papers OR dir:\"/net/alice/docs\" AND fingerprint"))
+	must(bob.SemDir("/all-fp", "dir:/papers OR dir:\"/net/alice/docs\" AND fingerprint"))
 	targets, err := bob.LinkTargets("/all-fp")
 	must(err)
 	fmt.Println("\nBob's combined view (his papers + Alice's docs):")

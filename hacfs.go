@@ -18,8 +18,32 @@
 //	fs.MkdirAll("/notes")
 //	fs.WriteFile("/notes/a.txt", []byte("fingerprint matching"))
 //	fs.Reindex("/")                               // index the volume
-//	fs.MkSemDir("/fp", "fingerprint")             // semantic directory
+//	fs.SemDir("/fp", "fingerprint")               // semantic directory
 //	entries, _ := fs.ReadDir("/fp")               // links to matches
+//
+// # Options
+//
+// Volumes and evaluation passes are configured with functional options:
+//
+//	fs := hacfs.New(hacfs.NewMemFS(),
+//	        hacfs.WithParallelism(0),  // 0 = NumCPU workers
+//	        hacfs.WithVerify(true))
+//	fs.Reindex("/")                               // parallel tokenize
+//	fs.SyncAll(hacfs.WithParallelism(1))          // serial, this pass only
+//
+// Options given to New become the volume's defaults; options given to
+// Sync, SyncAll or Reindex override them for that pass. The struct-based
+// constructors (NewVolumeOver with Options) remain for compatibility.
+//
+// # Errors
+//
+// Failures carry the failing operation and path as a *PathError;
+// errors.As recovers it while errors.Is keeps matching the sentinels:
+//
+//	err := fs.SetQuery("/plain", "q")
+//	var pe *hacfs.PathError
+//	errors.As(err, &pe)                  // pe.Path == "/plain"
+//	errors.Is(err, hacfs.ErrNotSemantic) // true
 //
 // The package is a thin facade: the implementation lives in internal
 // packages (internal/hac for the HAC layer, internal/vfs for the
@@ -41,12 +65,41 @@ import (
 )
 
 // FS is a HAC file system. It implements FileSystem (all hierarchical
-// operations) and adds the semantic operations: MkSemDir, SetQuery,
+// operations) and adds the semantic operations: SemDir, SetQuery,
 // Sync, Reindex, SemanticMount, Links, Extract, and so on.
 type FS = hac.FS
 
-// Options configures a HAC volume.
+// Options configures a HAC volume (struct form; the functional Option
+// values below are the preferred interface).
 type Options = hac.Options
+
+// Option is a functional configuration value accepted by New and, for
+// per-pass overrides, by FS.Sync, FS.SyncAll and FS.Reindex.
+type Option = hac.Option
+
+// Functional options.
+var (
+	// WithParallelism sets the worker count for Reindex tokenization
+	// and within-level query re-evaluation (0 = NumCPU, 1 = serial).
+	WithParallelism = hac.WithParallelism
+	// WithVerify toggles Glimpse-style verification of query matches.
+	WithVerify = hac.WithVerify
+	// WithContext bounds one evaluation pass with a context.
+	WithContext = hac.WithContext
+	// WithAttrCacheSize bounds the attribute cache (construction only).
+	WithAttrCacheSize = hac.WithAttrCacheSize
+	// WithRemoteTimeout bounds each remote-namespace RPC (construction
+	// only; default 10s).
+	WithRemoteTimeout = hac.WithRemoteTimeout
+	// WithTransducer registers an attribute transducer (construction
+	// only).
+	WithTransducer = hac.WithTransducer
+)
+
+// PathError records the operation and path of a failed HAC or substrate
+// call. Recover it with errors.As; the wrapped sentinel remains
+// matchable with errors.Is.
+type PathError = vfs.PathError
 
 // FileSystem is the hierarchical operation set shared by HAC volumes
 // and raw substrates.
@@ -81,6 +134,11 @@ const (
 // mounted (§3 of the paper).
 type Namespace = hac.Namespace
 
+// ContextNamespace is a Namespace whose calls honor a context; HAC
+// bounds such namespaces with the volume's remote timeout during
+// evaluation.
+type ContextNamespace = hac.ContextNamespace
+
 // NodeType distinguishes files, directories and symlinks in Info and
 // DirEntry.
 type NodeType = vfs.NodeType
@@ -112,16 +170,24 @@ var (
 	ErrNotSemantic = hac.ErrNotSemantic
 	ErrDependedOn  = hac.ErrDependedOn
 	ErrDanglingRef = hac.ErrDanglingRef
+	ErrNoNamespace = hac.ErrNoNamespace
 )
 
-// NewVolume returns a HAC file system over a fresh in-memory substrate
-// with default options.
-func NewVolume() *FS {
-	return hac.New(vfs.New(), hac.Options{})
+// New layers HAC over a substrate file system, configured by functional
+// options — the canonical constructor.
+func New(under FileSystem, opts ...Option) *FS {
+	return hac.NewWith(under, opts...)
+}
+
+// NewVolume returns a HAC file system over a fresh in-memory substrate.
+func NewVolume(opts ...Option) *FS {
+	return hac.NewWith(vfs.New(), opts...)
 }
 
 // NewVolumeOver layers HAC over an existing substrate — any
 // FileSystem, including another process's exported volume.
+//
+// Deprecated: Use New with functional options.
 func NewVolumeOver(under FileSystem, opts Options) *FS {
 	return hac.New(under, opts)
 }

@@ -190,6 +190,89 @@ func (g *Graph) TopoAll() []uint64 {
 	return g.topoLocked(all)
 }
 
+// TopoLevels returns all nodes partitioned into dependency levels
+// (antichains): every node in level i has all of its dependencies in
+// levels < i, so the nodes of one level may be evaluated concurrently
+// once all earlier levels have committed. Levels are emitted in
+// topological order and each level is sorted by id.
+func (g *Graph) TopoLevels() [][]uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	all := make(map[uint64]bool, len(g.deps))
+	for id := range g.deps {
+		all[id] = true
+	}
+	return g.levelsLocked(all)
+}
+
+// AffectedLevels is AffectedBy partitioned into dependency levels, with
+// the same antichain guarantee as TopoLevels. When includeSelf is true,
+// id itself is part of the subset (as level 0, alone or with other
+// roots).
+func (g *Graph) AffectedLevels(id uint64, includeSelf bool) [][]uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	affected := map[uint64]bool{}
+	if includeSelf {
+		affected[id] = true
+	}
+	stack := []uint64{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range g.dependents[cur] {
+			if !affected[next] {
+				affected[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return g.levelsLocked(affected)
+}
+
+// levelsLocked runs layered Kahn over the induced subgraph: level 0 is
+// every node with no in-subset dependencies, level i+1 every node whose
+// last in-subset dependency sits in level i. Caller holds g.mu.
+func (g *Graph) levelsLocked(subset map[uint64]bool) [][]uint64 {
+	indeg := make(map[uint64]int, len(subset))
+	for id := range subset {
+		n := 0
+		for d := range g.deps[id] {
+			if subset[d] {
+				n++
+			}
+		}
+		indeg[id] = n
+	}
+	var frontier []uint64
+	for id, n := range indeg {
+		if n == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+
+	var levels [][]uint64
+	for len(frontier) > 0 {
+		level := frontier
+		levels = append(levels, level)
+		frontier = nil
+		for _, cur := range level {
+			for dep := range g.dependents[cur] {
+				if !subset[dep] {
+					continue
+				}
+				indeg[dep]--
+				if indeg[dep] == 0 {
+					frontier = append(frontier, dep)
+				}
+			}
+		}
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	}
+	return levels
+}
+
 // topoLocked runs Kahn's algorithm restricted to the given node subset,
 // breaking ties by ascending id for determinism. Caller holds g.mu.
 func (g *Graph) topoLocked(subset map[uint64]bool) []uint64 {

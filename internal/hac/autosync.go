@@ -78,6 +78,7 @@ func (fs *FS) autoSyncTouch(path string, removed bool) {
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.gen++ // the index changed; staged engine results are stale
 	// The change can affect any semantic directory whose scope covers
 	// the file; re-evaluate everything in dependency order.
 	_ = fs.syncAllLocked()

@@ -19,10 +19,11 @@ import (
 //   - the dependency graph has a node for the directory and an edge to
 //     its parent.
 //
-// It is a diagnostic: it takes the volume lock and is not cheap.
+// It is a diagnostic: it takes the volume lock (shared, so concurrent
+// readers proceed) and is not cheap.
 func (fs *FS) CheckConsistency() []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	var problems []string
 	report := func(format string, args ...interface{}) {
 		problems = append(problems, fmt.Sprintf(format, args...))

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"hacfs/internal/depgraph"
 	"hacfs/internal/index"
@@ -121,6 +122,15 @@ type Options struct {
 	// its candidate files. Slower, but the engine cost then matches a
 	// standalone Glimpse run (used by the Table 4 experiment).
 	VerifyMatches bool
+	// Parallelism is the default worker count for Reindex tokenization
+	// and within-level query re-evaluation (see engine.go). 0 selects
+	// runtime.NumCPU(); 1 keeps every pass serial. Per-pass overrides
+	// are available via WithParallelism.
+	Parallelism int
+	// RemoteTimeout bounds each dial/RPC issued to a mounted remote
+	// namespace during evaluation, so a hung server cannot wedge Sync.
+	// 0 selects the 10s default; negative disables the bound.
+	RemoteTimeout time.Duration
 	// Transducers registers attribute extractors at creation, keyed by
 	// file extension ("" = every file). Transducers are code and are
 	// not part of a saved volume; pass the same set to LoadVolume that
@@ -128,6 +138,10 @@ type Options struct {
 	// by the load-time reindex.
 	Transducers map[string][]index.Transducer
 }
+
+// DefaultRemoteTimeout bounds remote-namespace RPCs when
+// Options.RemoteTimeout is zero.
+const DefaultRemoteTimeout = 10 * time.Second
 
 // FS is a HAC file system layered over a substrate. It implements
 // vfs.FileSystem; semantic functionality is exposed through additional
@@ -138,14 +152,23 @@ type FS struct {
 	names *namemap.Map
 	graph *depgraph.Graph
 
-	mu     sync.Mutex
+	// mu is a read/write lock: mutations and link commits hold it for
+	// writing; Search, Links, Stats, CheckConsistency and the engine's
+	// evaluation phase hold it for reading, so readers no longer
+	// serialize behind re-evaluation. gen is bumped by every mutation
+	// under the write lock; the engine uses it to detect interleaved
+	// mutations between its evaluation and commit phases (engine.go).
+	mu     sync.RWMutex
+	gen    uint64
 	dirs   map[uint64]*dirState
 	mounts map[string][]Namespace // mount point path → mounted namespaces
 
-	attrs    *attrCache
-	fds      *fdTable
-	verify   bool
-	autoSync autoSyncSet
+	attrs         *attrCache
+	fds           *fdTable
+	verify        bool
+	par           int // default evaluation parallelism (0 = NumCPU)
+	remoteTimeout time.Duration
+	autoSync      autoSyncSet
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -155,16 +178,21 @@ func New(under vfs.FileSystem, opts Options) *FS {
 	if opts.AttrCacheSize <= 0 {
 		opts.AttrCacheSize = 4096
 	}
+	if opts.RemoteTimeout == 0 {
+		opts.RemoteTimeout = DefaultRemoteTimeout
+	}
 	fs := &FS{
-		under:  under,
-		ix:     index.New(),
-		names:  namemap.New(),
-		graph:  depgraph.New(),
-		dirs:   make(map[uint64]*dirState),
-		mounts: make(map[string][]Namespace),
-		attrs:  newAttrCache(opts.AttrCacheSize),
-		fds:    newFDTable(),
-		verify: opts.VerifyMatches,
+		under:         under,
+		ix:            index.New(),
+		names:         namemap.New(),
+		graph:         depgraph.New(),
+		dirs:          make(map[uint64]*dirState),
+		mounts:        make(map[string][]Namespace),
+		attrs:         newAttrCache(opts.AttrCacheSize),
+		fds:           newFDTable(),
+		verify:        opts.VerifyMatches,
+		par:           opts.Parallelism,
+		remoteTimeout: opts.RemoteTimeout,
 	}
 	for ext, ts := range opts.Transducers {
 		for _, t := range ts {
@@ -177,6 +205,19 @@ func New(under vfs.FileSystem, opts Options) *FS {
 	return fs
 }
 
+// NewWith wraps a substrate file system in a HAC layer configured by
+// functional options — the preferred constructor. NewWith(u) is
+// equivalent to New(u, Options{}); construction-time options are
+// WithParallelism, WithVerify, WithAttrCacheSize, WithRemoteTimeout and
+// WithTransducer.
+func NewWith(under vfs.FileSystem, opts ...Option) *FS {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return New(under, c.vol)
+}
+
 // Under returns the substrate file system.
 func (fs *FS) Under() vfs.FileSystem { return fs.under }
 
@@ -184,7 +225,7 @@ func (fs *FS) Under() vfs.FileSystem { return fs.under }
 func (fs *FS) Index() *index.Index { return fs.ix }
 
 // registerDirLocked ensures path has a UID, a dirState and a graph
-// node, returning its state. Caller holds fs.mu.
+// node, returning its state. Caller holds fs.mu for writing.
 func (fs *FS) registerDirLocked(path string) *dirState {
 	uid := fs.names.Register(path)
 	ds, ok := fs.dirs[uid]
@@ -192,6 +233,7 @@ func (fs *FS) registerDirLocked(path string) *dirState {
 		ds = newDirState(uid)
 		fs.dirs[uid] = ds
 		fs.graph.Add(uid)
+		fs.gen++
 	}
 	return ds
 }
@@ -217,8 +259,8 @@ func (fs *FS) IsSemantic(path string) bool {
 	if err != nil {
 		return false
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	ds, ok := fs.stateAtLocked(clean)
 	return ok && ds.semantic
 }
@@ -400,6 +442,7 @@ func (fs *FS) Symlink(target, link string) error {
 	dir, base := vfs.Split(clean)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.gen++
 	if ds, ok := fs.stateAtLocked(dir); ok && ds.semantic {
 		// If the target already had a (transient) link under another
 		// name, the user's new link supersedes it; drop the old one so
@@ -462,6 +505,7 @@ func (fs *FS) RemoveAll(path string) error {
 }
 
 func (fs *FS) removeLocked(clean string, recursive bool) error {
+	fs.gen++
 	dir, base := vfs.Split(clean)
 	_ = base
 
@@ -558,6 +602,7 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.gen++
 
 	info, statErr := fs.under.Lstat(oldClean)
 

@@ -1,6 +1,7 @@
 package hac
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -22,6 +23,50 @@ type Namespace interface {
 	// Fetch retrieves the content behind one result, for the sact
 	// command.
 	Fetch(path string) ([]byte, error)
+}
+
+// ContextNamespace is implemented by namespaces whose calls honor a
+// context (cancellation and deadlines). HAC bounds every evaluation-time
+// remote call with the volume's RemoteTimeout through this interface;
+// plain Namespaces are called without a bound.
+type ContextNamespace interface {
+	Namespace
+	SearchContext(ctx context.Context, query string) ([]string, error)
+	FetchContext(ctx context.Context, path string) ([]byte, error)
+}
+
+// rpcCtx derives the context for one remote namespace call: the pass
+// context bounded by the volume's RemoteTimeout.
+func (fs *FS) rpcCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if fs.remoteTimeout > 0 {
+		return context.WithTimeout(ctx, fs.remoteTimeout)
+	}
+	return ctx, func() {}
+}
+
+// nsSearch runs one namespace search, context-bounded when the
+// namespace supports it.
+func (fs *FS) nsSearch(ctx context.Context, ns Namespace, q string) ([]string, error) {
+	if cns, ok := ns.(ContextNamespace); ok {
+		cctx, cancel := fs.rpcCtx(ctx)
+		defer cancel()
+		return cns.SearchContext(cctx, q)
+	}
+	return ns.Search(q)
+}
+
+// nsFetch runs one namespace fetch, context-bounded when the namespace
+// supports it.
+func (fs *FS) nsFetch(ctx context.Context, ns Namespace, path string) ([]byte, error) {
+	if cns, ok := ns.(ContextNamespace); ok {
+		cctx, cancel := fs.rpcCtx(ctx)
+		defer cancel()
+		return cns.FetchContext(cctx, path)
+	}
+	return ns.Fetch(path)
 }
 
 // remoteScheme prefixes link targets that point into mounted
@@ -90,6 +135,7 @@ func (fs *FS) SemanticMount(path string, ns Namespace) error {
 	}
 	fs.registerDirLocked(clean)
 	fs.mounts[clean] = append(fs.mounts[clean], ns)
+	fs.gen++
 	// Queries whose scope covers the new mount must import its results.
 	return fs.syncAllLocked()
 }
@@ -110,6 +156,7 @@ func (fs *FS) SemanticUnmount(path, nsName string) error {
 			if len(fs.mounts[clean]) == 0 {
 				delete(fs.mounts, clean)
 			}
+			fs.gen++
 			return fs.syncAllLocked()
 		}
 	}
@@ -118,8 +165,8 @@ func (fs *FS) SemanticUnmount(path, nsName string) error {
 
 // SemanticMounts returns mount-point path → mounted namespace names.
 func (fs *FS) SemanticMounts() map[string][]string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	out := make(map[string][]string, len(fs.mounts))
 	for p, list := range fs.mounts {
 		names := make([]string, len(list))
@@ -132,7 +179,8 @@ func (fs *FS) SemanticMounts() map[string][]string {
 	return out
 }
 
-// syncAllLocked is SyncAll with fs.mu already held.
+// syncAllLocked is SyncAll with fs.mu already held for writing (always
+// serial — used by mutation paths).
 func (fs *FS) syncAllLocked() error {
 	for _, uid := range fs.graph.TopoAll() {
 		ds, ok := fs.dirs[uid]
@@ -150,8 +198,9 @@ func (fs *FS) syncAllLocked() error {
 // (§3): every namespace mounted within the scope provided by
 // parentPath evaluates the query independently; when the parent is
 // itself semantic, results are further restricted to the remote
-// targets the parent provides. Caller holds fs.mu.
-func (fs *FS) evalRemoteLocked(ds *dirState, parentPath string) (map[string]bool, error) {
+// targets the parent provides. Each remote call is bounded by ctx and
+// the volume's RemoteTimeout. Caller holds fs.mu (read suffices).
+func (fs *FS) evalRemoteLocked(ctx context.Context, ds *dirState, parentPath string) (map[string]bool, error) {
 	if len(fs.mounts) == 0 || ds.queryText == "" {
 		return nil, nil
 	}
@@ -177,7 +226,7 @@ func (fs *FS) evalRemoteLocked(ds *dirState, parentPath string) (map[string]bool
 				if !nsNames[ns.Name()] {
 					continue
 				}
-				results, err := ns.Search(ds.queryText)
+				results, err := fs.nsSearch(ctx, ns, ds.queryText)
 				if err != nil {
 					return nil, fmt.Errorf("hac: remote search in %s: %w", ns.Name(), err)
 				}
@@ -199,7 +248,7 @@ func (fs *FS) evalRemoteLocked(ds *dirState, parentPath string) (map[string]bool
 			continue
 		}
 		for _, ns := range list {
-			results, err := ns.Search(ds.queryText)
+			results, err := fs.nsSearch(ctx, ns, ds.queryText)
 			if err != nil {
 				return nil, fmt.Errorf("hac: remote search in %s: %w", ns.Name(), err)
 			}
@@ -234,9 +283,9 @@ func (fs *FS) Extract(linkPath string) ([]byte, error) {
 	if nsName, rpath, ok := splitRemoteTarget(target); ok {
 		ns := fs.namespaceByName(nsName)
 		if ns == nil {
-			return nil, fmt.Errorf("%w: %s", ErrNoNamespace, nsName)
+			return nil, pathErr("sact", linkPath, fmt.Errorf("%w: %s", ErrNoNamespace, nsName))
 		}
-		return ns.Fetch(rpath)
+		return fs.nsFetch(context.Background(), ns, rpath)
 	}
 	if !vfs.IsAbs(target) {
 		target = vfs.Join(vfs.Dir(clean), target)
@@ -245,8 +294,8 @@ func (fs *FS) Extract(linkPath string) ([]byte, error) {
 }
 
 func (fs *FS) namespaceByName(name string) Namespace {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	for _, list := range fs.mounts {
 		for _, ns := range list {
 			if ns.Name() == name {

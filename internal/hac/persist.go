@@ -45,7 +45,7 @@ func (fs *FS) SaveVolume(w io.Writer) error {
 	}
 	img := volumeImage{Version: volumeVersion, Nodes: mem.Snapshot()}
 
-	fs.mu.Lock()
+	fs.mu.RLock()
 	uids := make([]uint64, 0, len(fs.dirs))
 	for uid := range fs.dirs {
 		uids = append(uids, uid)
@@ -84,7 +84,7 @@ func (fs *FS) SaveVolume(w io.Writer) error {
 			queries = append(queries, pending{i, di.Path})
 		}
 	}
-	fs.mu.Unlock()
+	fs.mu.RUnlock()
 
 	for _, q := range queries {
 		disp, err := fs.QueryDisplay(q.path)

@@ -8,85 +8,125 @@ import (
 	"hacfs/internal/vfs"
 )
 
-// MkSemDir creates a semantic directory at path with the given query
-// (the paper's smkdir). The query may be empty, in which case the
-// directory starts with no transient links and can be given a query
-// later with SetQuery. The directory is populated immediately: HAC
-// evaluates the query over the scope provided by the parent and creates
-// a transient symbolic link for every match.
-func (fs *FS) MkSemDir(path, queryStr string) error {
+// SemDir ensures a semantic directory at path with the given query —
+// the single entry point behind the paper's smkdir. If path does not
+// exist the directory is created (and removed again should query
+// installation fail, so creation is atomic). If path is an existing
+// directory it is converted in place, keeping its contents; existing
+// symbolic links are classified permanent (the user put them there).
+//
+// The query may be empty, in which case the directory starts with no
+// transient links and can be given a query later with SetQuery.
+// Otherwise the directory is populated immediately: HAC evaluates the
+// query over the scope provided by the parent and creates a transient
+// symbolic link for every match.
+func (fs *FS) SemDir(path, queryStr string) error {
 	clean, err := vfs.Clean(path)
 	if err != nil {
-		return &vfs.PathError{Op: "smkdir", Path: path, Err: err}
+		return pathErr("smkdir", path, err)
 	}
 	ast, err := parseQuery(queryStr)
 	if err != nil {
 		return err
 	}
-	if err := fs.Mkdir(clean); err != nil {
-		return err
+	created := false
+	if _, lerr := fs.under.Lstat(clean); lerr != nil {
+		if !isNotExist(lerr) {
+			return lerr
+		}
+		if err := fs.Mkdir(clean); err != nil {
+			return err
+		}
+		created = true
+	} else {
+		info, err := fs.under.Stat(clean)
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return pathErr("smkdir", path, vfs.ErrNotDir)
+		}
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	ds, _ := fs.stateAtLocked(clean)
-	ds.semantic = true
-	if err := fs.installQueryLocked(ds, clean, ast); err != nil {
-		// Roll back so smkdir is atomic: demote the directory before
-		// releasing the lock (no other goroutine may observe a
-		// half-built semantic directory), then remove it.
-		ds.semantic = false
-		fs.mu.Unlock()
-		_ = fs.Remove(clean)
-		fs.mu.Lock()
+	ds := fs.registerDirLocked(clean)
+	if err := fs.makeSemanticLocked(ds, clean, ast, !created); err != nil {
+		if created {
+			// Roll back so smkdir is atomic: demote the directory before
+			// releasing the lock (no other goroutine may observe a
+			// half-built semantic directory), then remove it.
+			ds.semantic = false
+			fs.mu.Unlock()
+			_ = fs.Remove(clean)
+			fs.mu.Lock()
+		}
 		return err
 	}
 	return fs.syncFromLocked(ds.uid)
 }
 
+// makeSemanticLocked promotes ds to semantic (adopting the directory's
+// pre-existing symlinks as permanent links when adoptLinks is set) and
+// installs the query. Caller holds fs.mu for writing.
+func (fs *FS) makeSemanticLocked(ds *dirState, clean string, ast query.Node, adoptLinks bool) error {
+	if !ds.semantic {
+		ds.semantic = true
+		fs.gen++
+		if adoptLinks {
+			entries, err := fs.under.ReadDir(clean)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				if e.Type != vfs.TypeSymlink {
+					continue
+				}
+				lp := vfs.Join(clean, e.Name)
+				if target, err := fs.under.Readlink(lp); err == nil {
+					ds.class[target] = Permanent
+					ds.linkName[target] = e.Name
+				}
+			}
+		}
+	}
+	return fs.installQueryLocked(ds, clean, ast)
+}
+
+// MkSemDir creates a new semantic directory at path with the given
+// query. It fails if path already exists.
+//
+// Deprecated: Use SemDir, which additionally converts existing
+// directories in place.
+func (fs *FS) MkSemDir(path, queryStr string) error {
+	clean, err := vfs.Clean(path)
+	if err != nil {
+		return pathErr("smkdir", path, err)
+	}
+	if _, lerr := fs.under.Lstat(clean); lerr == nil {
+		// Preserve the substrate's "already exists" error.
+		return fs.Mkdir(clean)
+	}
+	return fs.SemDir(clean, queryStr)
+}
+
 // MakeSemantic converts an existing directory into a semantic directory
-// with the given query, keeping its contents. Existing symbolic links
-// in the directory are classified permanent (the user put them there).
+// with the given query. It fails if path does not exist.
+//
+// Deprecated: Use SemDir, which additionally creates the directory when
+// it is missing.
 func (fs *FS) MakeSemantic(path, queryStr string) error {
 	clean, err := vfs.Clean(path)
 	if err != nil {
-		return &vfs.PathError{Op: "smkdir", Path: path, Err: err}
-	}
-	ast, err := parseQuery(queryStr)
-	if err != nil {
-		return err
+		return pathErr("smkdir", path, err)
 	}
 	info, err := fs.under.Stat(clean)
 	if err != nil {
 		return err
 	}
 	if !info.IsDir() {
-		return &vfs.PathError{Op: "smkdir", Path: path, Err: vfs.ErrNotDir}
+		return pathErr("smkdir", path, vfs.ErrNotDir)
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	ds := fs.registerDirLocked(clean)
-	if !ds.semantic {
-		ds.semantic = true
-		// Adopt pre-existing symlinks as permanent.
-		entries, err := fs.under.ReadDir(clean)
-		if err != nil {
-			return err
-		}
-		for _, e := range entries {
-			if e.Type != vfs.TypeSymlink {
-				continue
-			}
-			lp := vfs.Join(clean, e.Name)
-			if target, err := fs.under.Readlink(lp); err == nil {
-				ds.class[target] = Permanent
-				ds.linkName[target] = e.Name
-			}
-		}
-	}
-	if err := fs.installQueryLocked(ds, clean, ast); err != nil {
-		return err
-	}
-	return fs.syncFromLocked(ds.uid)
+	return fs.SemDir(clean, queryStr)
 }
 
 // MakeSyntactic discards a directory's content-based behavior (the
@@ -108,6 +148,7 @@ func (fs *FS) MakeSyntactic(path string) error {
 	if !ok || !ds.semantic {
 		return &vfs.PathError{Op: "smkdir", Path: path, Err: ErrNotSemantic}
 	}
+	fs.gen++
 	ds.semantic = false
 	ds.ast = nil
 	ds.queryText = ""
@@ -140,6 +181,7 @@ func (fs *FS) SetQuery(path, queryStr string) error {
 	if !ok || !ds.semantic {
 		return &vfs.PathError{Op: "squery", Path: path, Err: ErrNotSemantic}
 	}
+	fs.gen++
 	if err := fs.installQueryLocked(ds, clean, ast); err != nil {
 		return err
 	}
@@ -154,8 +196,8 @@ func (fs *FS) Query(path string) (string, error) {
 	if err != nil {
 		return "", &vfs.PathError{Op: "squery", Path: path, Err: err}
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	ds, ok := fs.stateAtLocked(clean)
 	if !ok || !ds.semantic {
 		return "", &vfs.PathError{Op: "squery", Path: path, Err: ErrNotSemantic}
@@ -170,8 +212,8 @@ func (fs *FS) QueryDisplay(path string) (string, error) {
 	if err != nil {
 		return "", &vfs.PathError{Op: "squery", Path: path, Err: err}
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	ds, ok := fs.stateAtLocked(clean)
 	if !ok || !ds.semantic {
 		return "", &vfs.PathError{Op: "squery", Path: path, Err: ErrNotSemantic}
@@ -268,8 +310,8 @@ func (fs *FS) rebindDepsLocked(ds *dirState) error {
 // SemanticDirs returns the paths of all semantic directories in the
 // volume, sorted.
 func (fs *FS) SemanticDirs() []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	var out []string
 	for uid, ds := range fs.dirs {
 		if !ds.semantic {
@@ -291,8 +333,8 @@ func (fs *FS) Links(path string) ([]Link, error) {
 	if err != nil {
 		return nil, &vfs.PathError{Op: "slinks", Path: path, Err: err}
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	ds, ok := fs.stateAtLocked(clean)
 	if !ok || !ds.semantic {
 		return nil, &vfs.PathError{Op: "slinks", Path: path, Err: ErrNotSemantic}
@@ -339,6 +381,7 @@ func (fs *FS) MarkPermanent(dirPath, target string) error {
 	if !ok || !ds.semantic {
 		return &vfs.PathError{Op: "spermanent", Path: dirPath, Err: ErrNotSemantic}
 	}
+	fs.gen++
 	delete(ds.prohibited, target)
 	if _, had := ds.class[target]; !had {
 		name, err := fs.materializeLinkLocked(ds, clean, target)
@@ -365,6 +408,7 @@ func (fs *FS) MarkProhibited(dirPath, target string) error {
 	if !ok || !ds.semantic {
 		return &vfs.PathError{Op: "sprohibit", Path: dirPath, Err: ErrNotSemantic}
 	}
+	fs.gen++
 	if name, had := ds.linkName[target]; had {
 		if err := fs.under.Remove(vfs.Join(clean, name)); err != nil && !isNotExist(err) {
 			return err
@@ -390,6 +434,7 @@ func (fs *FS) Unprohibit(dirPath, target string) error {
 	if !ok || !ds.semantic {
 		return &vfs.PathError{Op: "sunprohibit", Path: dirPath, Err: ErrNotSemantic}
 	}
+	fs.gen++
 	delete(ds.prohibited, target)
 	return fs.syncFromLocked(ds.uid)
 }

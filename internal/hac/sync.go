@@ -1,8 +1,10 @@
 package hac
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"hacfs/internal/bitset"
@@ -10,43 +12,47 @@ import (
 	"hacfs/internal/vfs"
 )
 
+// pathErr wraps err with the operation and path that failed, so callers
+// can recover the path via errors.As(&hacfs.PathError{}) while
+// errors.Is against the sentinels keeps working through Unwrap.
+func pathErr(op, path string, err error) error {
+	return &vfs.PathError{Op: op, Path: path, Err: err}
+}
+
 // Sync restores scope consistency (§2.3) for the directory at path and
 // everything that directly or indirectly depends on it — the paper's
-// ssync command. Directories are re-evaluated in topological order of
-// the dependency DAG (§2.5), which for purely hierarchical dependencies
-// reduces to the top-down subtree traversal the paper describes.
-func (fs *FS) Sync(path string) error {
+// ssync command. Directories are re-evaluated level by level in
+// topological order of the dependency DAG (§2.5); within one level
+// (an antichain of the DAG) directories are independent and are
+// evaluated concurrently by the engine in engine.go. Options override
+// the volume defaults for this pass (WithParallelism, WithVerify,
+// WithContext).
+func (fs *FS) Sync(path string, opts ...Option) error {
 	clean, err := vfs.Clean(path)
 	if err != nil {
-		return &vfs.PathError{Op: "ssync", Path: path, Err: err}
+		return pathErr("ssync", path, err)
 	}
+	cfg := fs.evalCfg(opts)
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	info, err := fs.under.Stat(clean)
 	if err != nil {
+		fs.mu.Unlock()
 		return err
 	}
 	if !info.IsDir() {
-		return &vfs.PathError{Op: "ssync", Path: path, Err: vfs.ErrNotDir}
+		fs.mu.Unlock()
+		return pathErr("ssync", path, vfs.ErrNotDir)
 	}
 	ds := fs.registerDirLocked(clean)
-	return fs.syncFromLocked(ds.uid)
+	uid := ds.uid
+	fs.mu.Unlock()
+	return fs.syncLevels(fs.graph.AffectedLevels(uid, true), cfg)
 }
 
-// SyncAll restores scope consistency for the whole volume.
-func (fs *FS) SyncAll() error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	for _, uid := range fs.graph.TopoAll() {
-		ds, ok := fs.dirs[uid]
-		if !ok || !ds.semantic {
-			continue
-		}
-		if err := fs.reevalLocked(ds); err != nil {
-			return err
-		}
-	}
-	return nil
+// SyncAll restores scope consistency for the whole volume, level by
+// level (see Sync).
+func (fs *FS) SyncAll(opts ...Option) error {
+	return fs.syncLevels(fs.graph.TopoLevels(), fs.evalCfg(opts))
 }
 
 // syncFromLocked re-evaluates uid itself (if semantic) and then every
@@ -77,19 +83,44 @@ func (fs *FS) syncDependentsLocked(uid uint64) error {
 	return nil
 }
 
-// reevalLocked recomputes the transient links of ds — the core of the
-// paper's scope-consistency algorithm:
+// reevalLocked recomputes the transient links of ds with the volume's
+// default evaluation settings. Caller holds fs.mu for writing.
+func (fs *FS) reevalLocked(ds *dirState) error {
+	return fs.reevalCfgLocked(ds, fs.defaultEvalCfg())
+}
+
+// defaultEvalCfg is the volume's standing evaluation configuration,
+// used by the serial consistency paths triggered from mutations.
+func (fs *FS) defaultEvalCfg() evalConfig {
+	return evalConfig{parallelism: 1, verify: fs.verify, ctx: context.Background()}
+}
+
+// reevalCfgLocked computes and immediately commits ds's new transient
+// set — the serial form of the engine's evaluate/commit pipeline.
+// Caller holds fs.mu for writing.
+func (fs *FS) reevalCfgLocked(ds *dirState, cfg evalConfig) error {
+	newTargets, err := fs.computeTargetsLocked(ds, cfg)
+	if err != nil {
+		return err
+	}
+	return fs.commitTargetsLocked(ds, newTargets)
+}
+
+// computeTargetsLocked evaluates ds's query and returns its new
+// transient target set — the read-only half of the paper's
+// scope-consistency algorithm:
 //
 //  1. re-evaluate the query over the scope provided by the parent;
 //  2. discard results that are permanent or prohibited in ds;
 //  3. the remainder is the new transient set (permanent and prohibited
 //     sets are never touched).
 //
-// Caller holds fs.mu.
-func (fs *FS) reevalLocked(ds *dirState) error {
+// It mutates nothing, so the engine may run many of these concurrently
+// under the read lock. Caller holds fs.mu (read suffices).
+func (fs *FS) computeTargetsLocked(ds *dirState, cfg evalConfig) (map[string]bool, error) {
 	dirPath, ok := fs.pathOfLocked(ds.uid)
 	if !ok {
-		return fmt.Errorf("%w: uid %d", ErrDanglingRef, ds.uid)
+		return nil, fmt.Errorf("%w: uid %d", ErrDanglingRef, ds.uid)
 	}
 	parentPath := vfs.Dir(dirPath)
 
@@ -97,7 +128,7 @@ func (fs *FS) reevalLocked(ds *dirState) error {
 	if ds.ast != nil {
 		local, err := query.Eval(ds.ast, &evalEnv{fs: fs})
 		if err != nil {
-			return fmt.Errorf("hac: evaluating query of %s: %w", dirPath, err)
+			return nil, pathErr("ssync", dirPath, fmt.Errorf("evaluating query: %w", err))
 		}
 		// Scope restriction (§2.3/§2.5). A query without directory
 		// references gets the strict hierarchical behavior: an implicit
@@ -109,7 +140,7 @@ func (fs *FS) reevalLocked(ds *dirState) error {
 			local.And(fs.providedScopeLocalLocked(parentPath))
 		}
 		matched := fs.ix.Paths(local)
-		if fs.verify {
+		if cfg.verify {
 			// Glimpse-style second level: confirm each candidate by
 			// scanning its content for the query terms.
 			verifyMatches(fs.under, matched, query.Terms(ds.ast))
@@ -117,9 +148,9 @@ func (fs *FS) reevalLocked(ds *dirState) error {
 		for _, p := range matched {
 			newTargets[p] = true
 		}
-		remote, err := fs.evalRemoteLocked(ds, parentPath)
+		remote, err := fs.evalRemoteLocked(cfg.ctx, ds, parentPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for t := range remote {
 			newTargets[t] = true
@@ -136,13 +167,27 @@ func (fs *FS) reevalLocked(ds *dirState) error {
 			delete(newTargets, t)
 		}
 	}
+	return newTargets, nil
+}
 
-	// Diff against the current transient set, mutating the underlying
-	// directory to match.
+// commitTargetsLocked diffs newTargets against ds's current transient
+// set, mutating the underlying directory to match. Targets are
+// processed in sorted order so the substrate mutations — and therefore
+// collision-suffixed link names — are deterministic. Caller holds
+// fs.mu for writing.
+func (fs *FS) commitTargetsLocked(ds *dirState, newTargets map[string]bool) error {
+	dirPath, ok := fs.pathOfLocked(ds.uid)
+	if !ok {
+		return fmt.Errorf("%w: uid %d", ErrDanglingRef, ds.uid)
+	}
+	var drop []string
 	for t, c := range ds.class {
-		if c != Transient || newTargets[t] {
-			continue
+		if c == Transient && !newTargets[t] {
+			drop = append(drop, t)
 		}
+	}
+	sort.Strings(drop)
+	for _, t := range drop {
 		if name, ok := ds.linkName[t]; ok {
 			if err := fs.under.Remove(vfs.Join(dirPath, name)); err != nil && !isNotExist(err) {
 				return err
@@ -151,10 +196,14 @@ func (fs *FS) reevalLocked(ds *dirState) error {
 		delete(ds.class, t)
 		delete(ds.linkName, t)
 	}
+	var add []string
 	for t := range newTargets {
-		if _, ok := ds.class[t]; ok {
-			continue // already linked (transient survivor)
+		if _, ok := ds.class[t]; !ok {
+			add = append(add, t)
 		}
+	}
+	sort.Strings(add)
+	for _, t := range add {
 		name, err := fs.materializeLinkLocked(ds, dirPath, t)
 		if err != nil {
 			return err
@@ -282,8 +331,8 @@ func (fs *FS) Search(queryStr, scopePath string) ([]string, error) {
 	if ast == nil {
 		return nil, nil
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	// Bind path references without registering permanent state.
 	for _, ref := range query.Refs(ast) {
 		if ref.UID != 0 {
@@ -321,7 +370,13 @@ type IndexReport struct {
 // ("at reindexing time, all scope and data inconsistencies are
 // settled"). The file walk goes through the HAC layer itself, as in
 // the paper's Table 3 setup.
-func (fs *FS) Reindex(root string) (IndexReport, error) {
+//
+// Files are read and tokenized by a pool of cfg.parallelism workers
+// (WithParallelism, default Options.Parallelism, 0 = NumCPU); index
+// insertion stays single-writer in walk order, so document IDs — and
+// therefore all downstream bitmaps — are identical to a serial run.
+func (fs *FS) Reindex(root string, opts ...Option) (IndexReport, error) {
+	cfg := fs.evalCfg(opts)
 	var rep IndexReport
 	// Register directories first — the paper's per-directory structures
 	// and global-map entries are part of HAC's indexing cost.
@@ -336,12 +391,18 @@ func (fs *FS) Reindex(root string) (IndexReport, error) {
 	if err != nil {
 		return rep, err
 	}
-	added, updated, removed, err := fs.ix.SyncTree(fs, root)
+	added, updated, removed, err := fs.ix.SyncTreeParallel(fs, root, cfg.parallelism)
 	rep = IndexReport{Added: added, Updated: updated, Removed: removed}
+	// The index changed outside fs.mu; bump the generation so any
+	// evaluation pass that overlapped the re-index falls back rather
+	// than committing results staged against the old index.
+	fs.mu.Lock()
+	fs.gen++
+	fs.mu.Unlock()
 	if err != nil {
 		return rep, err
 	}
-	return rep, fs.SyncAll()
+	return rep, fs.SyncAll(opts...)
 }
 
 // Stats reports HAC-layer health counters.
@@ -356,8 +417,8 @@ type Stats struct {
 
 // Stats returns a snapshot of the layer's counters.
 func (fs *FS) Stats() Stats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	s := Stats{
 		Directories: len(fs.dirs),
 		GraphNodes:  fs.graph.Len(),
@@ -377,8 +438,8 @@ func (fs *FS) Stats() Stats {
 // dependency graph, and the per-semantic-directory result bitmap of N/8
 // bytes) — the paper's "222 KB vs 210 KB" experiment.
 func (fs *FS) MetadataBytes() int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	total := fs.names.SizeBytes()
 	universe := fs.ix.Universe()
 	for _, ds := range fs.dirs {

@@ -14,6 +14,7 @@ package index
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hacfs/internal/bitset"
@@ -77,20 +78,44 @@ func (ix *Index) Add(path string, content []byte) DocID {
 // AddWithTime is Add recording the document's modification time, used
 // by SyncTree to detect staleness.
 func (ix *Index) AddWithTime(path string, content []byte, modTime time.Time) DocID {
+	return ix.commitDoc(ix.prepareDoc(path, content, modTime))
+}
+
+// preparedDoc is a tokenized document awaiting its single-writer merge
+// into the index. Preparation (the expensive part: tokenization plus
+// transducers) runs without the index write lock, so many documents can
+// be prepared concurrently and committed by one writer.
+type preparedDoc struct {
+	path    string
+	modTime time.Time
+	size    int
+	terms   map[string]struct{}
+}
+
+// prepareDoc tokenizes content and runs the transducers. It does not
+// take the write lock and is safe to call from many goroutines.
+func (ix *Index) prepareDoc(path string, content []byte, modTime time.Time) preparedDoc {
 	terms := ix.termSet(content)
 	for _, t := range ix.applyTransducers(path, content) {
 		terms[t] = struct{}{}
 	}
+	return preparedDoc{path: path, modTime: modTime, size: len(content), terms: terms}
+}
+
+// commitDoc merges one prepared document under the write lock. Commit
+// order determines document IDs, so a deterministic caller must commit
+// in a deterministic order.
+func (ix *Index) commitDoc(d preparedDoc) DocID {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if old, ok := ix.byPath[path]; ok {
+	if old, ok := ix.byPath[d.path]; ok {
 		ix.tombstone(old)
 	}
 	id := DocID(len(ix.docs))
-	ix.docs = append(ix.docs, docEntry{path: path, modTime: modTime, size: len(content), alive: true})
-	ix.byPath[path] = id
+	ix.docs = append(ix.docs, docEntry{path: d.path, modTime: d.modTime, size: d.size, alive: true})
+	ix.byPath[d.path] = id
 	ix.alive.Add(id)
-	for term := range terms {
+	for term := range d.terms {
 		bm, ok := ix.postings[term]
 		if !ok {
 			bm = bitset.NewBitmap(0)
@@ -366,6 +391,121 @@ func (ix *Index) Compact() map[DocID]DocID {
 	return remap
 }
 
+// SyncTreeParallel is SyncTree with file reads and tokenization fanned
+// out over a pool of workers goroutines. A single writer merges the
+// prepared documents in walk (sorted-path) order, so the resulting
+// index — document IDs included — is identical to a serial SyncTree
+// over the same tree. workers <= 1 falls back to the serial path.
+func (ix *Index) SyncTreeParallel(fsys vfs.FileSystem, root string, workers int) (added, updated, removed int, err error) {
+	if workers <= 1 {
+		return ix.SyncTree(fsys, root)
+	}
+
+	// Phase 1: one cheap serial walk decides what needs (re)indexing.
+	type job struct {
+		path    string
+		modTime time.Time
+		existed bool
+	}
+	var jobs []job
+	seen := make(map[string]bool)
+	err = vfs.Walk(fsys, root, func(p string, info vfs.Info) error {
+		if info.Type != vfs.TypeFile {
+			return nil
+		}
+		seen[p] = true
+		ix.mu.RLock()
+		id, ok := ix.byPath[p]
+		stale := ok && !ix.docs[id].modTime.Equal(info.ModTime)
+		ix.mu.RUnlock()
+		if ok && !stale {
+			return nil
+		}
+		jobs = append(jobs, job{path: p, modTime: info.ModTime, existed: ok})
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	// Phase 2+3: workers read and tokenize one bounded chunk at a
+	// time; the chunk is then merged by a single writer in walk order,
+	// which keeps document IDs deterministic. Chunking bounds how many
+	// prepared term sets are alive at once — preparing the whole tree
+	// before committing any of it made the heap (and GC time) grow
+	// with the corpus, erasing the tokenization speedup.
+	type prep struct {
+		doc preparedDoc
+		err error
+	}
+	chunk := 32 * workers
+	preps := make([]prep, chunk)
+	for lo := 0; lo < len(jobs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		var next atomic.Int64
+		next.Store(int64(lo))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= hi {
+						return
+					}
+					content, err := fsys.ReadFile(jobs[i].path)
+					if err != nil {
+						preps[i-lo] = prep{err: err}
+						continue
+					}
+					preps[i-lo] = prep{doc: ix.prepareDoc(jobs[i].path, content, jobs[i].modTime)}
+				}
+			}()
+		}
+		wg.Wait()
+		for i := lo; i < hi; i++ {
+			p := &preps[i-lo]
+			if p.err != nil {
+				return added, updated, removed, p.err
+			}
+			ix.commitDoc(p.doc)
+			*p = prep{}
+			if jobs[i].existed {
+				updated++
+			} else {
+				added++
+			}
+		}
+	}
+
+	removed = ix.removeVanished(root, seen)
+	return added, updated, removed, nil
+}
+
+// removeVanished drops indexed documents under root that are absent
+// from seen, returning how many were removed.
+func (ix *Index) removeVanished(root string, seen map[string]bool) int {
+	ix.mu.RLock()
+	var gone []string
+	for p := range ix.byPath {
+		if vfs.HasPrefix(p, root) && !seen[p] {
+			gone = append(gone, p)
+		}
+	}
+	ix.mu.RUnlock()
+	removed := 0
+	for _, p := range gone {
+		if ix.Remove(p) {
+			removed++
+		}
+	}
+	return removed
+}
+
 // SyncTree incrementally reindexes all regular files under root in
 // fsys: new files are added, files whose modification time changed are
 // re-indexed, and indexed files that no longer exist under root are
@@ -403,19 +543,6 @@ func (ix *Index) SyncTree(fsys vfs.FileSystem, root string) (added, updated, rem
 	if err != nil {
 		return added, updated, removed, err
 	}
-	// Remove vanished documents under root.
-	ix.mu.RLock()
-	var gone []string
-	for p := range ix.byPath {
-		if vfs.HasPrefix(p, root) && !seen[p] {
-			gone = append(gone, p)
-		}
-	}
-	ix.mu.RUnlock()
-	for _, p := range gone {
-		if ix.Remove(p) {
-			removed++
-		}
-	}
+	removed = ix.removeVanished(root, seen)
 	return added, updated, removed, nil
 }

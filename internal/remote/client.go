@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -10,10 +11,11 @@ import (
 	"time"
 )
 
-// Client talks the remote CBA protocol and implements hac.Namespace, so
-// a remote server can be semantically mounted into a local HAC volume.
-// A single connection is maintained and re-dialed on failure; the
-// client is safe for concurrent use (requests are serialized).
+// Client talks the remote CBA protocol and implements hac.Namespace —
+// and hac.ContextNamespace, so evaluation passes can bound every call
+// with a context on top of the client's own per-request timeout. A
+// single connection is maintained and re-dialed on failure; the client
+// is safe for concurrent use (requests are serialized).
 type Client struct {
 	name    string
 	addr    string
@@ -58,11 +60,12 @@ func (c *Client) dropLocked() error {
 	return err
 }
 
-func (c *Client) ensureLocked() error {
+func (c *Client) ensureLocked(ctx context.Context) error {
 	if c.conn != nil {
 		return nil
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return fmt.Errorf("remote: dial %s: %w", c.addr, err)
 	}
@@ -72,17 +75,33 @@ func (c *Client) ensureLocked() error {
 	return nil
 }
 
+// deadlineLocked computes the connection deadline for one request: the
+// per-request timeout, further tightened by the context's deadline.
+func (c *Client) deadlineLocked(ctx context.Context) time.Time {
+	var dl time.Time
+	if c.timeout > 0 {
+		dl = time.Now().Add(c.timeout)
+	}
+	if cd, ok := ctx.Deadline(); ok && (dl.IsZero() || cd.Before(dl)) {
+		dl = cd
+	}
+	return dl
+}
+
 // roundTrip sends one request line and returns the first reply line.
 // On transport errors the connection is dropped and the request retried
 // once on a fresh connection.
-func (c *Client) roundTrip(parts ...string) (string, error) {
+func (c *Client) roundTrip(ctx context.Context, parts ...string) (string, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		if err := c.ensureLocked(); err != nil {
+		if err := ctx.Err(); err != nil {
 			return "", err
 		}
-		if c.timeout > 0 {
-			c.conn.SetDeadline(time.Now().Add(c.timeout))
+		if err := c.ensureLocked(ctx); err != nil {
+			return "", err
+		}
+		if dl := c.deadlineLocked(ctx); !dl.IsZero() {
+			c.conn.SetDeadline(dl)
 		}
 		if err := writeLine(c.w, parts...); err == nil {
 			if err = c.w.Flush(); err == nil {
@@ -103,10 +122,13 @@ func (c *Client) roundTrip(parts ...string) (string, error) {
 }
 
 // Ping checks liveness.
-func (c *Client) Ping() error {
+func (c *Client) Ping() error { return c.PingContext(context.Background()) }
+
+// PingContext checks liveness, bounded by ctx.
+func (c *Client) PingContext(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	line, err := c.roundTrip(verbPing)
+	line, err := c.roundTrip(ctx, verbPing)
 	if err != nil {
 		return err
 	}
@@ -119,9 +141,15 @@ func (c *Client) Ping() error {
 // Search evaluates a query on the remote system and returns matching
 // remote paths.
 func (c *Client) Search(q string) ([]string, error) {
+	return c.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search bounded by ctx (dial, send and reply all
+// honor the context's deadline and cancellation).
+func (c *Client) SearchContext(ctx context.Context, q string) ([]string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	line, err := c.roundTrip(verbSearch, quote(q))
+	line, err := c.roundTrip(ctx, verbSearch, quote(q))
 	if err != nil {
 		return nil, err
 	}
@@ -159,9 +187,14 @@ func (c *Client) Search(q string) ([]string, error) {
 
 // Fetch retrieves one remote document.
 func (c *Client) Fetch(path string) ([]byte, error) {
+	return c.FetchContext(context.Background(), path)
+}
+
+// FetchContext is Fetch bounded by ctx.
+func (c *Client) FetchContext(ctx context.Context, path string) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	line, err := c.roundTrip(verbFetch, quote(path))
+	line, err := c.roundTrip(ctx, verbFetch, quote(path))
 	if err != nil {
 		return nil, err
 	}

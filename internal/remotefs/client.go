@@ -1,6 +1,7 @@
 package remotefs
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -58,11 +59,12 @@ func (c *Client) dropLocked() error {
 	return err
 }
 
-func (c *Client) ensureLocked() error {
+func (c *Client) ensureLocked(ctx context.Context) error {
 	if c.conn != nil {
 		return nil
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return fmt.Errorf("remotefs: dial %s: %w", c.addr, err)
 	}
@@ -72,10 +74,30 @@ func (c *Client) ensureLocked() error {
 	return nil
 }
 
+// deadlineLocked computes the connection deadline for one request: the
+// per-request timeout, further tightened by the context's deadline.
+func (c *Client) deadlineLocked(ctx context.Context) time.Time {
+	var dl time.Time
+	if c.timeout > 0 {
+		dl = time.Now().Add(c.timeout)
+	}
+	if cd, ok := ctx.Deadline(); ok && (dl.IsZero() || cd.Before(dl)) {
+		dl = cd
+	}
+	return dl
+}
+
 // call performs one round trip, retrying once on a fresh connection
 // after transport errors. Requests carrying open handles are not
 // retried (the handle died with the connection).
 func (c *Client) call(req *request) (*response, error) {
+	return c.callCtx(context.Background(), req)
+}
+
+// callCtx is call bounded by ctx: the dial and the round trip honor
+// the context's deadline and cancellation, on top of the client's
+// per-request timeout.
+func (c *Client) callCtx(ctx context.Context, req *request) (*response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	attempts := 2
@@ -84,11 +106,14 @@ func (c *Client) call(req *request) (*response, error) {
 	}
 	var lastErr error
 	for a := 0; a < attempts; a++ {
-		if err := c.ensureLocked(); err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if c.timeout > 0 {
-			c.conn.SetDeadline(time.Now().Add(c.timeout))
+		if err := c.ensureLocked(ctx); err != nil {
+			return nil, err
+		}
+		if dl := c.deadlineLocked(ctx); !dl.IsZero() {
+			c.conn.SetDeadline(dl)
 		}
 		if err := c.enc.Encode(req); err != nil {
 			lastErr = err
@@ -116,7 +141,43 @@ func (c *Client) do(req *request) error {
 }
 
 // Ping checks liveness.
-func (c *Client) Ping() error { return c.do(&request{Op: opPing}) }
+func (c *Client) Ping() error { return c.PingContext(context.Background()) }
+
+// PingContext checks liveness, bounded by ctx.
+func (c *Client) PingContext(ctx context.Context) error {
+	resp, err := c.callCtx(ctx, &request{Op: opPing})
+	if err != nil {
+		return err
+	}
+	return resp.Err.decode()
+}
+
+// ReadFileContext reads a whole remote file, bounded by ctx.
+func (c *Client) ReadFileContext(ctx context.Context, path string) ([]byte, error) {
+	resp, err := c.callCtx(ctx, &request{Op: opReadFile, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, resp.Err.decode()
+}
+
+// ReadDirContext lists a remote directory, bounded by ctx.
+func (c *Client) ReadDirContext(ctx context.Context, path string) ([]vfs.DirEntry, error) {
+	resp, err := c.callCtx(ctx, &request{Op: opReadDir, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Entries, resp.Err.decode()
+}
+
+// StatContext returns remote metadata, bounded by ctx.
+func (c *Client) StatContext(ctx context.Context, path string) (vfs.Info, error) {
+	resp, err := c.callCtx(ctx, &request{Op: opStat, Path: path})
+	if err != nil {
+		return vfs.Info{}, err
+	}
+	return resp.Info, resp.Err.decode()
+}
 
 // Mkdir creates a directory on the remote volume.
 func (c *Client) Mkdir(path string) error {

@@ -37,8 +37,8 @@ func (h *handle) Read(p []byte) (int, error) {
 	if h.flag&ORead == 0 {
 		return 0, pe("read", h.name, ErrWriteOnly)
 	}
-	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
 	if h.off >= int64(len(h.n.data)) {
 		return 0, io.EOF
 	}
@@ -59,8 +59,8 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, pe("read", h.name, ErrInvalid)
 	}
-	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
 	if off >= int64(len(h.n.data)) {
 		return 0, io.EOF
 	}
@@ -175,8 +175,8 @@ func (h *handle) Stat() (Info, error) {
 	if err := h.checkOpen(); err != nil {
 		return Info{}, err
 	}
-	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
 	return h.n.info(), nil
 }
 

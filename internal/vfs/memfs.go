@@ -10,9 +10,11 @@ import (
 // native UNIX file system played in the paper: the substrate all
 // user-level layers (HAC, Jade-style, Pseudo-style) interpose on.
 //
-// MemFS is safe for concurrent use.
+// MemFS is safe for concurrent use. The tree lock is a read/write
+// lock: lookups and reads (Stat, ReadFile, ReadDir, …) share it, so
+// they proceed concurrently; structural mutations take it exclusively.
 type MemFS struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	root    *node
 	nextIno uint64
 	now     func() time.Time
@@ -295,17 +297,17 @@ func (fs *MemFS) OpenFile(p string, flag int) (File, error) {
 // ReadFile returns the contents of the file at p.
 func (fs *MemFS) ReadFile(p string) ([]byte, error) {
 	fs.stats.Reads.Add(1)
-	fs.mu.Lock()
+	fs.mu.RLock()
 	t, err := fs.walk(p, true)
 	if err != nil {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return nil, pe("read", p, err)
 	}
 	if t.fs != nil {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return t.fs.ReadFile(t.rest)
 	}
-	defer fs.mu.Unlock()
+	defer fs.mu.RUnlock()
 	if t.n.isDir() {
 		return nil, pe("read", p, ErrIsDir)
 	}
@@ -361,17 +363,17 @@ func (fs *MemFS) Symlink(target, link string) error {
 
 // Readlink returns the target of the symlink at p.
 func (fs *MemFS) Readlink(p string) (string, error) {
-	fs.mu.Lock()
+	fs.mu.RLock()
 	t, err := fs.walk(p, false)
 	if err != nil {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return "", pe("readlink", p, err)
 	}
 	if t.fs != nil {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return t.fs.Readlink(t.rest)
 	}
-	defer fs.mu.Unlock()
+	defer fs.mu.RUnlock()
 	if t.n.typ != TypeSymlink {
 		return "", pe("readlink", p, ErrInvalid)
 	}
@@ -525,51 +527,51 @@ func (fs *MemFS) Rename(oldPath, newPath string) error {
 // Stat returns metadata for p, following symlinks.
 func (fs *MemFS) Stat(p string) (Info, error) {
 	fs.stats.Stats.Add(1)
-	fs.mu.Lock()
+	fs.mu.RLock()
 	t, err := fs.walk(p, true)
 	if err != nil {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return Info{}, pe("stat", p, err)
 	}
 	if t.fs != nil {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return t.fs.Stat(t.rest)
 	}
-	defer fs.mu.Unlock()
+	defer fs.mu.RUnlock()
 	return t.n.info(), nil
 }
 
 // Lstat returns metadata for p without following a final symlink.
 func (fs *MemFS) Lstat(p string) (Info, error) {
 	fs.stats.Stats.Add(1)
-	fs.mu.Lock()
+	fs.mu.RLock()
 	t, err := fs.walk(p, false)
 	if err != nil {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return Info{}, pe("lstat", p, err)
 	}
 	if t.fs != nil {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return t.fs.Lstat(t.rest)
 	}
-	defer fs.mu.Unlock()
+	defer fs.mu.RUnlock()
 	return t.n.info(), nil
 }
 
 // ReadDir lists the directory at p in name order.
 func (fs *MemFS) ReadDir(p string) ([]DirEntry, error) {
 	fs.stats.ReadDirs.Add(1)
-	fs.mu.Lock()
+	fs.mu.RLock()
 	t, err := fs.walk(p, true)
 	if err != nil {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return nil, pe("readdir", p, err)
 	}
 	if t.fs != nil {
-		fs.mu.Unlock()
+		fs.mu.RUnlock()
 		return t.fs.ReadDir(t.rest)
 	}
-	defer fs.mu.Unlock()
+	defer fs.mu.RUnlock()
 	if !t.n.isDir() {
 		return nil, pe("readdir", p, ErrNotDir)
 	}
@@ -647,8 +649,8 @@ func (fs *MemFS) Unmount(p string) error {
 
 // MountPoints returns the paths of all current mount points, sorted.
 func (fs *MemFS) MountPoints() []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	var out []string
 	var visit func(n *node)
 	visit = func(n *node) {
@@ -670,8 +672,8 @@ func (fs *MemFS) MountPoints() []string {
 // MetadataBytes estimates the in-memory footprint of the file system's
 // metadata (not file contents), for the space-overhead experiment.
 func (fs *MemFS) MetadataBytes() int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	total := 0
 	var visit func(n *node)
 	visit = func(n *node) {

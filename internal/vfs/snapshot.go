@@ -31,8 +31,8 @@ type snapshotHeader struct {
 // Inode numbers are not part of the image and are reassigned on
 // restore.
 func (fs *MemFS) Snapshot() []SnapNode {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	var out []SnapNode
 	var visit func(n *node)
 	visit = func(n *node) {
