@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	hacvold [-addr host:port] [-volume file.hac] [-demo -files N]
+//	hacvold [-addr host:port] [-volume file.hac] [-save file.hac -save-every 30s] [-demo -files N]
 //
 // With -volume the served volume is loaded from a file saved by hacsh's
-// save command (and re-saved there on SIGINT-free shutdown is not
-// attempted; save from a client instead). With -demo a synthetic corpus
-// is generated and indexed.
+// save command; a truncated or corrupted image is rejected at startup
+// (the image carries a length frame and CRC-32C trailer, DESIGN.md §8).
+// With -save the volume is checkpointed periodically through an atomic
+// write-temp/fsync/rename, so a crash mid-save never clobbers the last
+// good image. With -demo a synthetic corpus is generated and indexed.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"time"
 
 	"hacfs/internal/corpus"
 	"hacfs/internal/hac"
@@ -26,11 +29,13 @@ import (
 )
 
 var (
-	addr    = flag.String("addr", "127.0.0.1:7678", "listen address")
-	volume  = flag.String("volume", "", "serve a volume saved by hacsh's save command")
-	demo    = flag.Bool("demo", false, "serve a volume seeded with a demo corpus")
-	nfiles  = flag.Int("files", 200, "demo corpus size")
-	seedVal = flag.Int64("seed", 42, "demo corpus seed")
+	addr      = flag.String("addr", "127.0.0.1:7678", "listen address")
+	volume    = flag.String("volume", "", "serve a volume saved by hacsh's save command")
+	savePath  = flag.String("save", "", "checkpoint the volume to this file (atomic replace)")
+	saveEvery = flag.Duration("save-every", 30*time.Second, "interval between checkpoints when -save is set")
+	demo      = flag.Bool("demo", false, "serve a volume seeded with a demo corpus")
+	nfiles    = flag.Int("files", 200, "demo corpus size")
+	seedVal   = flag.Int64("seed", 42, "demo corpus seed")
 )
 
 func main() {
@@ -40,12 +45,8 @@ func main() {
 	var fs *hac.FS
 	switch {
 	case *volume != "":
-		f, err := os.Open(*volume)
-		if err != nil {
-			logger.Fatalf("opening volume: %v", err)
-		}
-		fs, err = hac.LoadVolume(f, hac.Options{})
-		f.Close()
+		var err error
+		fs, err = hac.LoadVolumeFile(*volume, hac.Options{})
 		if err != nil {
 			logger.Fatalf("loading volume: %v", err)
 		}
@@ -64,6 +65,19 @@ func main() {
 			}
 			logger.Printf("seeded %d demo documents under /docs", *nfiles)
 		}
+	}
+
+	if *savePath != "" {
+		go func() {
+			for range time.Tick(*saveEvery) {
+				if err := fs.SaveVolumeFile(*savePath); err != nil {
+					logger.Printf("checkpoint to %s failed: %v", *savePath, err)
+					continue
+				}
+				logger.Printf("checkpointed volume to %s", *savePath)
+			}
+		}()
+		logger.Printf("checkpointing to %s every %s", *savePath, *saveEvery)
 	}
 
 	s := fs.Stats()

@@ -171,6 +171,16 @@ var (
 	ErrDependedOn  = hac.ErrDependedOn
 	ErrDanglingRef = hac.ErrDanglingRef
 	ErrNoNamespace = hac.ErrNoNamespace
+	// ErrCorruptVolume marks a volume image rejected by LoadVolume —
+	// truncated, bit-flipped, version-skewed or otherwise undecodable.
+	ErrCorruptVolume = hac.ErrCorruptVolume
+	// ErrNoSnapshot marks a SaveVolume over a substrate that cannot
+	// produce a snapshot (does not implement Snapshotter).
+	ErrNoSnapshot = hac.ErrNoSnapshot
+	// ErrInjected and ErrCrashed are the fault sentinels produced by a
+	// FaultFS substrate.
+	ErrInjected = vfs.ErrInjected
+	ErrCrashed  = vfs.ErrCrashed
 )
 
 // New layers HAC over a substrate file system, configured by functional
@@ -195,6 +205,31 @@ func NewVolumeOver(under FileSystem, opts Options) *FS {
 // NewMemFS returns a bare in-memory hierarchical file system (the
 // substrate without the HAC layer).
 func NewMemFS() *MemFS { return vfs.New() }
+
+// Snapshotter is implemented by substrates that can export a full
+// snapshot of their tree; FS.SaveVolume requires one.
+type Snapshotter = vfs.Snapshotter
+
+// FaultFS wraps a substrate with deterministic, seed-driven fault
+// injection — per-operation error rates, crash points that freeze the
+// store, torn writes, latency — for crash-consistency testing (see
+// DESIGN.md §8).
+type FaultFS = vfs.FaultFS
+
+// FaultConfig configures a FaultFS.
+type FaultConfig = vfs.FaultConfig
+
+// FaultStats are a FaultFS's per-operation counters.
+type FaultStats = vfs.FaultStats
+
+// NewFaultFS wraps under with fault injection.
+func NewFaultFS(under FileSystem, cfg FaultConfig) *FaultFS {
+	return vfs.NewFaultFS(under, cfg)
+}
+
+// CrashWriter is an io.Writer that fails permanently after a byte
+// limit, for simulating a crash during a volume save.
+type CrashWriter = vfs.CrashWriter
 
 // DialRemote connects to a remote CBA server (cmd/hacindexd) and
 // returns a Namespace that can be passed to FS.SemanticMount. name
@@ -231,9 +266,16 @@ var (
 type Scheduler = hac.Scheduler
 
 // LoadVolume restores a volume saved with FS.SaveVolume, rebuilding the
-// index and settling all consistency.
+// index and settling all consistency. Corrupted or truncated images
+// fail with an error wrapping ErrCorruptVolume, never a panic.
 func LoadVolume(r io.Reader, opts Options) (*FS, error) {
 	return hac.LoadVolume(r, opts)
+}
+
+// LoadVolumeFile restores a volume from a file written by
+// FS.SaveVolumeFile (or any reader-based save).
+func LoadVolumeFile(path string, opts Options) (*FS, error) {
+	return hac.LoadVolumeFile(path, opts)
 }
 
 // DialFS connects to a remote volume served by cmd/hacvold (or

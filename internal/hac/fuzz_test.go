@@ -1,0 +1,111 @@
+package hac
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hacfs/internal/vfs"
+)
+
+// fuzzSeedImage builds a small but representative volume image: files,
+// nested directories, two semantic directories (one referencing the
+// other via dir:), a permanent link and a prohibition.
+func fuzzSeedImage(tb testing.TB) []byte {
+	tb.Helper()
+	fs := New(vfs.New(), Options{})
+	if err := fs.MkdirAll("/docs/sub"); err != nil {
+		tb.Fatal(err)
+	}
+	files := map[string]string{
+		"/docs/apple1.txt":     "apple fruit red",
+		"/docs/apple2.txt":     "apple banana mixed",
+		"/docs/sub/cherry.txt": "cherry fruit",
+	}
+	for p, c := range files {
+		if err := fs.WriteFile(p, []byte(c)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if _, err := fs.Reindex("/"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := fs.SemDir("/fruit", "fruit"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := fs.SemDir("/apples", "apple AND dir:/fruit"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := fs.Symlink("/docs/apple2.txt", "/fruit/kept"); err != nil {
+		tb.Fatal(err)
+	}
+	if err := fs.MarkProhibited("/fruit", "/docs/apple1.txt"); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fs.SaveVolume(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadVolume feeds arbitrary bytes — seeded with valid images and
+// systematic corruptions of them — to LoadVolume. The contract under
+// test: a load either succeeds, or fails with an error; it never
+// panics, and corrupted or truncated images of a valid volume are
+// detected (the frame makes anything but payload-preserving mutations
+// fail checksum or length verification).
+func FuzzLoadVolume(f *testing.F) {
+	img := fuzzSeedImage(f)
+	f.Add(img)
+	f.Add([]byte{})
+	f.Add(img[:len(img)/2])
+	f.Add(img[:13])
+	flipped := append([]byte(nil), img...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), img...), 0xde, 0xad))
+	f.Add([]byte("HACV not a real image"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs, err := LoadVolume(bytes.NewReader(data), Options{})
+		if err != nil {
+			if fs != nil {
+				t.Fatalf("LoadVolume returned both a volume and error %v", err)
+			}
+			return
+		}
+		// A successfully loaded volume must be internally consistent
+		// and usable.
+		if problems := fs.CheckConsistency(); len(problems) > 0 {
+			t.Fatalf("loaded volume inconsistent: %v", problems)
+		}
+		if _, err := fs.Reindex("/"); err != nil {
+			t.Fatalf("reindex of loaded volume: %v", err)
+		}
+	})
+}
+
+// TestFuzzSeedsLoad pins the seed corpus behavior outside of fuzzing
+// mode: the pristine image loads, every corrupted variant fails with
+// ErrCorruptVolume.
+func TestFuzzSeedsLoad(t *testing.T) {
+	img := fuzzSeedImage(t)
+	if _, err := LoadVolume(bytes.NewReader(img), Options{}); err != nil {
+		t.Fatalf("pristine seed image: %v", err)
+	}
+	bad := [][]byte{
+		{},
+		img[:13],
+		img[:len(img)/2],
+		img[:len(img)-1],
+	}
+	flipped := append([]byte(nil), img...)
+	flipped[len(flipped)/2] ^= 0x40
+	bad = append(bad, flipped)
+	for i, data := range bad {
+		if _, err := LoadVolume(bytes.NewReader(data), Options{}); !errors.Is(err, ErrCorruptVolume) {
+			t.Errorf("corrupt variant %d: err = %v, want ErrCorruptVolume", i, err)
+		}
+	}
+}

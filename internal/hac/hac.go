@@ -435,10 +435,10 @@ func (fs *FS) WriteFile(path string, data []byte) error {
 // consistency for the directories that depend on it.
 func (fs *FS) Symlink(target, link string) error {
 	fs.resolvePath(link)
-	if err := fs.under.Symlink(target, link); err != nil {
-		return err
+	clean, cerr := vfs.Clean(link)
+	if cerr != nil {
+		return &vfs.PathError{Op: "symlink", Path: link, Err: cerr}
 	}
-	clean, _ := vfs.Clean(link)
 	dir, base := vfs.Split(clean)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -446,11 +446,19 @@ func (fs *FS) Symlink(target, link string) error {
 	if ds, ok := fs.stateAtLocked(dir); ok && ds.semantic {
 		// If the target already had a (transient) link under another
 		// name, the user's new link supersedes it; drop the old one so
-		// the directory holds a single link per target.
+		// the directory holds a single link per target. The removal
+		// comes first: if creating the new symlink then fails, the old
+		// one is still classified and the Sync repair pass (sync.go)
+		// rematerializes it. The reverse order could fail with the new
+		// symlink on disk but unclassified — a state no repair pass can
+		// distinguish from a user link that was never registered.
 		if old, had := ds.linkName[target]; had && old != base {
 			if err := fs.under.Remove(vfs.Join(dir, old)); err != nil && !isNotExist(err) {
 				return err
 			}
+		}
+		if err := fs.under.Symlink(target, clean); err != nil {
+			return err
 		}
 		ds.class[target] = Permanent
 		ds.linkName[target] = base
@@ -459,7 +467,7 @@ func (fs *FS) Symlink(target, link string) error {
 		delete(ds.prohibited, target)
 		return fs.syncDependentsLocked(ds.uid)
 	}
-	return nil
+	return fs.under.Symlink(target, clean)
 }
 
 // Readlink returns the target of the symlink at path.
@@ -510,21 +518,30 @@ func (fs *FS) removeLocked(clean string, recursive bool) error {
 	_ = base
 
 	// A symlink disappearing from a semantic directory becomes a
-	// prohibition. Inspect before the substrate removes it.
+	// prohibition. Inspect before the substrate removes it — and abort
+	// on an inspection failure: proceeding would delete the link without
+	// recording the prohibition (or skip the referenced-by check below),
+	// silently losing §2.3 state on a transient substrate fault.
 	var prohibitIn *dirState
 	var prohibitTarget string
-	if info, err := fs.under.Lstat(clean); err == nil && info.Type == vfs.TypeSymlink {
+	info, lerr := fs.under.Lstat(clean)
+	if lerr != nil && !isNotExist(lerr) {
+		return lerr
+	}
+	if lerr == nil && info.Type == vfs.TypeSymlink {
 		if ds, ok := fs.stateAtLocked(dir); ok && ds.semantic {
-			if target, err := fs.under.Readlink(clean); err == nil {
-				prohibitIn = ds
-				prohibitTarget = target
+			target, rerr := fs.under.Readlink(clean)
+			if rerr != nil {
+				return rerr
 			}
+			prohibitIn = ds
+			prohibitTarget = target
 		}
 	}
 
 	// Removing a directory subtree must not orphan queries that
 	// reference directories inside it.
-	if info, err := fs.under.Lstat(clean); err == nil && info.Type == vfs.TypeDir {
+	if lerr == nil && info.Type == vfs.TypeDir {
 		if err := fs.checkRemovableLocked(clean); err != nil {
 			return err
 		}

@@ -1,9 +1,15 @@
 package hac
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"hacfs/internal/vfs"
@@ -15,8 +21,44 @@ import (
 // stream. The index is not stored: it is rebuilt by the Reindex pass
 // that loading performs (exactly the paper's recovery story, where
 // reindexing settles all consistency).
+//
+// The on-disk image is crash-safe (DESIGN.md §8): a fixed header
+// carries a magic number, a format version and the payload length, the
+// gob payload follows, and a CRC-32C trailer covers the payload. A
+// torn or bit-flipped image fails the length or checksum test and
+// LoadVolume reports a typed *vfs.PathError wrapping ErrCorruptVolume
+// instead of feeding garbage to gob. SaveVolumeFile writes through a
+// temp file, fsyncs and renames, so a crash during save leaves the
+// previous image intact.
 
-const volumeVersion = 1
+const volumeVersion = 2
+
+// volumeMagic opens every volume image ("HACV" plus a format byte).
+var volumeMagic = [4]byte{'H', 'A', 'C', 'V'}
+
+// maxVolumePayload bounds the claimed payload length so a corrupt
+// header cannot demand an absurd allocation.
+const maxVolumePayload = 1 << 30
+
+// volumeCRC is the CRC-32C (Castagnoli) table used for the trailer.
+var volumeCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Persistence sentinels, matchable with errors.Is through the typed
+// *vfs.PathError that SaveVolume and LoadVolume return.
+var (
+	// ErrCorruptVolume marks a volume image that is truncated,
+	// bit-flipped, version-skewed or otherwise undecodable.
+	ErrCorruptVolume = errors.New("hac: corrupt volume image")
+	// ErrNoSnapshot means the substrate cannot produce a snapshot, so
+	// the volume cannot be saved from this layer.
+	ErrNoSnapshot = errors.New("hac: substrate cannot snapshot")
+)
+
+// volErr wraps persistence failures in the typed error shape of the
+// rest of the API (errors.As(*vfs.PathError), errors.Is(sentinel)).
+func volErr(op string, err error) error {
+	return &vfs.PathError{Op: op, Path: "volume", Err: err}
+}
 
 type volumeImage struct {
 	Version int
@@ -37,13 +79,20 @@ type dirImage struct {
 }
 
 // SaveVolume writes the volume — files, directories, links, queries and
-// link classifications — to w.
+// link classifications — to w as a checksummed, length-framed image.
+// The substrate must implement vfs.Snapshotter (MemFS does; wrappers
+// like vfs.FaultFS delegate); otherwise a *vfs.PathError wrapping
+// ErrNoSnapshot is returned.
 func (fs *FS) SaveVolume(w io.Writer) error {
-	mem, ok := fs.under.(*vfs.MemFS)
+	snapper, ok := fs.under.(vfs.Snapshotter)
 	if !ok {
-		return fmt.Errorf("hac: SaveVolume requires a MemFS substrate, not %T", fs.under)
+		return volErr("savevolume", fmt.Errorf("%w: substrate %T", ErrNoSnapshot, fs.under))
 	}
-	img := volumeImage{Version: volumeVersion, Nodes: mem.Snapshot()}
+	nodes := snapper.Snapshot()
+	if len(nodes) == 0 {
+		return volErr("savevolume", fmt.Errorf("%w: substrate %T produced no snapshot", ErrNoSnapshot, fs.under))
+	}
+	img := volumeImage{Version: volumeVersion, Nodes: nodes}
 
 	fs.mu.RLock()
 	uids := make([]uint64, 0, len(fs.dirs))
@@ -89,34 +138,96 @@ func (fs *FS) SaveVolume(w io.Writer) error {
 	for _, q := range queries {
 		disp, err := fs.QueryDisplay(q.path)
 		if err != nil {
-			return fmt.Errorf("hac: serializing query of %s: %w", q.path, err)
+			return volErr("savevolume", fmt.Errorf("serializing query of %s: %w", q.path, err))
 		}
 		img.Dirs[q.idx].Query = disp
 	}
 
-	if err := gob.NewEncoder(w).Encode(&img); err != nil {
-		return fmt.Errorf("hac: encoding volume: %w", err)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&img); err != nil {
+		return volErr("savevolume", fmt.Errorf("encoding volume: %w", err))
+	}
+
+	// Frame: magic | u16 version | u64 length | payload | u32 CRC-32C.
+	var hdr [14]byte
+	copy(hdr[:4], volumeMagic[:])
+	binary.BigEndian.PutUint16(hdr[4:6], volumeVersion)
+	binary.BigEndian.PutUint64(hdr[6:14], uint64(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return volErr("savevolume", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return volErr("savevolume", err)
+	}
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc32.Checksum(payload.Bytes(), volumeCRC))
+	if _, err := w.Write(trailer[:]); err != nil {
+		return volErr("savevolume", err)
 	}
 	return nil
 }
 
-// LoadVolume reconstructs a volume saved by SaveVolume: the substrate
-// tree is restored, semantic metadata re-attached, queries re-bound,
-// and a full Reindex run so the index and all transient links are
-// consistent.
-func LoadVolume(r io.Reader, opts Options) (*FS, error) {
+// readVolumePayload reads and verifies one framed image, returning the
+// gob payload. Every failure wraps ErrCorruptVolume.
+func readVolumePayload(r io.Reader) ([]byte, error) {
+	var hdr [14]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorruptVolume, err)
+	}
+	if !bytes.Equal(hdr[:4], volumeMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptVolume, hdr[:4])
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != volumeVersion {
+		return nil, fmt.Errorf("%w: unsupported volume version %d", ErrCorruptVolume, v)
+	}
+	length := binary.BigEndian.Uint64(hdr[6:14])
+	if length > maxVolumePayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorruptVolume, length)
+	}
+	payload := make([]byte, int(length))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorruptVolume, err)
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum trailer: %v", ErrCorruptVolume, err)
+	}
+	if got, want := crc32.Checksum(payload, volumeCRC), binary.BigEndian.Uint32(trailer[:]); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorruptVolume, got, want)
+	}
+	return payload, nil
+}
+
+// LoadVolume reconstructs a volume saved by SaveVolume: the image frame
+// is verified (length and CRC), the substrate tree restored, semantic
+// metadata re-attached, queries re-bound, and a full Reindex run so the
+// index and all transient links are consistent. Corrupt or truncated
+// images — including any input that would panic the gob decoder — fail
+// with a *vfs.PathError wrapping ErrCorruptVolume.
+func LoadVolume(r io.Reader, opts Options) (fs *FS, err error) {
+	defer func() {
+		// gob can panic on adversarial input; surface it as corruption
+		// rather than crashing the caller.
+		if p := recover(); p != nil {
+			fs, err = nil, volErr("loadvolume", fmt.Errorf("%w: decode panic: %v", ErrCorruptVolume, p))
+		}
+	}()
+	payload, err := readVolumePayload(r)
+	if err != nil {
+		return nil, volErr("loadvolume", err)
+	}
 	var img volumeImage
-	if err := gob.NewDecoder(r).Decode(&img); err != nil {
-		return nil, fmt.Errorf("hac: decoding volume: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img); err != nil {
+		return nil, volErr("loadvolume", fmt.Errorf("%w: decoding volume: %v", ErrCorruptVolume, err))
 	}
 	if img.Version != volumeVersion {
-		return nil, fmt.Errorf("hac: unsupported volume version %d", img.Version)
+		return nil, volErr("loadvolume", fmt.Errorf("%w: unsupported volume version %d", ErrCorruptVolume, img.Version))
 	}
 	mem, err := vfs.FromSnapshot(img.Nodes)
 	if err != nil {
-		return nil, err
+		return nil, volErr("loadvolume", fmt.Errorf("%w: %v", ErrCorruptVolume, err))
 	}
-	fs := New(mem, opts)
+	fs = New(mem, opts)
 
 	// Register every directory first, so queries can reference any of
 	// them during binding.
@@ -150,11 +261,11 @@ func LoadVolume(r io.Reader, opts Options) (*FS, error) {
 		ast, err := parseQuery(di.Query)
 		if err != nil {
 			fs.mu.Unlock()
-			return nil, fmt.Errorf("hac: re-parsing query of %s: %w", di.Path, err)
+			return nil, volErr("loadvolume", fmt.Errorf("%w: re-parsing query of %s: %v", ErrCorruptVolume, di.Path, err))
 		}
 		if err := fs.installQueryLocked(ds, di.Path, ast); err != nil {
 			fs.mu.Unlock()
-			return nil, fmt.Errorf("hac: re-binding query of %s: %w", di.Path, err)
+			return nil, volErr("loadvolume", fmt.Errorf("%w: re-binding query of %s: %v", ErrCorruptVolume, di.Path, err))
 		}
 	}
 	fs.mu.Unlock()
@@ -165,4 +276,51 @@ func LoadVolume(r io.Reader, opts Options) (*FS, error) {
 		return nil, err
 	}
 	return fs, nil
+}
+
+// SaveVolumeFile atomically saves the volume to path: the image is
+// written to a temporary file in the same directory, fsynced, and
+// renamed over path, then the directory is fsynced. A crash at any
+// point leaves either the old image or the new one — never a torn mix.
+func (fs *FS) SaveVolumeFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return volErr("savevolume", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := fs.SaveVolume(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(volErr("savevolume", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(volErr("savevolume", err))
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fail(volErr("savevolume", err))
+	}
+	// Persist the rename itself. Some platforms refuse to fsync
+	// directories; the rename is still atomic there.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadVolumeFile loads a volume image from path (see LoadVolume).
+func LoadVolumeFile(path string, opts Options) (*FS, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, volErr("loadvolume", err)
+	}
+	defer f.Close()
+	return LoadVolume(f, opts)
 }

@@ -2,6 +2,9 @@ package hac
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -165,12 +168,224 @@ func TestLoadVolumeRejectsGarbage(t *testing.T) {
 	}
 }
 
-func TestSaveVolumeRequiresMemFS(t *testing.T) {
-	// A HAC-over-HAC stack has a non-MemFS substrate.
+func TestSaveVolumeRequiresSnapshotter(t *testing.T) {
+	// A HAC-over-HAC stack has a substrate that cannot snapshot; the
+	// failure is a typed *vfs.PathError wrapping ErrNoSnapshot.
 	inner := New(vfs.New(), Options{})
 	outer := New(inner, Options{})
 	var buf bytes.Buffer
-	if err := outer.SaveVolume(&buf); err == nil {
-		t.Fatal("SaveVolume over non-MemFS substrate succeeded")
+	err := outer.SaveVolume(&buf)
+	if err == nil {
+		t.Fatal("SaveVolume over non-snapshotting substrate succeeded")
+	}
+	var pe *vfs.PathError
+	if !errors.As(err, &pe) || pe.Op != "savevolume" {
+		t.Fatalf("error = %#v, want *vfs.PathError{Op: savevolume}", err)
+	}
+	if !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("error %v does not wrap ErrNoSnapshot", err)
+	}
+}
+
+func TestSaveVolumeThroughFaultFS(t *testing.T) {
+	// A snapshot-capable wrapper (FaultFS) satisfies the Snapshotter
+	// interface by delegation, so fault-injected volumes can be saved.
+	fault := vfs.NewFaultFS(vfs.New(), vfs.FaultConfig{})
+	fs := New(fault, Options{})
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/docs/a.txt", []byte("apple")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Reindex("/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fs.SaveVolume(&buf); err != nil {
+		t.Fatalf("SaveVolume through FaultFS: %v", err)
+	}
+	restored, err := LoadVolume(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTargets(t, restored, "/sel", "/docs/a.txt")
+}
+
+// TestLoadVolumeRejectsCorruption checks that every kind of image
+// damage — truncation at any region, bit flips in header, payload or
+// trailer — yields a typed error, never a panic or a silent
+// half-loaded volume.
+func TestLoadVolumeRejectsCorruption(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fs.SaveVolume(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations: header, payload, trailer, empty.
+	for _, cut := range []int{0, 3, 13, 14, len(good) / 3, len(good) / 2, len(good) - 5, len(good) - 1} {
+		if cut > len(good) {
+			continue
+		}
+		_, err := LoadVolume(bytes.NewReader(good[:cut]), Options{})
+		if err == nil {
+			t.Fatalf("truncated image (%d of %d bytes) accepted", cut, len(good))
+		}
+		if !errors.Is(err, ErrCorruptVolume) {
+			t.Fatalf("truncated image (%d bytes): error %v does not wrap ErrCorruptVolume", cut, err)
+		}
+	}
+	// Bit flips across the image.
+	for _, pos := range []int{0, 5, 10, 20, len(good) / 2, len(good) - 2} {
+		mut := append([]byte(nil), good...)
+		mut[pos] ^= 0x40
+		if _, err := LoadVolume(bytes.NewReader(mut), Options{}); err == nil {
+			t.Fatalf("bit flip at %d accepted", pos)
+		}
+	}
+	// The pristine image still loads.
+	if _, err := LoadVolume(bytes.NewReader(good), Options{}); err != nil {
+		t.Fatalf("pristine image rejected: %v", err)
+	}
+}
+
+func TestSaveVolumeFileAtomic(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "vol.hac")
+	if err := fs.SaveVolumeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadVolumeFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(targetsOf(t, restored, "/sel"), targetsOf(t, fs, "/sel")) {
+		t.Fatal("file round trip lost targets")
+	}
+	// A second save overwrites atomically and leaves no temp litter.
+	if err := fs.WriteFile("/docs/apple9.txt", []byte("apple nine")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Reindex("/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SaveVolumeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+	restored, err = LoadVolumeFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, target := range targetsOf(t, restored, "/sel") {
+		found = found || target == "/docs/apple9.txt"
+	}
+	if !found {
+		t.Fatal("second save did not capture the new file")
+	}
+}
+
+// TestCrashDuringSaveLeavesPriorImageUsable is the save-point recovery
+// story: a save torn at every possible byte boundary is always
+// rejected by LoadVolume, and recovery proceeds from the previous good
+// image with all user edits (prohibitions, permanent links) intact.
+func TestCrashDuringSaveLeavesPriorImageUsable(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/sel/apple2.txt"); err != nil { // prohibition
+		t.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := fs.SaveVolume(&good); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the next save at a spread of crash points.
+	for _, limit := range []int{0, 1, 13, 14, 15, good.Len() / 4, good.Len() / 2, good.Len() - 1} {
+		var torn bytes.Buffer
+		err := fs.SaveVolume(&vfs.CrashWriter{W: &torn, Limit: limit})
+		if err == nil {
+			t.Fatalf("save through crashing writer (limit %d) succeeded", limit)
+		}
+		if _, err := LoadVolume(bytes.NewReader(torn.Bytes()), Options{}); err == nil {
+			t.Fatalf("torn image (limit %d) accepted", limit)
+		}
+	}
+
+	// The earlier image still recovers the full state.
+	restored, err := LoadVolume(bytes.NewReader(good.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Reindex("/"); err != nil {
+		t.Fatal(err)
+	}
+	links, err := restored.Links("/sel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range links {
+		if l.Target == "/docs/apple2.txt" && l.Class != Prohibited {
+			t.Fatalf("prohibition lost through crash recovery: %v", links)
+		}
+	}
+	wantTargets(t, restored, "/sel", "/docs/apple1.txt", "/mail/m1.txt")
+}
+
+// TestProhibitedSurvivesLoadAndReindex pins the §2.3 guarantee across
+// the full recovery path: prohibited links never silently reappear,
+// even after LoadVolume plus an explicit Reindex plus a SyncAll.
+func TestProhibitedSurvivesLoadAndReindex(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/sel/apple1.txt"); err != nil {
+		t.Fatal(err)
+	}
+	restored := saveLoad(t, fs)
+	for round := 0; round < 3; round++ {
+		if _, err := restored.Reindex("/"); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.SyncAll(); err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range targetsOf(t, restored, "/sel") {
+			if target == "/docs/apple1.txt" {
+				t.Fatalf("round %d: prohibited target resurrected", round)
+			}
+		}
+		classes := map[string]LinkClass{}
+		links, err := restored.Links("/sel")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range links {
+			classes[l.Target] = l.Class
+		}
+		if classes["/docs/apple1.txt"] != Prohibited {
+			t.Fatalf("round %d: prohibition dropped: %v", round, classes)
+		}
 	}
 }

@@ -1,7 +1,12 @@
 package hac
 
 import (
+	"bytes"
+	"errors"
+	"strings"
 	"testing"
+
+	"hacfs/internal/vfs"
 )
 
 func TestPermanentLinkFollowsFileRename(t *testing.T) {
@@ -88,5 +93,102 @@ func TestLinksFollowDirectoryRename(t *testing.T) {
 	}
 	if problems := fs.CheckConsistency(); len(problems) != 0 {
 		t.Fatalf("inconsistent after dir rename: %v", problems)
+	}
+}
+
+// TestDirRenameUnderQueryRefAcrossCrash interleaves a directory rename
+// with a crash and recovery: a semantic directory referenced by another
+// directory's dir: query is renamed while the substrate dies mid-way,
+// and the volume is recovered from the last good image via LoadVolume +
+// Reindex. The dir: reference must stay bound (by UID, §2.5) on every
+// path through the interleaving — clean rename before the save, crashed
+// rename after it — and the recovered volume must be fully consistent.
+func TestDirRenameUnderQueryRefAcrossCrash(t *testing.T) {
+	fault := vfs.NewFaultFS(vfs.New(), vfs.FaultConfig{Seed: 11, TornWrites: true})
+	fs := New(fault, Options{})
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	for p, c := range map[string]string{
+		"/docs/apple1.txt": "apple fruit red",
+		"/docs/apple2.txt": "apple banana mixed",
+		"/docs/cherry.txt": "cherry fruit dark",
+	} {
+		if err := fs.WriteFile(p, []byte(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.Reindex("/"); err != nil {
+		t.Fatal(err)
+	}
+	// /apples references /fruit by dir: — the dependency the rename
+	// must not sever.
+	if err := fs.MkSemDir("/fruit", "fruit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkSemDir("/apples", "apple AND dir:/fruit"); err != nil {
+		t.Fatal(err)
+	}
+	wantTargets(t, fs, "/apples", "/docs/apple1.txt")
+
+	// Save a good image with the reference in place.
+	var good bytes.Buffer
+	if err := fs.SaveVolume(&good); err != nil {
+		t.Fatal(err)
+	}
+
+	// The machine dies partway through renaming the referenced
+	// directory. The substrate-level rename may or may not have
+	// happened; the HAC layer must report the failure either way.
+	fault.CrashAfter(2)
+	renameErr := fs.Rename("/fruit", "/basket")
+	if renameErr == nil {
+		t.Fatal("rename on crashing store succeeded")
+	}
+	if !errors.Is(renameErr, vfs.ErrCrashed) && !errors.Is(renameErr, vfs.ErrInjected) {
+		t.Fatalf("rename error = %v, want injected crash", renameErr)
+	}
+
+	// Recovery: the good image loads on a fresh substrate and the
+	// reference still resolves — /fruit is back under its saved name.
+	rec, err := LoadVolume(bytes.NewReader(good.Bytes()), Options{})
+	if err != nil {
+		t.Fatalf("recovery load: %v", err)
+	}
+	if _, err := rec.Reindex("/"); err != nil {
+		t.Fatalf("recovery reindex: %v", err)
+	}
+	if problems := rec.CheckConsistency(); len(problems) != 0 {
+		t.Fatalf("recovered volume inconsistent: %v", problems)
+	}
+	wantTargets(t, rec, "/apples", "/docs/apple1.txt")
+	if q, err := rec.QueryDisplay("/apples"); err != nil || !strings.Contains(q, "dir:/fruit") {
+		t.Fatalf("recovered query = %q, %v; want dir:/fruit reference", q, err)
+	}
+
+	// The same rename now completes cleanly on the recovered volume:
+	// the dir: reference follows the directory to its new name, and
+	// the whole state survives another save/load cycle.
+	if err := rec.Rename("/fruit", "/basket"); err != nil {
+		t.Fatal(err)
+	}
+	wantTargets(t, rec, "/apples", "/docs/apple1.txt")
+	if q, err := rec.QueryDisplay("/apples"); err != nil || !strings.Contains(q, "dir:/basket") {
+		t.Fatalf("query after rename = %q, %v; want dir:/basket", q, err)
+	}
+	var again bytes.Buffer
+	if err := rec.SaveVolume(&again); err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := LoadVolume(bytes.NewReader(again.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTargets(t, rec2, "/apples", "/docs/apple1.txt")
+	if q, err := rec2.QueryDisplay("/apples"); err != nil || !strings.Contains(q, "dir:/basket") {
+		t.Fatalf("reloaded query = %q, %v; want dir:/basket", q, err)
+	}
+	if problems := rec2.CheckConsistency(); len(problems) != 0 {
+		t.Fatalf("reloaded volume inconsistent: %v", problems)
 	}
 }

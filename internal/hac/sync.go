@@ -211,6 +211,45 @@ func (fs *FS) commitTargetsLocked(ds *dirState, newTargets map[string]bool) erro
 		ds.class[t] = Transient
 		ds.linkName[t] = name
 	}
+	// Crash repair (DESIGN.md §8): a fault between an unlink and a
+	// relink — a torn rename rewrite, an interrupted commit — can leave
+	// a classified target with its physical symlink missing, or (when
+	// the fault hit a rename's link-rewrite pass) still pointing at the
+	// pre-rename path. New transient targets were just materialized
+	// above, but a previously-classified target is skipped by the add
+	// loop and a permanent link is never re-derived at all, so both
+	// would stay broken forever. The classification is authoritative:
+	// re-create missing symlinks and re-point wrong ones, making every
+	// consistency pass also a repair pass.
+	var repair []string
+	for t := range ds.class {
+		name, ok := ds.linkName[t]
+		if !ok || name == "" {
+			continue
+		}
+		lp := vfs.Join(dirPath, name)
+		info, err := fs.under.Lstat(lp)
+		switch {
+		case isNotExist(err):
+			repair = append(repair, t)
+		case err != nil:
+			return err
+		case info.Type == vfs.TypeSymlink:
+			if got, rerr := fs.under.Readlink(lp); rerr == nil && got != t {
+				if err := fs.under.Remove(lp); err != nil && !isNotExist(err) {
+					return err
+				}
+				repair = append(repair, t)
+			}
+		}
+	}
+	sort.Strings(repair)
+	for _, t := range repair {
+		lp := vfs.Join(dirPath, ds.linkName[t])
+		if err := fs.under.Symlink(t, lp); err != nil && !errors.Is(err, vfs.ErrExist) {
+			return err
+		}
+	}
 	return nil
 }
 

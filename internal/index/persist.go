@@ -1,8 +1,12 @@
 package index
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 
@@ -13,8 +17,24 @@ import (
 // startup; Save/Load give this index the same property, so a server
 // (cmd/hacindexd) can restart without re-reading its document tree.
 // Tombstoned documents are compacted away in the image.
+//
+// Like volume images (see internal/hac/persist.go and DESIGN.md §8),
+// index images are length-framed and carry a CRC-32C trailer, so a
+// torn or bit-flipped image is rejected up front instead of being fed
+// to gob.
 
-const indexVersion = 1
+const indexVersion = 2
+
+var indexMagic = [4]byte{'H', 'A', 'C', 'X'}
+
+// maxIndexPayload bounds the claimed payload length of an image.
+const maxIndexPayload = 1 << 30
+
+var indexCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptIndex marks an index image that is truncated, bit-flipped,
+// version-skewed or otherwise undecodable.
+var ErrCorruptIndex = errors.New("index: corrupt index image")
 
 type indexHeader struct {
 	Version int
@@ -33,10 +53,33 @@ type postingImage struct {
 	IDs  []uint32
 }
 
-// Save writes a compacted image of the index to w. The in-memory index
-// is not modified (a compacted copy of the ID space is written, so
-// Load yields dense IDs regardless of tombstones).
+// Save writes a compacted, checksummed image of the index to w. The
+// in-memory index is not modified (a compacted copy of the ID space is
+// written, so Load yields dense IDs regardless of tombstones).
 func (ix *Index) Save(w io.Writer) error {
+	var payload bytes.Buffer
+	if err := ix.encodePayload(&payload); err != nil {
+		return err
+	}
+	var hdr [14]byte
+	copy(hdr[:4], indexMagic[:])
+	binary.BigEndian.PutUint16(hdr[4:6], indexVersion)
+	binary.BigEndian.PutUint64(hdr[6:14], uint64(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("index: writing header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("index: writing payload: %w", err)
+	}
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc32.Checksum(payload.Bytes(), indexCRC))
+	if _, err := w.Write(trailer[:]); err != nil {
+		return fmt.Errorf("index: writing checksum: %w", err)
+	}
+	return nil
+}
+
+func (ix *Index) encodePayload(w io.Writer) error {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
@@ -78,45 +121,80 @@ func (ix *Index) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadIndex reads an image written by Save. Tokenizers and transducers
-// are code, not data: register them on the returned index before
-// adding new documents.
-func LoadIndex(r io.Reader) (*Index, error) {
-	dec := gob.NewDecoder(r)
-	var hdr indexHeader
-	if err := dec.Decode(&hdr); err != nil {
-		return nil, fmt.Errorf("index: decoding header: %w", err)
+// LoadIndex reads an image written by Save, verifying the frame length
+// and checksum first; corrupt images fail with an error wrapping
+// ErrCorruptIndex, never a panic. Tokenizers and transducers are code,
+// not data: register them on the returned index before adding new
+// documents.
+func LoadIndex(r io.Reader) (ix *Index, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ix, err = nil, fmt.Errorf("%w: decode panic: %v", ErrCorruptIndex, p)
+		}
+	}()
+	var hdr [14]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorruptIndex, err)
 	}
-	if hdr.Version != indexVersion {
-		return nil, fmt.Errorf("index: unsupported version %d", hdr.Version)
+	if !bytes.Equal(hdr[:4], indexMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptIndex, hdr[:4])
 	}
-	ix := New()
-	for i := 0; i < hdr.Docs; i++ {
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != indexVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptIndex, v)
+	}
+	length := binary.BigEndian.Uint64(hdr[6:14])
+	if length > maxIndexPayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorruptIndex, length)
+	}
+	payload := make([]byte, int(length))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorruptIndex, err)
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum trailer: %v", ErrCorruptIndex, err)
+	}
+	if got, want := crc32.Checksum(payload, indexCRC), binary.BigEndian.Uint32(trailer[:]); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorruptIndex, got, want)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(payload))
+	var ih indexHeader
+	if err := dec.Decode(&ih); err != nil {
+		return nil, fmt.Errorf("%w: decoding header: %v", ErrCorruptIndex, err)
+	}
+	if ih.Version != indexVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptIndex, ih.Version)
+	}
+	if ih.Docs < 0 || ih.Terms < 0 {
+		return nil, fmt.Errorf("%w: negative counts in header", ErrCorruptIndex)
+	}
+	ix = New()
+	for i := 0; i < ih.Docs; i++ {
 		var di docImage
 		if err := dec.Decode(&di); err != nil {
-			return nil, fmt.Errorf("index: decoding document %d: %w", i, err)
+			return nil, fmt.Errorf("%w: decoding document %d: %v", ErrCorruptIndex, i, err)
 		}
 		id := DocID(len(ix.docs))
 		ix.docs = append(ix.docs, docEntry{path: di.Path, modTime: di.ModTime, size: di.Size, alive: true})
 		ix.byPath[di.Path] = id
 		ix.alive.Add(id)
 	}
-	for i := 0; i < hdr.Terms; i++ {
+	for i := 0; i < ih.Terms; i++ {
 		var pi postingImage
 		if err := dec.Decode(&pi); err != nil {
-			return nil, fmt.Errorf("index: decoding posting %d: %w", i, err)
+			return nil, fmt.Errorf("%w: decoding posting %d: %v", ErrCorruptIndex, i, err)
 		}
 		if len(pi.IDs) == 0 {
 			continue
 		}
 		bm := ix.postings[pi.Term]
 		if bm == nil {
-			bm = bitset.NewBitmap(hdr.Docs)
+			bm = bitset.NewBitmap(ih.Docs)
 			ix.postings[pi.Term] = bm
 		}
 		for _, id := range pi.IDs {
-			if int(id) >= hdr.Docs {
-				return nil, fmt.Errorf("index: posting for %q references document %d of %d", pi.Term, id, hdr.Docs)
+			if int(id) >= ih.Docs {
+				return nil, fmt.Errorf("%w: posting for %q references document %d of %d", ErrCorruptIndex, pi.Term, id, ih.Docs)
 			}
 			bm.Add(id)
 		}

@@ -8,7 +8,6 @@ package shell
 import (
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"strings"
 
@@ -229,15 +228,9 @@ func (sh *Shell) cmdSave(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: save <host-file>")
 	}
-	f, err := os.Create(args[0])
-	if err != nil {
-		return err
-	}
-	if err := sh.fs.SaveVolume(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	// Atomic replace (write temp, fsync, rename): a crash mid-save
+	// never leaves a torn image under the target name.
+	if err := sh.fs.SaveVolumeFile(args[0]); err != nil {
 		return err
 	}
 	sh.printf("volume saved to %s\n", args[0])
@@ -248,12 +241,7 @@ func (sh *Shell) cmdLoad(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: load <host-file>")
 	}
-	f, err := os.Open(args[0])
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	fs, err := hac.LoadVolume(f, hac.Options{})
+	fs, err := hac.LoadVolumeFile(args[0], hac.Options{})
 	if err != nil {
 		return err
 	}

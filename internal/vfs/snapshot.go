@@ -19,6 +19,16 @@ type SnapNode struct {
 	ModTime time.Time
 }
 
+// Snapshotter is a file system that can capture its entire tree as an
+// ordered node list. MemFS implements it natively; wrapping layers
+// (such as FaultFS) delegate to their substrate. Savers that need a
+// snapshot — hac.SaveVolume in particular — accept any Snapshotter
+// rather than a concrete substrate type, and must treat a nil or empty
+// snapshot as "substrate cannot snapshot".
+type Snapshotter interface {
+	Snapshot() []SnapNode
+}
+
 const snapshotVersion = 1
 
 type snapshotHeader struct {

@@ -44,9 +44,15 @@ func walk(fsys FileSystem, p string, info Info, fn WalkFunc) error {
 	for _, e := range entries {
 		child := Join(p, e.Name)
 		ci, err := fsys.Lstat(child)
-		if err != nil {
+		if errors.Is(err, ErrNotExist) {
 			// Entry vanished between ReadDir and Lstat; skip it.
 			continue
+		}
+		if err != nil {
+			// Any other failure must surface: a walk that silently
+			// omits an existing entry makes incremental consumers
+			// (index.SyncTree) treat the entry as deleted.
+			return err
 		}
 		if err := walk(fsys, child, ci, fn); err != nil {
 			return err
