@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"hacfs/internal/andrew"
 	"hacfs/internal/bench"
 	"hacfs/internal/corpus"
+	"hacfs/internal/obs"
 )
 
 var (
@@ -34,6 +36,8 @@ var (
 	semDirs     = flag.Int("sem-dirs", 12, "parallel: independent semantic directories")
 	maxWorkers  = flag.Int("workers", 4, "parallel: highest worker count measured")
 	ioLatency   = flag.Duration("io-latency", 200*time.Microsecond, "parallel: emulated per-read device latency (0 = pure in-memory)")
+	obsAddr     = flag.String("obs", "", "serve /metrics and /debug/pprof on this address while benchmarks run")
+	obsJSON     = flag.String("obs-json", "BENCH_obs.json", "obs experiment: write machine-readable results here (empty = skip)")
 )
 
 func main() {
@@ -42,6 +46,15 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"all"}
+	}
+
+	if *obsAddr != "" {
+		dl, err := obs.Serve(*obsAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hacbench: debug listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hacbench: debug endpoints on http://%s/metrics\n", dl.Addr())
 	}
 
 	aspec := andrew.Spec{Dirs: *dirs, FilesPerDir: *filesPerDir, FileSize: *fileSize, MakeRounds: *makeRounds}
@@ -64,6 +77,8 @@ func main() {
 			err = space(aspec)
 		case "parallel":
 			err = parallel(cspec)
+		case "obs":
+			err = obsOverhead(cspec)
 		case "ablate-order":
 			err = ablateOrder()
 		case "ablate-sets":
@@ -94,6 +109,7 @@ Experiments (default: all):
   table4        query cost, smkdir vs direct search    (paper Table 4)
   space         metadata and shared-memory footprints  (§4 in-text)
   parallel      evaluation engine vs worker count      (EXPERIMENTS.md)
+  obs           instrumentation overhead, on vs off    (EXPERIMENTS.md)
   ablate-order  targeted vs full consistency updates   (DESIGN.md A1)
   ablate-sets   bitmap vs sparse result sets           (DESIGN.md A2)
   ablate-scope  scope-direction design comparison      (DESIGN.md A3)
@@ -112,6 +128,7 @@ func runAll(aspec andrew.Spec, cspec corpus.Spec) error {
 		func() error { return table4(cspec) },
 		func() error { return space(aspec) },
 		func() error { return parallel(cspec) },
+		func() error { return obsOverhead(cspec) },
 		ablateOrder,
 		ablateSets,
 		ablateScope,
@@ -271,6 +288,34 @@ func parallel(spec corpus.Spec) error {
 			r.Workers, ms(r.Reindex), r.ReindexSpeedup, ms(r.SyncAll), r.SyncAllSpeedup)
 	}
 	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func obsOverhead(spec corpus.Spec) error {
+	fmt.Printf("== Instrumentation overhead (files=%d sem-dirs=%d workers=%d, in-memory) ==\n",
+		spec.Files, *semDirs, *maxWorkers)
+	res, err := bench.ObsOverhead(spec, *semDirs, *reps, *maxWorkers)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Observability\tReindex\tSyncAll")
+	fmt.Fprintf(w, "discard (handles nil)\t%s\t%s\n", ms(res.Off.Reindex), ms(res.Off.SyncAll))
+	fmt.Fprintf(w, "enabled, unscraped\t%s\t%s\n", ms(res.On.Reindex), ms(res.On.SyncAll))
+	fmt.Fprintf(w, "overhead\t%.1f%%\t%.1f%%\n", res.ReindexOverheadPct(), res.SyncAllOverheadPct())
+	w.Flush()
+	fmt.Printf("enabled run registered %d metric series, retained %d spans\n", res.Series, res.Spans)
+	if *obsJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*obsJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *obsJSON)
+	}
 	fmt.Println()
 	return nil
 }

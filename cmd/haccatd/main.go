@@ -15,13 +15,24 @@ import (
 	"os"
 
 	"hacfs/internal/catalog"
+	"hacfs/internal/obs"
 )
 
-var addr = flag.String("addr", "127.0.0.1:7679", "listen address")
+var (
+	addr      = flag.String("addr", "127.0.0.1:7679", "listen address")
+	debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/spans on this address")
+)
 
 func main() {
 	flag.Parse()
 	logger := log.New(os.Stderr, "haccatd: ", log.LstdFlags)
+	if *debugAddr != "" {
+		dl, err := obs.Serve(*debugAddr, obs.Default())
+		if err != nil {
+			logger.Fatalf("debug listener: %v", err)
+		}
+		logger.Printf("debug endpoints on http://%s/metrics", dl.Addr())
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Fatalf("listen: %v", err)

@@ -21,16 +21,18 @@ import (
 	"path/filepath"
 
 	"hacfs/internal/corpus"
+	"hacfs/internal/obs"
 	"hacfs/internal/remote"
 	"hacfs/internal/vfs"
 )
 
 var (
-	addr     = flag.String("addr", "127.0.0.1:7677", "listen address")
-	nfiles   = flag.Int("files", 500, "synthetic corpus size (when -dir is not given)")
-	seed     = flag.Int64("seed", 7, "synthetic corpus seed")
-	hostDir  = flag.String("dir", "", "serve a snapshot of this host directory instead of a synthetic corpus")
-	maxBytes = flag.Int64("max-file-bytes", 1<<20, "skip host files larger than this (with -dir)")
+	addr      = flag.String("addr", "127.0.0.1:7677", "listen address")
+	debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/spans on this address")
+	nfiles    = flag.Int("files", 500, "synthetic corpus size (when -dir is not given)")
+	seed      = flag.Int64("seed", 7, "synthetic corpus seed")
+	hostDir   = flag.String("dir", "", "serve a snapshot of this host directory instead of a synthetic corpus")
+	maxBytes  = flag.Int64("max-file-bytes", 1<<20, "skip host files larger than this (with -dir)")
 )
 
 func main() {
@@ -59,6 +61,14 @@ func main() {
 	backend, err := remote.NewIndexBackend(fsys, "/")
 	if err != nil {
 		logger.Fatalf("indexing: %v", err)
+	}
+	backend.Index().SetObserver(obs.Default())
+	if *debugAddr != "" {
+		dl, err := obs.Serve(*debugAddr, obs.Default())
+		if err != nil {
+			logger.Fatalf("debug listener: %v", err)
+		}
+		logger.Printf("debug endpoints on http://%s/metrics", dl.Addr())
 	}
 	st := backend.Index().Stats()
 	logger.Printf("serving %d documents (%d terms, %d KB index) on %s",

@@ -24,12 +24,14 @@ import (
 
 	"hacfs/internal/corpus"
 	"hacfs/internal/hac"
+	"hacfs/internal/obs"
 	"hacfs/internal/remotefs"
 	"hacfs/internal/vfs"
 )
 
 var (
 	addr      = flag.String("addr", "127.0.0.1:7678", "listen address")
+	debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/spans on this address")
 	volume    = flag.String("volume", "", "serve a volume saved by hacsh's save command")
 	savePath  = flag.String("save", "", "checkpoint the volume to this file (atomic replace)")
 	saveEvery = flag.Duration("save-every", 30*time.Second, "interval between checkpoints when -save is set")
@@ -78,6 +80,14 @@ func main() {
 			}
 		}()
 		logger.Printf("checkpointing to %s every %s", *savePath, *saveEvery)
+	}
+
+	if *debugAddr != "" {
+		dl, err := obs.Serve(*debugAddr, fs.Observer())
+		if err != nil {
+			logger.Fatalf("debug listener: %v", err)
+		}
+		logger.Printf("debug endpoints on http://%s/metrics", dl.Addr())
 	}
 
 	s := fs.Stats()

@@ -7,7 +7,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"hacfs"
 )
@@ -27,60 +27,54 @@ func main() {
 		"/papers/crime-story.txt": "fingerprint evidence in the museum murder case",
 		"/images/scan1.raw":       "binaryish sensor dump without keywords",
 	})
-	if _, err := fs.Reindex("/"); err != nil {
-		log.Fatal(err)
-	}
+	_, err := fs.Reindex("/")
+	must("reindex", err)
 
 	// One command gathers everything.
-	must(fs.SemDir("/fingerprint", "fingerprint"))
+	must("semdir /fingerprint", fs.SemDir("/fingerprint", "fingerprint"))
 	show(fs, "initial query result", "/fingerprint")
 
 	// §2.3: no query system is perfect. The crime story matches but is
 	// irrelevant — delete it. The deletion is remembered (prohibited).
-	must(fs.Remove("/fingerprint/crime-story.txt"))
+	must("remove crime-story link", fs.Remove("/fingerprint/crime-story.txt"))
 
 	// The raw sensor image is relevant but matches nothing — link it by
 	// hand. The link is permanent: consistency passes never remove it.
-	must(fs.Symlink("/images/scan1.raw", "/fingerprint/scan1.raw"))
+	must("link scan1.raw", fs.Symlink("/images/scan1.raw", "/fingerprint/scan1.raw"))
 
 	show(fs, "after manual tuning (crime story out, sensor image in)", "/fingerprint")
 
 	// Refinement by hierarchy: a child semantic directory scopes over
 	// the parent's links only.
-	must(fs.SemDir("/fingerprint/code", "int OR match"))
+	must("semdir /fingerprint/code", fs.SemDir("/fingerprint/code", "int OR match"))
 	show(fs, "refinement /fingerprint/code (scope = parent's links)", "/fingerprint/code")
 
 	// §2.5: queries can reference directories. Collect everything in
 	// the tuned fingerprint collection that is NOT source code.
-	must(fs.SemDir("/fp-reading", "dir:/fingerprint AND NOT int"))
+	must("semdir /fp-reading", fs.SemDir("/fp-reading", "dir:/fingerprint AND NOT int"))
 	show(fs, "dir-reference query /fp-reading", "/fp-reading")
 
 	// Consistency under change: new mail arrives, an old note is
 	// archived out of existence. One reindex settles everything,
 	// without touching the manual edits.
-	must(fs.WriteFile("/mail/from-dave.eml", []byte("from dave subject fingerprint dataset ready")))
-	must(fs.Remove("/notes/meeting.txt"))
-	if _, err := fs.Reindex("/"); err != nil {
-		log.Fatal(err)
-	}
+	must("write from-dave.eml", fs.WriteFile("/mail/from-dave.eml", []byte("from dave subject fingerprint dataset ready")))
+	must("remove meeting.txt", fs.Remove("/notes/meeting.txt"))
+	_, err = fs.Reindex("/")
+	must("reindex", err)
 	show(fs, "after new mail + archived note + reindex", "/fingerprint")
 
 	fmt.Println("\nlink classification in /fingerprint:")
 	links, err := fs.Links("/fingerprint")
-	if err != nil {
-		log.Fatal(err)
-	}
+	must("links /fingerprint", err)
 	for _, l := range links {
 		fmt.Printf("  %-10s %s\n", l.Class, l.Target)
 	}
 
 	// Renaming the referenced directory does not break /fp-reading.
-	must(fs.Rename("/fingerprint", "/fp-project"))
-	must(fs.Sync("/"))
+	must("rename /fingerprint", fs.Rename("/fingerprint", "/fp-project"))
+	must("sync", fs.Sync("/"))
 	q, err := fs.QueryDisplay("/fp-reading")
-	if err != nil {
-		log.Fatal(err)
-	}
+	must("query display /fp-reading", err)
 	fmt.Printf("\nafter rename, /fp-reading's query reads: %s\n", q)
 	show(fs, "and still resolves", "/fp-reading")
 }
@@ -88,8 +82,8 @@ func main() {
 func seed(fs *hacfs.FS, files map[string]string) {
 	for p, content := range files {
 		dir := p[:lastSlash(p)]
-		must(fs.MkdirAll(dir))
-		must(fs.WriteFile(p, []byte(content)))
+		must("mkdir "+dir, fs.MkdirAll(dir))
+		must("write "+p, fs.WriteFile(p, []byte(content)))
 	}
 }
 
@@ -105,9 +99,7 @@ func lastSlash(p string) int {
 func show(fs *hacfs.FS, caption, dir string) {
 	fmt.Printf("\n%s:\n", caption)
 	entries, err := fs.ReadDir(dir)
-	if err != nil {
-		log.Fatal(err)
-	}
+	must("readdir "+dir, err)
 	if len(entries) == 0 {
 		fmt.Println("  (empty)")
 	}
@@ -121,8 +113,11 @@ func show(fs *hacfs.FS, caption, dir string) {
 	}
 }
 
-func must(err error) {
+// must aborts the example with a non-zero status, naming the step that
+// failed.
+func must(op string, err error) {
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "fingerprint: %s: %v\n", op, err)
+		os.Exit(1)
 	}
 }

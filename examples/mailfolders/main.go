@@ -10,7 +10,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 	"strings"
 
 	"hacfs"
@@ -31,23 +31,22 @@ var inbox = []message{
 
 func main() {
 	fs := hacfs.NewVolume()
-	must(fs.MkdirAll("/mail"))
+	must("mkdir /mail", fs.MkdirAll("/mail"))
 	for _, m := range inbox {
 		content := fmt.Sprintf("from %s\nto %s\nsubject %s\n\n%s\n", m.from, m.to, m.subject, m.body)
-		must(fs.WriteFile("/mail/"+m.name+".eml", []byte(content)))
+		must("write "+m.name, fs.WriteFile("/mail/"+m.name+".eml", []byte(content)))
 	}
-	if _, err := fs.Reindex("/"); err != nil {
-		log.Fatal(err)
-	}
+	_, err := fs.Reindex("/")
+	must("reindex", err)
 
 	// Folders by sender, by topic, and by a combination. The dir:/mail
 	// reference scopes each folder over the mailbox (§2.5 DAG-based
 	// scoping), wherever the folder itself lives.
-	must(fs.MkdirAll("/folders"))
-	must(fs.SemDir("/folders/from-alice", "dir:/mail AND from AND alice"))
-	must(fs.SemDir("/folders/from-bob", "dir:/mail AND from AND bob"))
-	must(fs.SemDir("/folders/fingerprint", "dir:/mail AND fingerprint"))
-	must(fs.SemDir("/folders/alice-fingerprint", "dir:/mail AND from AND alice AND fingerprint"))
+	must("mkdir /folders", fs.MkdirAll("/folders"))
+	must("semdir from-alice", fs.SemDir("/folders/from-alice", "dir:/mail AND from AND alice"))
+	must("semdir from-bob", fs.SemDir("/folders/from-bob", "dir:/mail AND from AND bob"))
+	must("semdir fingerprint", fs.SemDir("/folders/fingerprint", "dir:/mail AND fingerprint"))
+	must("semdir alice-fingerprint", fs.SemDir("/folders/alice-fingerprint", "dir:/mail AND from AND alice AND fingerprint"))
 
 	for _, f := range []string{
 		"/folders/from-alice", "/folders/from-bob",
@@ -60,7 +59,7 @@ func main() {
 	fmt.Println("\nfolders containing m1.eml:")
 	for _, f := range []string{"/folders/from-alice", "/folders/from-bob", "/folders/fingerprint"} {
 		targets, err := fs.Links(f)
-		must(err)
+		must("links "+f, err)
 		for _, l := range targets {
 			if strings.HasSuffix(l.Target, "m1.eml") && l.Class != hacfs.Prohibited {
 				fmt.Printf("  %s\n", f)
@@ -71,32 +70,30 @@ func main() {
 	// New mail shows up in every matching folder after a reindex —
 	// "users can decide to update certain semantic directories as soon
 	// as new mail comes in" (§2.4).
-	must(fs.WriteFile("/mail/m7.eml",
+	must("write m7", fs.WriteFile("/mail/m7.eml",
 		[]byte("from alice\nto me\nsubject fingerprint demo\n\ndemo on friday\n")))
-	if _, err := fs.Reindex("/mail"); err != nil {
-		log.Fatal(err)
-	}
+	_, err = fs.Reindex("/mail")
+	must("reindex /mail", err)
 	fmt.Println("\nafter new mail m7 from alice about the fingerprint demo:")
 	show(fs, "/folders/alice-fingerprint")
 
 	// Filing by hand still works: drag a message out of a folder
 	// (prohibited there) and into another (permanent there).
-	must(fs.Rename("/folders/fingerprint/m5.eml", "/folders/from-alice/m5.eml"))
+	must("move m5", fs.Rename("/folders/fingerprint/m5.eml", "/folders/from-alice/m5.eml"))
 	fmt.Println("\nafter moving m5 from the fingerprint folder into from-alice:")
 	show(fs, "/folders/fingerprint")
 	show(fs, "/folders/from-alice")
 
 	// The move survives every consistency pass.
-	if _, err := fs.Reindex("/"); err != nil {
-		log.Fatal(err)
-	}
+	_, err = fs.Reindex("/")
+	must("reindex", err)
 	fmt.Println("\n...and it survives a full reindex:")
 	show(fs, "/folders/fingerprint")
 }
 
 func show(fs *hacfs.FS, dir string) {
 	entries, err := fs.ReadDir(dir)
-	must(err)
+	must("readdir "+dir, err)
 	var names []string
 	for _, e := range entries {
 		names = append(names, e.Name)
@@ -104,8 +101,11 @@ func show(fs *hacfs.FS, dir string) {
 	fmt.Printf("%-28s %s\n", dir+":", strings.Join(names, " "))
 }
 
-func must(err error) {
+// must aborts the example with a non-zero status, naming the step that
+// failed.
+func must(op string, err error) {
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "mailfolders: %s: %v\n", op, err)
+		os.Exit(1)
 	}
 }

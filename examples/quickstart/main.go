@@ -5,7 +5,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"os"
 
 	"hacfs"
 )
@@ -14,38 +14,34 @@ func main() {
 	fs := hacfs.NewVolume()
 
 	// A HAC volume is an ordinary hierarchical file system.
-	must(fs.MkdirAll("/notes"))
-	must(fs.WriteFile("/notes/pie.txt", []byte("apple pie recipe")))
-	must(fs.WriteFile("/notes/bread.txt", []byte("banana bread recipe")))
-	must(fs.WriteFile("/notes/car.txt", []byte("car maintenance log")))
+	must("mkdir /notes", fs.MkdirAll("/notes"))
+	must("write pie.txt", fs.WriteFile("/notes/pie.txt", []byte("apple pie recipe")))
+	must("write bread.txt", fs.WriteFile("/notes/bread.txt", []byte("banana bread recipe")))
+	must("write car.txt", fs.WriteFile("/notes/car.txt", []byte("car maintenance log")))
 
 	// Index the volume (the paper's CBA mechanism), then create a
 	// semantic directory: a directory with a query.
-	if _, err := fs.Reindex("/"); err != nil {
-		log.Fatal(err)
-	}
-	must(fs.SemDir("/recipes", "recipe"))
+	_, err := fs.Reindex("/")
+	must("reindex", err)
+	must("semdir /recipes", fs.SemDir("/recipes", "recipe"))
 
 	fmt.Println("links in /recipes:")
 	printDir(fs, "/recipes")
 
 	// It is still a regular directory: delete a link you don't want
 	// (it becomes prohibited and will never silently return) ...
-	must(fs.Remove("/recipes/bread.txt"))
+	must("remove bread.txt link", fs.Remove("/recipes/bread.txt"))
 
 	// ... and new matching files appear at the next reindex.
-	must(fs.WriteFile("/notes/cake.txt", []byte("carrot cake recipe")))
-	if _, err := fs.Reindex("/"); err != nil {
-		log.Fatal(err)
-	}
+	must("write cake.txt", fs.WriteFile("/notes/cake.txt", []byte("carrot cake recipe")))
+	_, err = fs.Reindex("/")
+	must("reindex", err)
 
 	fmt.Println("\nafter deleting bread.txt and adding cake.txt:")
 	printDir(fs, "/recipes")
 
 	links, err := fs.Links("/recipes")
-	if err != nil {
-		log.Fatal(err)
-	}
+	must("links /recipes", err)
 	fmt.Println("\nclassified links:")
 	for _, l := range links {
 		fmt.Printf("  %-10s %s\n", l.Class, l.Target)
@@ -54,17 +50,18 @@ func main() {
 
 func printDir(fs *hacfs.FS, dir string) {
 	entries, err := fs.ReadDir(dir)
-	if err != nil {
-		log.Fatal(err)
-	}
+	must("readdir "+dir, err)
 	for _, e := range entries {
 		target, _ := fs.Readlink(dir + "/" + e.Name)
 		fmt.Printf("  %s -> %s\n", e.Name, target)
 	}
 }
 
-func must(err error) {
+// must aborts the example with a non-zero status, naming the step that
+// failed.
+func must(op string, err error) {
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "quickstart: %s: %v\n", op, err)
+		os.Exit(1)
 	}
 }

@@ -6,8 +6,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"net"
+	"os"
 	"strings"
 
 	"hacfs"
@@ -27,55 +27,54 @@ func main() {
 
 	// --- The local side: a personal HAC volume. ----------------------
 	fs := hacfs.NewVolume()
-	must(fs.MkdirAll("/library"))
-	must(fs.MkdirAll("/notes"))
-	must(fs.WriteFile("/notes/my-fp-ideas.txt", []byte("my own fingerprint ideas")))
-	if _, err := fs.Reindex("/"); err != nil {
-		log.Fatal(err)
-	}
+	must("mkdir /library", fs.MkdirAll("/library"))
+	must("mkdir /notes", fs.MkdirAll("/notes"))
+	must("write my-fp-ideas.txt", fs.WriteFile("/notes/my-fp-ideas.txt", []byte("my own fingerprint ideas")))
+	_, err := fs.Reindex("/")
+	must("reindex", err)
 
 	// Semantically mount the library. From now on, queries whose scope
 	// includes /library import its results.
 	client := hacfs.DialRemote("diglib", libAddr)
-	must(fs.SemanticMount("/library", client))
+	must("semantic mount /library", fs.SemanticMount("/library", client))
 
 	// "We can add a semantic mount point associated with a query for
 	// fingerprint, thus ensuring that our knowledge of the subject is
 	// up to date (at least with the library)."
-	must(fs.SemDir("/fp", "fingerprint"))
+	must("semdir /fp", fs.SemDir("/fp", "fingerprint"))
 	fmt.Println("/fp gathers local and remote results:")
 	show(fs, "/fp")
 
 	// Personal classification of remote information: remove the crime
 	// report (prohibited — it will not come back), keep the rest.
 	entries, err := fs.ReadDir("/fp")
-	must(err)
+	must("readdir /fp", err)
 	for _, e := range entries {
 		if strings.Contains(e.Name, "crime") {
-			must(fs.Remove("/fp/" + e.Name))
+			must("remove "+e.Name, fs.Remove("/fp/"+e.Name))
 		}
 	}
-	must(fs.Sync("/"))
+	must("sync", fs.Sync("/"))
 	fmt.Println("\nafter pruning the crime report (a prohibited link now):")
 	show(fs, "/fp")
 
 	// Refine within the personal collection: hardware papers only.
-	must(fs.SemDir("/fp/hardware", "sensor OR hardware"))
+	must("semdir /fp/hardware", fs.SemDir("/fp/hardware", "sensor OR hardware"))
 	fmt.Println("\nrefinement /fp/hardware (scope = the tuned /fp):")
 	show(fs, "/fp/hardware")
 
 	// sact: pull the content of a remote result through the link.
 	entries, err = fs.ReadDir("/fp/hardware")
-	must(err)
+	must("readdir /fp/hardware", err)
 	data, err := fs.Extract("/fp/hardware/" + entries[0].Name)
-	must(err)
+	must("extract "+entries[0].Name, err)
 	fmt.Printf("\nsact %s:\n  %s\n", entries[0].Name, data)
 
 	// The library is one namespace; local files are another — both
 	// answered the same query, which is the §3.2 "multiple name spaces,
 	// disjoint results" model.
 	links, err := fs.Links("/fp")
-	must(err)
+	must("links /fp", err)
 	local, remoteN := 0, 0
 	for _, l := range links {
 		if l.Class == hacfs.Prohibited {
@@ -96,20 +95,20 @@ func main() {
 func startLibrary(docs map[string]string) string {
 	fsys := vfs.New()
 	for p, content := range docs {
-		must(fsys.MkdirAll(vfs.Dir(p)))
-		must(fsys.WriteFile(p, []byte(content)))
+		must("library mkdir "+vfs.Dir(p), fsys.MkdirAll(vfs.Dir(p)))
+		must("library write "+p, fsys.WriteFile(p, []byte(content)))
 	}
 	backend, err := remote.NewIndexBackend(fsys, "/")
-	must(err)
+	must("library index", err)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
-	must(err)
+	must("library listen", err)
 	go remote.NewServer(backend, nil).Serve(l)
 	return l.Addr().String()
 }
 
 func show(fs *hacfs.FS, dir string) {
 	entries, err := fs.ReadDir(dir)
-	must(err)
+	must("readdir "+dir, err)
 	for _, e := range entries {
 		if e.Type == hacfs.SymlinkType {
 			target, _ := fs.Readlink(dir + "/" + e.Name)
@@ -120,8 +119,11 @@ func show(fs *hacfs.FS, dir string) {
 	}
 }
 
-func must(err error) {
+// must aborts the example with a non-zero status, naming the step that
+// failed.
+func must(op string, err error) {
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "remotesearch: %s: %v\n", op, err)
+		os.Exit(1)
 	}
 }

@@ -7,8 +7,8 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"net"
+	"os"
 	"strings"
 
 	"hacfs"
@@ -25,30 +25,30 @@ func main() {
 		"/docs/iris.txt":      "iris recognition survey",
 		"/docs/pie.txt":       "apple pie recipe",
 	})
-	must(alice.SemDir("/fingerprint", "fingerprint"))
+	must("alice semdir", alice.SemDir("/fingerprint", "fingerprint"))
 	// Her personal touch: the iris survey belongs in the collection.
-	must(alice.Symlink("/docs/iris.txt", "/fingerprint/iris.txt"))
+	must("alice link iris.txt", alice.Symlink("/docs/iris.txt", "/fingerprint/iris.txt"))
 
 	// --- Alice's volume goes on the network (cmd/hacvold). -------------
 	l, err := net.Listen("tcp", "127.0.0.1:0")
-	must(err)
+	must("listen", err)
 	go remotefs.NewServer(alice, nil).Serve(l)
 
 	// --- Bob mounts Alice's volume syntactically. ----------------------
 	bobUnder := hacfs.NewMemFS()
 	bob := hacfs.New(bobUnder)
-	must(bob.MkdirAll("/net/alice"))
-	must(bobUnder.Mount("/net/alice", remotefs.Dial(l.Addr().String())))
+	must("bob mkdir /net/alice", bob.MkdirAll("/net/alice"))
+	must("bob mount", bobUnder.Mount("/net/alice", remotefs.Dial(l.Addr().String())))
 
 	fmt.Println("Bob browses Alice's curated classification over the network:")
 	entries, err := bob.ReadDir("/net/alice/fingerprint")
-	must(err)
+	must("bob readdir", err)
 	for _, e := range entries {
 		target, _ := bob.Readlink("/net/alice/fingerprint/" + e.Name)
 		fmt.Printf("  %-16s -> %s\n", e.Name, target)
 	}
 	data, err := bob.ReadFile("/net/alice/docs/fp-alg.txt")
-	must(err)
+	must("bob read fp-alg.txt", err)
 	fmt.Printf("  (reads one: %q)\n", data)
 
 	// --- Bob has his own volume with his own classification. -----------
@@ -56,19 +56,19 @@ func main() {
 		"/papers/fp-survey.txt": "fingerprint biometrics overview",
 		"/papers/gait.txt":      "gait recognition methods",
 	})
-	must(bob.SemDir("/biometrics", "fingerprint OR gait"))
+	must("bob semdir", bob.SemDir("/biometrics", "fingerprint OR gait"))
 
 	// --- The central catalog (§3.2). ------------------------------------
 	cat := catalog.New()
 	nA, err := cat.Publish("alice", alice)
-	must(err)
+	must("publish alice", err)
 	nB, err := cat.Publish("bob", bob)
-	must(err)
+	must("publish bob", err)
 	fmt.Printf("\ncatalog holds %d entries (%d from alice, %d from bob)\n",
 		cat.Len(), nA, nB)
 
 	hits, err := cat.Search("fingerprint")
-	must(err)
+	must("catalog search", err)
 	fmt.Println("catalog search 'fingerprint':")
 	for _, h := range hits {
 		fmt.Printf("  %s %s  query=%s  (%d results)\n",
@@ -79,7 +79,7 @@ func main() {
 	// files, so this demo's overlap is in naming; with shared storage
 	// the overlap is in the files themselves.)
 	matches, err := cat.SimilarTo("alice", "/fingerprint")
-	must(err)
+	must("catalog similar", err)
 	if len(matches) == 0 {
 		fmt.Println("\nno users with overlapping classifications (volumes are disjoint)")
 	}
@@ -91,12 +91,11 @@ func main() {
 	// Finally: Bob can layer his own semantic view over the mounted
 	// volume by querying the mounted subtree — Alice's files joined his
 	// index when he reindexed the mount.
-	if _, err := bob.Reindex("/net/alice/docs"); err != nil {
-		log.Fatal(err)
-	}
-	must(bob.SemDir("/all-fp", "dir:/papers OR dir:\"/net/alice/docs\" AND fingerprint"))
+	_, err = bob.Reindex("/net/alice/docs")
+	must("bob reindex mount", err)
+	must("bob semdir /all-fp", bob.SemDir("/all-fp", "dir:/papers OR dir:\"/net/alice/docs\" AND fingerprint"))
 	targets, err := bob.LinkTargets("/all-fp")
-	must(err)
+	must("bob links /all-fp", err)
 	fmt.Println("\nBob's combined view (his papers + Alice's docs):")
 	for _, target := range targets {
 		if strings.Contains(target, "fp") {
@@ -107,16 +106,18 @@ func main() {
 
 func seed(fs *hacfs.FS, files map[string]string) {
 	for p, content := range files {
-		must(fs.MkdirAll(p[:strings.LastIndexByte(p, '/')]))
-		must(fs.WriteFile(p, []byte(content)))
+		must("mkdir "+p, fs.MkdirAll(p[:strings.LastIndexByte(p, '/')]))
+		must("write "+p, fs.WriteFile(p, []byte(content)))
 	}
-	if _, err := fs.Reindex("/"); err != nil {
-		log.Fatal(err)
-	}
+	_, err := fs.Reindex("/")
+	must("reindex", err)
 }
 
-func must(err error) {
+// must aborts the example with a non-zero status, naming the step that
+// failed.
+func must(op string, err error) {
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "sharing: %s: %v\n", op, err)
+		os.Exit(1)
 	}
 }

@@ -59,6 +59,7 @@ import (
 	"hacfs/internal/catalog"
 	"hacfs/internal/hac"
 	"hacfs/internal/index"
+	"hacfs/internal/obs"
 	"hacfs/internal/remote"
 	"hacfs/internal/remotefs"
 	"hacfs/internal/vfs"
@@ -94,6 +95,10 @@ var (
 	// WithTransducer registers an attribute transducer (construction
 	// only).
 	WithTransducer = hac.WithTransducer
+	// WithObserver directs a volume's metrics and spans to an Observer
+	// (construction only). nil selects the process-wide DefaultObserver;
+	// DiscardObserver disables recording.
+	WithObserver = hac.WithObserver
 )
 
 // PathError records the operation and path of a failed HAC or substrate
@@ -315,6 +320,42 @@ func ServeCatalog(cat *Catalog, addr string, logger *log.Logger) error {
 		return err
 	}
 	return catalog.NewServer(cat, logger).Serve(l)
+}
+
+// Observer bundles a metrics Registry and a span Tracer — the sink
+// every instrumented layer records into. Inject one per volume with
+// WithObserver, or share the process-wide DefaultObserver.
+type Observer = obs.Observer
+
+// Registry is a metrics registry: counters, gauges and fixed-bucket
+// histograms with Prometheus-text and expvar exposition.
+type Registry = obs.Registry
+
+// Tracer retains recent operation spans in a bounded ring buffer.
+type Tracer = obs.Tracer
+
+// Span is one traced operation (Sync pass, per-directory evaluation).
+type Span = obs.Span
+
+// NewObserver returns an observer with a fresh registry and tracer,
+// isolated from the process-wide default.
+func NewObserver() *Observer { return obs.NewObserver() }
+
+// DefaultObserver returns the process-wide observer — the one behind
+// the daemons' -debug-addr endpoints and every volume built without
+// WithObserver.
+func DefaultObserver() *Observer { return obs.Default() }
+
+// DiscardObserver returns the no-op observer: instrumented code runs
+// unchanged but records nothing (one nil check per record).
+func DiscardObserver() *Observer { return obs.Discard() }
+
+// ServeDebug starts the observability HTTP server (Prometheus /metrics,
+// /debug/vars, /debug/pprof, /debug/spans) for o on addr — the library
+// form of the daemons' -debug-addr flag. The returned listener owns the
+// server; closing it stops serving. addr may be ":0".
+func ServeDebug(addr string, o *Observer) (net.Listener, error) {
+	return obs.Serve(addr, o)
 }
 
 // Walk traverses a file system tree depth-first in name order, without

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"hacfs/internal/corpus"
+	"hacfs/internal/hac"
+	"hacfs/internal/obs"
+	"hacfs/internal/vfs"
+)
+
+// ---------------------------------------------------------------------
+// Instrumentation overhead — enabled-but-unscraped metrics vs disabled
+// ---------------------------------------------------------------------
+
+// ObsOverheadResult compares the parallel engine's Reindex and SyncAll
+// with observability fully enabled (live registry + tracer, nobody
+// scraping) against the same passes with a discard observer (every
+// metric handle nil). The substrate is pure in-memory with no emulated
+// I/O latency — the worst case for *relative* instrumentation cost,
+// since there is no device time to hide behind.
+type ObsOverheadResult struct {
+	Workers int          `json:"workers"`
+	Reps    int          `json:"reps"`
+	Files   int          `json:"files"`
+	SemDirs int          `json:"sem_dirs"`
+	Off     ObsModeTimes `json:"off"`
+	On      ObsModeTimes `json:"on"`
+	Series  int          `json:"series"` // metric series live on the enabled registry
+	Spans   int          `json:"spans"`  // spans started by the enabled tracer
+}
+
+// ObsModeTimes holds one observer mode's best-of-reps timings.
+type ObsModeTimes struct {
+	Reindex time.Duration `json:"reindex_ns"`
+	SyncAll time.Duration `json:"syncall_ns"`
+}
+
+// ReindexOverheadPct is the enabled-over-disabled Reindex slowdown.
+func (r *ObsOverheadResult) ReindexOverheadPct() float64 {
+	return Slowdown(r.Off.Reindex, r.On.Reindex)
+}
+
+// SyncAllOverheadPct is the enabled-over-disabled SyncAll slowdown.
+func (r *ObsOverheadResult) SyncAllOverheadPct() float64 {
+	return Slowdown(r.Off.SyncAll, r.On.SyncAll)
+}
+
+// ObsOverhead measures the cost of leaving instrumentation on. Each
+// repetition builds two fresh HAC layers over one shared corpus — one
+// with obs.Discard(), one with a private live observer — and runs a
+// cold Reindex plus a full SyncAll over ndirs independent semantic
+// directories on each. Modes are interleaved within a repetition so
+// drift hits both equally; the minimum per mode is reported.
+func ObsOverhead(spec corpus.Spec, ndirs, reps, workers int) (*ObsOverheadResult, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	if ndirs <= 0 {
+		ndirs = 12
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+
+	mem := vfs.New()
+	if err := mem.MkdirAll("/db"); err != nil {
+		return nil, err
+	}
+	man, err := corpus.Generate(mem, "/db", spec)
+	if err != nil {
+		return nil, err
+	}
+	queries := parallelQueries(man, ndirs)
+
+	res := &ObsOverheadResult{
+		Workers: workers, Reps: reps, Files: spec.Files, SemDirs: ndirs,
+	}
+	measure := func(o *obs.Observer, into *ObsModeTimes) error {
+		runtime.GC()
+		hfs := hac.New(mem, hac.Options{VerifyMatches: true, Observer: o})
+		start := time.Now()
+		if _, err := hfs.Reindex("/db", hac.WithParallelism(workers)); err != nil {
+			return err
+		}
+		if d := time.Since(start); into.Reindex == 0 || d < into.Reindex {
+			into.Reindex = d
+		}
+		for i, q := range queries {
+			if err := hfs.SemDir(fmt.Sprintf("/q%02d", i), q); err != nil {
+				return fmt.Errorf("semdir %q: %w", q, err)
+			}
+		}
+		runtime.GC()
+		start = time.Now()
+		if err := hfs.SyncAll(hac.WithParallelism(workers)); err != nil {
+			return err
+		}
+		if d := time.Since(start); into.SyncAll == 0 || d < into.SyncAll {
+			into.SyncAll = d
+		}
+		return nil
+	}
+
+	for r := 0; r < reps; r++ {
+		if err := measure(obs.Discard(), &res.Off); err != nil {
+			return nil, err
+		}
+		live := obs.NewObserver()
+		if err := measure(live, &res.On); err != nil {
+			return nil, err
+		}
+		res.Series = len(live.Registry().Snapshot())
+		res.Spans = int(live.Tracer().Total())
+	}
+	return res, nil
+}

@@ -33,6 +33,7 @@ type Graph struct {
 	mu         sync.RWMutex
 	deps       map[uint64]map[uint64]bool // node → the nodes it depends on
 	dependents map[uint64]map[uint64]bool // node → the nodes that depend on it
+	met        graphMetrics
 }
 
 // New returns an empty graph.
@@ -234,6 +235,7 @@ func (g *Graph) AffectedLevels(id uint64, includeSelf bool) [][]uint64 {
 // every node with no in-subset dependencies, level i+1 every node whose
 // last in-subset dependency sits in level i. Caller holds g.mu.
 func (g *Graph) levelsLocked(subset map[uint64]bool) [][]uint64 {
+	g.met.recomputes.Add(1)
 	indeg := make(map[uint64]int, len(subset))
 	for id := range subset {
 		n := 0
@@ -255,6 +257,7 @@ func (g *Graph) levelsLocked(subset map[uint64]bool) [][]uint64 {
 	var levels [][]uint64
 	for len(frontier) > 0 {
 		level := frontier
+		g.met.levelWidth.Observe(float64(len(level)))
 		levels = append(levels, level)
 		frontier = nil
 		for _, cur := range level {
@@ -276,6 +279,7 @@ func (g *Graph) levelsLocked(subset map[uint64]bool) [][]uint64 {
 // topoLocked runs Kahn's algorithm restricted to the given node subset,
 // breaking ties by ascending id for determinism. Caller holds g.mu.
 func (g *Graph) topoLocked(subset map[uint64]bool) []uint64 {
+	g.met.recomputes.Add(1)
 	indeg := make(map[uint64]int, len(subset))
 	for id := range subset {
 		n := 0

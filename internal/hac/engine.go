@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hacfs/internal/index"
+	"hacfs/internal/obs"
 )
 
 // Option configures a volume at construction (NewWith) or one
@@ -33,6 +34,11 @@ type evalConfig struct {
 	parallelism int
 	verify      bool
 	ctx         context.Context
+	// span is the pass's root span (hac.Sync / hac.SyncAll /
+	// hac.Reindex); per-directory evaluation spans are its children.
+	// nil — as in mutation-triggered consistency passes — disables
+	// tracing for the pass.
+	span *obs.Span
 }
 
 // WithParallelism sets the worker count for Reindex tokenization and
@@ -63,6 +69,13 @@ func WithVerify(v bool) Option {
 // construction time.
 func WithContext(ctx context.Context) Option {
 	return func(c *config) { c.eval.ctx = ctx }
+}
+
+// WithObserver directs the volume's metrics and spans to o
+// (construction only). nil selects the process-wide obs.Default();
+// obs.Discard() disables recording.
+func WithObserver(o *obs.Observer) Option {
+	return func(c *config) { c.vol.Observer = o }
 }
 
 // WithAttrCacheSize bounds the attribute cache (construction only).
@@ -211,12 +224,15 @@ func (fs *FS) syncOneLevel(level []uint64, cfg evalConfig) error {
 	if workers > len(staged) {
 		workers = len(staged)
 	}
+	fs.met.queueDepth.Set(int64(len(staged)))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			fs.met.workersBusy.Add(1)
+			defer fs.met.workersBusy.Add(-1)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(staged) {
@@ -224,10 +240,12 @@ func (fs *FS) syncOneLevel(level []uint64, cfg evalConfig) error {
 				}
 				ds := fs.dirs[staged[i].uid]
 				staged[i].targets, staged[i].err = fs.computeTargetsLocked(ds, cfg)
+				fs.met.queueDepth.Add(-1)
 			}
 		}()
 	}
 	wg.Wait()
+	fs.met.queueDepth.Set(0)
 	fs.mu.RUnlock()
 
 	// Commit phase: apply in ascending path order under the write
@@ -239,6 +257,7 @@ func (fs *FS) syncOneLevel(level []uint64, cfg evalConfig) error {
 		// A mutation interleaved between evaluation and commit; the
 		// staged scopes may be stale. Fall back to serial
 		// re-evaluation under the write lock.
+		fs.met.genFallbacks.Add(1)
 		for _, s := range staged {
 			ds, ok := fs.dirs[s.uid]
 			if !ok || !ds.semantic {

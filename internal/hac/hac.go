@@ -34,6 +34,7 @@ import (
 	"hacfs/internal/depgraph"
 	"hacfs/internal/index"
 	"hacfs/internal/namemap"
+	"hacfs/internal/obs"
 	"hacfs/internal/query"
 	"hacfs/internal/vfs"
 )
@@ -137,6 +138,11 @@ type Options struct {
 	// the saving volume used, or attribute-term links will be dropped
 	// by the load-time reindex.
 	Transducers map[string][]index.Transducer
+	// Observer receives the volume's metrics and spans. nil selects the
+	// process-wide obs.Default(); pass obs.Discard() to disable
+	// recording entirely (the hacbench "obs" experiment measures the
+	// difference).
+	Observer *obs.Observer
 }
 
 // DefaultRemoteTimeout bounds remote-namespace RPCs when
@@ -169,6 +175,9 @@ type FS struct {
 	par           int // default evaluation parallelism (0 = NumCPU)
 	remoteTimeout time.Duration
 	autoSync      autoSyncSet
+
+	obsv *obs.Observer // never nil; Discard() when observability is off
+	met  *fsMetrics    // pre-resolved handles into obsv's registry
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -180,6 +189,9 @@ func New(under vfs.FileSystem, opts Options) *FS {
 	}
 	if opts.RemoteTimeout == 0 {
 		opts.RemoteTimeout = DefaultRemoteTimeout
+	}
+	if opts.Observer == nil {
+		opts.Observer = obs.Default()
 	}
 	fs := &FS{
 		under:         under,
@@ -193,7 +205,12 @@ func New(under vfs.FileSystem, opts Options) *FS {
 		verify:        opts.VerifyMatches,
 		par:           opts.Parallelism,
 		remoteTimeout: opts.RemoteTimeout,
+		obsv:          opts.Observer,
+		met:           newFSMetrics(opts.Observer),
 	}
+	fs.ix.SetObserver(opts.Observer)
+	fs.graph.SetObserver(opts.Observer)
+	fs.registerVolumeGauges(opts.Observer)
 	for ext, ts := range opts.Transducers {
 		for _, t := range ts {
 			fs.ix.RegisterTransducer(ext, t)

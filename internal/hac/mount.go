@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"hacfs/internal/vfs"
 )
@@ -50,12 +51,21 @@ func (fs *FS) rpcCtx(ctx context.Context) (context.Context, context.CancelFunc) 
 // nsSearch runs one namespace search, context-bounded when the
 // namespace supports it.
 func (fs *FS) nsSearch(ctx context.Context, ns Namespace, q string) ([]string, error) {
+	start := time.Now()
+	defer fs.met.nsSearchSeconds.ObserveSince(start)
+	var results []string
+	var err error
 	if cns, ok := ns.(ContextNamespace); ok {
 		cctx, cancel := fs.rpcCtx(ctx)
 		defer cancel()
-		return cns.SearchContext(cctx, q)
+		results, err = cns.SearchContext(cctx, q)
+	} else {
+		results, err = ns.Search(q)
 	}
-	return ns.Search(q)
+	if err != nil {
+		fs.met.nsErrors.Add(1)
+	}
+	return results, err
 }
 
 // nsFetch runs one namespace fetch, context-bounded when the namespace

@@ -3,6 +3,7 @@ package hac
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hacfs/internal/query"
 	"hacfs/internal/vfs"
@@ -25,7 +26,7 @@ func (fs *FS) SemDir(path, queryStr string) error {
 	if err != nil {
 		return pathErr("smkdir", path, err)
 	}
-	ast, err := parseQuery(queryStr)
+	ast, err := fs.parseQueryTimed(queryStr)
 	if err != nil {
 		return err
 	}
@@ -171,7 +172,7 @@ func (fs *FS) SetQuery(path, queryStr string) error {
 	if err != nil {
 		return &vfs.PathError{Op: "squery", Path: path, Err: err}
 	}
-	ast, err := parseQuery(queryStr)
+	ast, err := fs.parseQueryTimed(queryStr)
 	if err != nil {
 		return err
 	}
@@ -243,6 +244,15 @@ func parseQuery(queryStr string) (query.Node, error) {
 	if err == query.ErrEmpty {
 		return nil, nil
 	}
+	return ast, err
+}
+
+// parseQueryTimed is parseQuery recording the parse latency into the
+// volume's registry.
+func (fs *FS) parseQueryTimed(queryStr string) (query.Node, error) {
+	start := time.Now()
+	ast, err := parseQuery(queryStr)
+	fs.met.queryParseSeconds.ObserveSince(start)
 	return ast, err
 }
 

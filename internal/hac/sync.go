@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"hacfs/internal/bitset"
 	"hacfs/internal/query"
@@ -33,26 +35,43 @@ func (fs *FS) Sync(path string, opts ...Option) error {
 		return pathErr("ssync", path, err)
 	}
 	cfg := fs.evalCfg(opts)
+	start := time.Now()
+	cfg.span = fs.obsv.Tracer().Start("hac.Sync")
+	cfg.span.Annotate("path", clean)
 	fs.mu.Lock()
 	info, err := fs.under.Stat(clean)
 	if err != nil {
 		fs.mu.Unlock()
+		cfg.span.FinishErr(err)
 		return err
 	}
 	if !info.IsDir() {
 		fs.mu.Unlock()
-		return pathErr("ssync", path, vfs.ErrNotDir)
+		err = pathErr("ssync", path, vfs.ErrNotDir)
+		cfg.span.FinishErr(err)
+		return err
 	}
 	ds := fs.registerDirLocked(clean)
 	uid := ds.uid
 	fs.mu.Unlock()
-	return fs.syncLevels(fs.graph.AffectedLevels(uid, true), cfg)
+	err = fs.syncLevels(fs.graph.AffectedLevels(uid, true), cfg)
+	fs.met.syncTotal.Add(1)
+	fs.met.syncSeconds.ObserveSince(start)
+	cfg.span.FinishErr(err)
+	return err
 }
 
 // SyncAll restores scope consistency for the whole volume, level by
 // level (see Sync).
 func (fs *FS) SyncAll(opts ...Option) error {
-	return fs.syncLevels(fs.graph.TopoLevels(), fs.evalCfg(opts))
+	cfg := fs.evalCfg(opts)
+	start := time.Now()
+	cfg.span = fs.obsv.Tracer().Start("hac.SyncAll")
+	err := fs.syncLevels(fs.graph.TopoLevels(), cfg)
+	fs.met.syncTotal.Add(1)
+	fs.met.syncSeconds.ObserveSince(start)
+	cfg.span.FinishErr(err)
+	return err
 }
 
 // syncFromLocked re-evaluates uid itself (if semantic) and then every
@@ -123,12 +142,20 @@ func (fs *FS) computeTargetsLocked(ds *dirState, cfg evalConfig) (map[string]boo
 		return nil, fmt.Errorf("%w: uid %d", ErrDanglingRef, ds.uid)
 	}
 	parentPath := vfs.Dir(dirPath)
+	fs.met.semdirEvals.Add(1)
+	sp := cfg.span.Child("hac.eval")
+	sp.Annotate("dir", dirPath)
 
 	newTargets := make(map[string]bool)
 	if ds.ast != nil {
+		evalStart := time.Now()
 		local, err := query.Eval(ds.ast, &evalEnv{fs: fs})
+		fs.met.queryEvalSeconds.ObserveSince(evalStart)
+		fs.met.phaseEval.ObserveSince(evalStart)
 		if err != nil {
-			return nil, pathErr("ssync", dirPath, fmt.Errorf("evaluating query: %w", err))
+			err = pathErr("ssync", dirPath, fmt.Errorf("evaluating query: %w", err))
+			sp.FinishErr(err)
+			return nil, err
 		}
 		// Scope restriction (§2.3/§2.5). A query without directory
 		// references gets the strict hierarchical behavior: an implicit
@@ -136,6 +163,7 @@ func (fs *FS) computeTargetsLocked(ds *dirState, cfg evalConfig) (map[string]boo
 		// chosen DAG-based scoping, and the paper leaves the scope
 		// entirely to the query ("users can choose strict hierarchical
 		// dependencies, DAG based dependencies, or both").
+		scopeStart := time.Now()
 		if len(query.Refs(ds.ast)) == 0 {
 			local.And(fs.providedScopeLocalLocked(parentPath))
 		}
@@ -145,11 +173,15 @@ func (fs *FS) computeTargetsLocked(ds *dirState, cfg evalConfig) (map[string]boo
 			// scanning its content for the query terms.
 			verifyMatches(fs.under, matched, query.Terms(ds.ast))
 		}
+		fs.met.phaseScope.ObserveSince(scopeStart)
 		for _, p := range matched {
 			newTargets[p] = true
 		}
+		remoteStart := time.Now()
 		remote, err := fs.evalRemoteLocked(cfg.ctx, ds, parentPath)
+		fs.met.phaseRemote.ObserveSince(remoteStart)
 		if err != nil {
+			sp.FinishErr(err)
 			return nil, err
 		}
 		for t := range remote {
@@ -167,6 +199,8 @@ func (fs *FS) computeTargetsLocked(ds *dirState, cfg evalConfig) (map[string]boo
 			delete(newTargets, t)
 		}
 	}
+	sp.Annotate("targets", strconv.Itoa(len(newTargets)))
+	sp.Finish()
 	return newTargets, nil
 }
 
@@ -180,6 +214,7 @@ func (fs *FS) commitTargetsLocked(ds *dirState, newTargets map[string]bool) erro
 	if !ok {
 		return fmt.Errorf("%w: uid %d", ErrDanglingRef, ds.uid)
 	}
+	commitStart := time.Now()
 	var drop []string
 	for t, c := range ds.class {
 		if c == Transient && !newTargets[t] {
@@ -211,6 +246,10 @@ func (fs *FS) commitTargetsLocked(ds *dirState, newTargets map[string]bool) erro
 		ds.class[t] = Transient
 		ds.linkName[t] = name
 	}
+	fs.met.linksDropped.Add(int64(len(drop)))
+	fs.met.linksAdded.Add(int64(len(add)))
+	fs.met.phaseCommit.ObserveSince(commitStart)
+	repairStart := time.Now()
 	// Crash repair (DESIGN.md §8): a fault between an unlink and a
 	// relink — a torn rename rewrite, an interrupted commit — can leave
 	// a classified target with its physical symlink missing, or (when
@@ -250,6 +289,8 @@ func (fs *FS) commitTargetsLocked(ds *dirState, newTargets map[string]bool) erro
 			return err
 		}
 	}
+	fs.met.linksRepaired.Add(int64(len(repair)))
+	fs.met.phaseRepair.ObserveSince(repairStart)
 	return nil
 }
 
@@ -359,11 +400,13 @@ func (e *evalEnv) DirRef(ref *query.DirRef) (*bitset.Bitmap, error) {
 // matching local paths, sorted. This is the programmatic equivalent of
 // running Glimpse directly, restricted to a HAC scope.
 func (fs *FS) Search(queryStr, scopePath string) ([]string, error) {
+	searchStart := time.Now()
+	defer fs.met.searchSeconds.ObserveSince(searchStart)
 	clean, err := vfs.Clean(scopePath)
 	if err != nil {
 		return nil, &vfs.PathError{Op: "search", Path: scopePath, Err: err}
 	}
-	ast, err := parseQuery(queryStr)
+	ast, err := fs.parseQueryTimed(queryStr)
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +430,9 @@ func (fs *FS) Search(queryStr, scopePath string) ([]string, error) {
 		}
 		ref.UID = uid
 	}
+	evalStart := time.Now()
 	local, err := query.Eval(ast, &evalEnv{fs: fs})
+	fs.met.queryEvalSeconds.ObserveSince(evalStart)
 	if err != nil {
 		return nil, err
 	}
@@ -416,6 +461,13 @@ type IndexReport struct {
 // therefore all downstream bitmaps — are identical to a serial run.
 func (fs *FS) Reindex(root string, opts ...Option) (IndexReport, error) {
 	cfg := fs.evalCfg(opts)
+	reindexStart := time.Now()
+	sp := fs.obsv.Tracer().Start("hac.Reindex")
+	sp.Annotate("root", root)
+	defer func() {
+		fs.met.reindexTotal.Add(1)
+		fs.met.reindexSeconds.ObserveSince(reindexStart)
+	}()
 	var rep IndexReport
 	// Register directories first — the paper's per-directory structures
 	// and global-map entries are part of HAC's indexing cost.
@@ -428,6 +480,7 @@ func (fs *FS) Reindex(root string, opts ...Option) (IndexReport, error) {
 		return nil
 	})
 	if err != nil {
+		sp.FinishErr(err)
 		return rep, err
 	}
 	added, updated, removed, err := fs.ix.SyncTreeParallel(fs, root, cfg.parallelism)
@@ -439,9 +492,15 @@ func (fs *FS) Reindex(root string, opts ...Option) (IndexReport, error) {
 	fs.gen++
 	fs.mu.Unlock()
 	if err != nil {
+		sp.FinishErr(err)
 		return rep, err
 	}
-	return rep, fs.SyncAll(opts...)
+	sp.Annotate("added", strconv.Itoa(added))
+	sp.Annotate("updated", strconv.Itoa(updated))
+	sp.Annotate("removed", strconv.Itoa(removed))
+	err = fs.SyncAll(opts...)
+	sp.FinishErr(err)
+	return rep, err
 }
 
 // Stats reports HAC-layer health counters.

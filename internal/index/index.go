@@ -45,6 +45,7 @@ type Index struct {
 	// transducers, keyed by lowercase file extension ("" = all files),
 	// add attribute terms alongside the tokenizer's words.
 	transducers map[string][]Transducer
+	met         ixMetrics
 }
 
 // Tokenizer splits document content into terms. The default is
@@ -123,6 +124,7 @@ func (ix *Index) commitDoc(d preparedDoc) DocID {
 		}
 		bm.Add(id)
 	}
+	ix.met.docsIndexed.Add(1)
 	return id
 }
 
@@ -143,6 +145,7 @@ func (ix *Index) tombstone(id DocID) {
 		ix.alive.Remove(id)
 		ix.deadDocs++
 		delete(ix.byPath, ix.docs[id].path)
+		ix.met.docsRemoved.Add(1)
 	}
 }
 

@@ -1,0 +1,39 @@
+package index
+
+import "hacfs/internal/obs"
+
+// ixMetrics is the index's metric handle bundle. Handles are nil (and
+// every record a no-op) until SetObserver is called, so a standalone
+// Index works unchanged without observability.
+type ixMetrics struct {
+	docsIndexed *obs.Counter // index_docs_indexed_total
+	docsRemoved *obs.Counter // index_docs_removed_total
+}
+
+// SetObserver directs the index's metrics to o: commit/tombstone
+// counters plus scrape-time gauges for the live document count, the
+// distinct-term count and the approximate postings footprint. Called by
+// hac.New; safe to call again to redirect.
+func (ix *Index) SetObserver(o *obs.Observer) {
+	r := o.Registry()
+	ix.mu.Lock()
+	ix.met = ixMetrics{
+		docsIndexed: r.Counter("index_docs_indexed_total"),
+		docsRemoved: r.Counter("index_docs_removed_total"),
+	}
+	ix.mu.Unlock()
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("index_docs", func() float64 {
+		return float64(ix.NumDocs())
+	})
+	r.GaugeFunc("index_terms", func() float64 {
+		ix.mu.RLock()
+		defer ix.mu.RUnlock()
+		return float64(len(ix.postings))
+	})
+	r.GaugeFunc("index_postings_bytes", func() float64 {
+		return float64(ix.Stats().IndexBytes)
+	})
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the debug mux served behind a daemon's -debug-addr
+// flag:
+//
+//	/metrics      Prometheus text exposition of the observer's registry
+//	/debug/vars   expvar JSON (includes the registry snapshot when the
+//	              registry is expvar-published, as Default()'s is)
+//	/debug/pprof  the standard pprof index, profiles and traces
+//	/debug/spans  JSON array of the tracer's retained spans, oldest first
+func Handler(o *Observer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Registry().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Tracer().WriteJSON(w)
+	})
+	return mux
+}
+
+// Serve starts the debug HTTP server on addr in a background
+// goroutine and returns the listener (so addr may be ":0"). The
+// caller owns the listener; closing it stops the server.
+func Serve(addr string, o *Observer) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(o)}
+	go func() { _ = srv.Serve(l) }()
+	return l, nil
+}

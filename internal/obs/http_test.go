@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	o := NewObserver()
+	o.Registry().Counter("hits_total").Add(3)
+	o.Tracer().Start("op").Finish()
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	get := func(path string) (string, *http.Response) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body), resp
+	}
+
+	body, resp := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE hits_total counter") ||
+		!strings.Contains(body, "hits_total 3") {
+		t.Errorf("/metrics missing series:\n%s", body)
+	}
+
+	body, _ = get("/debug/spans")
+	var spans []map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("/debug/spans is not a JSON array: %v\n%s", err, body)
+	}
+	if len(spans) != 1 || spans[0]["name"] != "op" {
+		t.Errorf("/debug/spans = %s, want one op span", body)
+	}
+
+	if body, _ = get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index looks wrong:\n%.200s", body)
+	}
+	get("/debug/vars")
+}
+
+func TestServeOnEphemeralPort(t *testing.T) {
+	o := NewObserver()
+	o.Registry().Counter("up").Inc()
+	l, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	resp, err := http.Get("http://" + l.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "up 1") {
+		t.Errorf("scrape over the listener missing series:\n%s", body)
+	}
+}
+
+func TestDiscardObserverIsInert(t *testing.T) {
+	o := Discard()
+	if o.Registry() != nil || o.Tracer() != nil {
+		t.Fatal("discard observer should expose nil handles")
+	}
+	o.Registry().Counter("x").Inc()
+	o.Tracer().Start("y").Finish()
+}

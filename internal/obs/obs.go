@@ -1,0 +1,62 @@
+package obs
+
+import "sync"
+
+// Observer bundles a metrics registry and a tracer — the sink every
+// instrumented layer records into. Inject one per volume with
+// hac.WithObserver, or rely on Default(), the process-wide observer
+// behind the daemons' -debug-addr endpoints.
+//
+// A nil *Observer, and an Observer with nil components, are valid
+// no-op sinks: every metric handle obtained through them is nil and
+// every record is a cheap nil-checked no-op (see Discard).
+type Observer struct {
+	reg    *Registry
+	tracer *Tracer
+}
+
+// NewObserver returns an observer with a fresh registry and a tracer
+// retaining DefSpanRing spans.
+func NewObserver() *Observer {
+	return &Observer{reg: NewRegistry(), tracer: NewTracer(0)}
+}
+
+// Registry returns the metrics registry (nil for a no-op observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Tracer returns the span tracer (nil for a no-op observer).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+var (
+	defaultOnce sync.Once
+	defaultObs  *Observer
+
+	discard = &Observer{} // nil registry and tracer: all records no-op
+)
+
+// Default returns the process-wide observer, created on first use and
+// published under expvar as "hacfs" (visible at /debug/vars). It is
+// the observer every volume and client uses unless one is injected
+// explicitly.
+func Default() *Observer {
+	defaultOnce.Do(func() {
+		defaultObs = NewObserver()
+		defaultObs.reg.PublishExpvar("hacfs")
+	})
+	return defaultObs
+}
+
+// Discard returns a non-nil observer that records nothing — the
+// explicit "observability off" sink (hacbench's overhead experiment
+// measures enabled-vs-Discard).
+func Discard() *Observer { return discard }

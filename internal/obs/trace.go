@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies one operation within a Tracer's ID space.
+type SpanID uint64
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span records one timed operation: a name, start/end times, optional
+// annotations, a parent link for nesting and an error message if the
+// operation failed. Spans are created with Tracer.Start or Span.Child
+// and enter the tracer's ring buffer when finished. A nil *Span is a
+// no-op, so callers never branch on whether tracing is enabled.
+type Span struct {
+	ID     SpanID        `json:"id"`
+	Parent SpanID        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+	Err    string        `json:"err,omitempty"`
+
+	tracer *Tracer
+	mu     sync.Mutex
+	done   bool
+}
+
+// Annotate attaches a key/value pair to the span. Annotating a
+// finished span is a no-op (finished spans are shared with readers of
+// the ring buffer).
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// Child starts a new span parented to s, in the same tracer.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.start(name, s.ID)
+}
+
+// Finish stamps the span's duration and retains it in the tracer's
+// ring buffer. Finishing twice is a no-op.
+func (s *Span) Finish() { s.FinishErr(nil) }
+
+// FinishErr is Finish recording the operation's error (nil for
+// success).
+func (s *Span) FinishErr(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.Dur = time.Since(s.Start)
+	if err != nil {
+		s.Err = err.Error()
+	}
+	s.mu.Unlock()
+	s.tracer.retain(s)
+}
+
+// DefSpanRing is the default number of finished spans a Tracer
+// retains.
+const DefSpanRing = 256
+
+// Tracer hands out spans and retains the most recent finished ones in
+// a bounded ring buffer, oldest evicted first. It is safe for
+// concurrent use; a nil *Tracer is a no-op.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	ring   []*Span
+	next   int // ring insertion point
+	total  uint64
+	logger *slog.Logger
+}
+
+// NewTracer returns a tracer retaining up to capacity finished spans
+// (capacity <= 0 selects DefSpanRing).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefSpanRing
+	}
+	return &Tracer{ring: make([]*Span, capacity)}
+}
+
+// SetLogger attaches a structured event log: every finished span is
+// additionally emitted as one slog record (name, duration, attrs,
+// error). Pass nil to detach.
+func (t *Tracer) SetLogger(l *slog.Logger) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.logger = l
+	t.mu.Unlock()
+}
+
+// Start begins a new root span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(name, 0)
+}
+
+func (t *Tracer) start(name string, parent SpanID) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		ID:     SpanID(t.nextID.Add(1)),
+		Parent: parent,
+		Name:   name,
+		Start:  time.Now(),
+		tracer: t,
+	}
+}
+
+func (t *Tracer) retain(s *Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	logger := t.logger
+	t.mu.Unlock()
+	if logger != nil {
+		attrs := make([]slog.Attr, 0, len(s.Attrs)+3)
+		attrs = append(attrs,
+			slog.Uint64("span", uint64(s.ID)),
+			slog.Duration("dur", s.Dur))
+		if s.Parent != 0 {
+			attrs = append(attrs, slog.Uint64("parent", uint64(s.Parent)))
+		}
+		for _, a := range s.Attrs {
+			attrs = append(attrs, slog.String(a.Key, a.Value))
+		}
+		if s.Err != "" {
+			attrs = append(attrs, slog.String("err", s.Err))
+		}
+		logger.LogAttrs(context.Background(), slog.LevelInfo, s.Name, attrs...)
+	}
+}
+
+// Recent returns the retained spans, oldest first.
+func (t *Tracer) Recent() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, 0, len(t.ring))
+	for i := 0; i < len(t.ring); i++ {
+		if s := t.ring[(t.next+i)%len(t.ring)]; s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Total returns how many spans have finished over the tracer's
+// lifetime (including those already evicted from the ring).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// WriteJSON renders the retained spans (oldest first) as a JSON array,
+// the payload behind /debug/spans.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans := t.Recent()
+	if spans == nil {
+		spans = []*Span{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spans)
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSpanRingWraparound finishes more spans than the ring holds and
+// checks that only the newest survive, oldest first, while Total keeps
+// counting evicted ones.
+func TestSpanRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 1; i <= 10; i++ {
+		s := tr.Start(fmt.Sprintf("op%d", i))
+		s.Finish()
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring retained %d spans, want 4", len(recent))
+	}
+	for i, want := range []string{"op7", "op8", "op9", "op10"} {
+		if recent[i].Name != want {
+			t.Errorf("recent[%d] = %s, want %s (oldest first)", i, recent[i].Name, want)
+		}
+	}
+	if got := tr.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+}
+
+func TestSpanRingPartiallyFull(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Start("only").Finish()
+	recent := tr.Recent()
+	if len(recent) != 1 || recent[0].Name != "only" {
+		t.Fatalf("recent = %v, want the single finished span", recent)
+	}
+}
+
+func TestSpanParentAndAnnotations(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start("root")
+	root.Annotate("k", "v")
+	child := root.Child("child")
+	if child.Parent != root.ID {
+		t.Fatalf("child.Parent = %d, want %d", child.Parent, root.ID)
+	}
+	child.FinishErr(errors.New("boom"))
+	root.Finish()
+	root.Annotate("late", "ignored") // after Finish: no-op
+	root.Finish()                    // double finish: no-op
+
+	if got := tr.Total(); got != 2 {
+		t.Fatalf("total = %d, want 2 (double finish must not retain twice)", got)
+	}
+	if child.Err != "boom" {
+		t.Fatalf("child.Err = %q, want boom", child.Err)
+	}
+	if len(root.Attrs) != 1 || root.Attrs[0].Key != "k" {
+		t.Fatalf("root.Attrs = %v, want only the pre-finish annotation", root.Attrs)
+	}
+	if root.Dur < 0 {
+		t.Fatal("finished span should have a stamped duration")
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	if s != nil {
+		t.Fatal("nil tracer should hand out nil spans")
+	}
+	s.Annotate("k", "v")
+	s.Child("c").Finish()
+	s.FinishErr(errors.New("e"))
+	if tr.Recent() != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer should report nothing")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := NewTracer(4)
+	var empty bytes.Buffer
+	if err := tr.WriteJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	sp := tr.Start("op")
+	sp.Annotate("dir", "/q")
+	sp.Finish()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var spans []struct {
+		Name  string `json:"name"`
+		Attrs []Attr `json:"attrs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &spans); err != nil {
+		t.Fatalf("span JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(spans) != 1 || spans[0].Name != "op" || len(spans[0].Attrs) != 1 {
+		t.Fatalf("spans = %+v, want one annotated op", spans)
+	}
+}
+
+// TestTracerRace finishes spans from several goroutines while a reader
+// drains the ring; it exists to run under -race.
+func TestTracerRace(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				s := tr.Start("op")
+				s.Annotate("j", "x")
+				s.Child("inner").Finish()
+				s.Finish()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 100; j++ {
+			for _, s := range tr.Recent() {
+				_ = s.Name
+				_ = s.Attrs
+			}
+		}
+	}()
+	wg.Wait()
+	if got := tr.Total(); got != 4*200*2 {
+		t.Fatalf("total = %d, want %d", got, 4*200*2)
+	}
+}

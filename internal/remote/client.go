@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"hacfs/internal/obs"
 )
 
 // Client talks the remote CBA protocol and implements hac.Namespace —
@@ -25,13 +27,19 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	met  clientMetrics
 }
 
 // Dial creates a client for the server at addr. name becomes the
 // namespace name inside the HAC volume. No connection is made until the
 // first request.
 func Dial(name, addr string) *Client {
-	return &Client{name: name, addr: addr, timeout: 10 * time.Second}
+	return &Client{
+		name:    name,
+		addr:    addr,
+		timeout: 10 * time.Second,
+		met:     newClientMetrics(obs.Default()),
+	}
 }
 
 // SetTimeout changes the per-request deadline.
@@ -67,6 +75,7 @@ func (c *Client) ensureLocked(ctx context.Context) error {
 	d := net.Dialer{Timeout: c.timeout}
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
+		c.met.dialFailures.Add(1)
 		return fmt.Errorf("remote: dial %s: %w", c.addr, err)
 	}
 	c.conn = conn
@@ -94,6 +103,9 @@ func (c *Client) deadlineLocked(ctx context.Context) time.Time {
 func (c *Client) roundTrip(ctx context.Context, parts ...string) (string, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			c.met.retries.Add(1)
+		}
 		if err := ctx.Err(); err != nil {
 			return "", err
 		}
@@ -125,9 +137,10 @@ func (c *Client) roundTrip(ctx context.Context, parts ...string) (string, error)
 func (c *Client) Ping() error { return c.PingContext(context.Background()) }
 
 // PingContext checks liveness, bounded by ctx.
-func (c *Client) PingContext(ctx context.Context) error {
+func (c *Client) PingContext(ctx context.Context) (err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.met.ping.done(time.Now(), &err)
 	line, err := c.roundTrip(ctx, verbPing)
 	if err != nil {
 		return err
@@ -146,9 +159,10 @@ func (c *Client) Search(q string) ([]string, error) {
 
 // SearchContext is Search bounded by ctx (dial, send and reply all
 // honor the context's deadline and cancellation).
-func (c *Client) SearchContext(ctx context.Context, q string) ([]string, error) {
+func (c *Client) SearchContext(ctx context.Context, q string) (_ []string, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.met.search.done(time.Now(), &err)
 	line, err := c.roundTrip(ctx, verbSearch, quote(q))
 	if err != nil {
 		return nil, err
@@ -191,9 +205,10 @@ func (c *Client) Fetch(path string) ([]byte, error) {
 }
 
 // FetchContext is Fetch bounded by ctx.
-func (c *Client) FetchContext(ctx context.Context, path string) ([]byte, error) {
+func (c *Client) FetchContext(ctx context.Context, path string) (_ []byte, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.met.fetch.done(time.Now(), &err)
 	line, err := c.roundTrip(ctx, verbFetch, quote(path))
 	if err != nil {
 		return nil, err

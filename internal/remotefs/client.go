@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"hacfs/internal/obs"
 	"hacfs/internal/vfs"
 )
 
@@ -26,6 +27,7 @@ type Client struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	met  clientMetrics
 }
 
 var _ vfs.FileSystem = (*Client)(nil)
@@ -33,7 +35,11 @@ var _ vfs.FileSystem = (*Client)(nil)
 // Dial creates a client for the server at addr. The connection is
 // established lazily.
 func Dial(addr string) *Client {
-	return &Client{addr: addr, timeout: 10 * time.Second}
+	return &Client{
+		addr:    addr,
+		timeout: 10 * time.Second,
+		met:     newClientMetrics(obs.Default()),
+	}
 }
 
 // SetTimeout changes the per-request deadline.
@@ -66,6 +72,7 @@ func (c *Client) ensureLocked(ctx context.Context) error {
 	d := net.Dialer{Timeout: c.timeout}
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
+		c.met.dialFailures.Add(1)
 		return fmt.Errorf("remotefs: dial %s: %w", c.addr, err)
 	}
 	c.conn = conn
@@ -97,15 +104,21 @@ func (c *Client) call(req *request) (*response, error) {
 // callCtx is call bounded by ctx: the dial and the round trip honor
 // the context's deadline and cancellation, on top of the client's
 // per-request timeout.
-func (c *Client) callCtx(ctx context.Context, req *request) (*response, error) {
+func (c *Client) callCtx(ctx context.Context, req *request) (_ *response, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if m, ok := c.met.ops[req.Op]; ok {
+		defer m.done(time.Now(), &err)
+	}
 	attempts := 2
 	if req.Handle != 0 {
 		attempts = 1
 	}
 	var lastErr error
 	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.met.retries.Add(1)
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

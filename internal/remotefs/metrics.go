@@ -1,0 +1,84 @@
+package remotefs
+
+import (
+	"time"
+
+	"hacfs/internal/obs"
+)
+
+// opNames maps protocol op codes to the label value used in the
+// remotefs_rpc_* series.
+var opNames = map[opCode]string{
+	opMkdir:        "mkdir",
+	opMkdirAll:     "mkdirall",
+	opOpenFile:     "open",
+	opReadFile:     "readfile",
+	opWriteFile:    "writefile",
+	opSymlink:      "symlink",
+	opReadlink:     "readlink",
+	opRemove:       "remove",
+	opRemoveAll:    "removeall",
+	opRename:       "rename",
+	opStat:         "stat",
+	opLstat:        "lstat",
+	opReadDir:      "readdir",
+	opFileRead:     "fread",
+	opFileWrite:    "fwrite",
+	opFileReadAt:   "freadat",
+	opFileWriteAt:  "fwriteat",
+	opFileSeek:     "fseek",
+	opFileTruncate: "ftruncate",
+	opFileStat:     "fstat",
+	opFileClose:    "fclose",
+	opPing:         "ping",
+}
+
+// rpcMetrics instruments one protocol op: call count, transport latency
+// and transport-error count (server-side errors travel inside the
+// response and are not counted here).
+type rpcMetrics struct {
+	calls   *obs.Counter   // remotefs_rpc_total{op=...}
+	errors  *obs.Counter   // remotefs_rpc_errors_total{op=...}
+	seconds *obs.Histogram // remotefs_rpc_seconds{op=...}
+}
+
+func (m rpcMetrics) done(start time.Time, err *error) {
+	m.calls.Add(1)
+	m.seconds.ObserveSince(start)
+	if *err != nil {
+		m.errors.Add(1)
+	}
+}
+
+// clientMetrics is the client's handle bundle, resolved once at Dial
+// (against obs.Default()) or by SetObserver.
+type clientMetrics struct {
+	ops          map[opCode]rpcMetrics
+	retries      *obs.Counter // remotefs_rpc_retries_total
+	dialFailures *obs.Counter // remotefs_dial_failures_total
+}
+
+func newClientMetrics(o *obs.Observer) clientMetrics {
+	r := o.Registry()
+	ops := make(map[opCode]rpcMetrics, len(opNames))
+	for op, name := range opNames {
+		ops[op] = rpcMetrics{
+			calls:   r.Counter("remotefs_rpc_total", "op", name),
+			errors:  r.Counter("remotefs_rpc_errors_total", "op", name),
+			seconds: r.Histogram("remotefs_rpc_seconds", nil, "op", name),
+		}
+	}
+	return clientMetrics{
+		ops:          ops,
+		retries:      r.Counter("remotefs_rpc_retries_total"),
+		dialFailures: r.Counter("remotefs_dial_failures_total"),
+	}
+}
+
+// SetObserver redirects the client's metrics to o (they default to the
+// process-wide obs.Default()).
+func (c *Client) SetObserver(o *obs.Observer) {
+	c.mu.Lock()
+	c.met = newClientMetrics(o)
+	c.mu.Unlock()
+}

@@ -125,6 +125,7 @@ func (sh *Shell) commands() map[string]command {
 		"sact":     sh.cmdSact,
 		"search":   sh.cmdSearch,
 		"sstat":    sh.cmdSstat,
+		"stats":    sh.cmdStats,
 		"save":     sh.cmdSave,
 		"load":     sh.cmdLoad,
 		"mount":    sh.cmdMount,
@@ -275,6 +276,7 @@ semantic commands (the paper's extensions):
   sact <link>                 print content behind a link (local/remote)
   search <scope> <query...>   evaluate a query without creating a dir
   sstat                       show HAC layer statistics
+  stats [prefix]              dump live observability metrics
 
   spublish <user> <addr>      publish semantic dirs to a catalog (haccatd)
   scatalog <addr> <query...>  search the central catalog
@@ -603,5 +605,32 @@ func (sh *Shell) cmdSstat([]string) error {
 			sh.printf("semantic mount:  %s -> %s\n", p, strings.Join(mounts[p], ", "))
 		}
 	}
+	return nil
+}
+
+// cmdStats dumps the volume's metric registry, optionally filtered by a
+// series-name prefix (e.g. "stats hac_sync").
+func (sh *Shell) cmdStats(args []string) error {
+	reg := sh.fs.Observer().Registry()
+	if reg == nil {
+		sh.printf("metrics disabled (volume opened with a discard observer)\n")
+		return nil
+	}
+	prefix := ""
+	if len(args) > 0 {
+		prefix = args[0]
+	}
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sh.printf("%-56s %g\n", name, snap[name])
+	}
+	sh.printf("%d series\n", len(names))
 	return nil
 }
