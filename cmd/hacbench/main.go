@@ -38,6 +38,8 @@ var (
 	ioLatency   = flag.Duration("io-latency", 200*time.Microsecond, "parallel: emulated per-read device latency (0 = pure in-memory)")
 	obsAddr     = flag.String("obs", "", "serve /metrics and /debug/pprof on this address while benchmarks run")
 	obsJSON     = flag.String("obs-json", "BENCH_obs.json", "obs experiment: write machine-readable results here (empty = skip)")
+	searchReps  = flag.Int("search-samples", 1500, "compaction: timed Search calls per phase")
+	compJSON    = flag.String("compaction-json", "BENCH_compaction.json", "compaction experiment: write machine-readable results here (empty = skip)")
 )
 
 func main() {
@@ -79,6 +81,8 @@ func main() {
 			err = parallel(cspec)
 		case "obs":
 			err = obsOverhead(cspec)
+		case "compaction":
+			err = compaction(cspec)
 		case "ablate-order":
 			err = ablateOrder()
 		case "ablate-sets":
@@ -110,6 +114,7 @@ Experiments (default: all):
   space         metadata and shared-memory footprints  (§4 in-text)
   parallel      evaluation engine vs worker count      (EXPERIMENTS.md)
   obs           instrumentation overhead, on vs off    (EXPERIMENTS.md)
+  compaction    Search latency under concurrent merge  (EXPERIMENTS.md)
   ablate-order  targeted vs full consistency updates   (DESIGN.md A1)
   ablate-sets   bitmap vs sparse result sets           (DESIGN.md A2)
   ablate-scope  scope-direction design comparison      (DESIGN.md A3)
@@ -129,6 +134,7 @@ func runAll(aspec andrew.Spec, cspec corpus.Spec) error {
 		func() error { return space(aspec) },
 		func() error { return parallel(cspec) },
 		func() error { return obsOverhead(cspec) },
+		func() error { return compaction(cspec) },
 		ablateOrder,
 		ablateSets,
 		ablateScope,
@@ -315,6 +321,33 @@ func obsOverhead(spec corpus.Spec) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *obsJSON)
+	}
+	fmt.Println()
+	return nil
+}
+
+func compaction(spec corpus.Spec) error {
+	fmt.Printf("== Online compaction: Search under concurrent merge (files=%d samples=%d) ==\n",
+		spec.Files, *searchReps)
+	res, err := bench.Compaction(spec, *searchReps)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Phase\tSearch p50\tSearch p99")
+	fmt.Fprintf(w, "idle (%d sealed segments)\t%s\t%s\n", res.Segments, ms(res.IdleP50), ms(res.IdleP99))
+	fmt.Fprintf(w, "during merge churn (%d merges)\t%s\t%s\n", res.Merges, ms(res.MergeP50), ms(res.MergeP99))
+	w.Flush()
+	fmt.Printf("p99 under merge / idle p99: %.2fx (target: < 2x — snapshots keep readers off the merge path)\n", res.P99Ratio)
+	if *compJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*compJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *compJSON)
 	}
 	fmt.Println()
 	return nil

@@ -30,14 +30,15 @@ import (
 )
 
 var (
-	addr      = flag.String("addr", "127.0.0.1:7678", "listen address")
-	debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/spans on this address")
-	volume    = flag.String("volume", "", "serve a volume saved by hacsh's save command")
-	savePath  = flag.String("save", "", "checkpoint the volume to this file (atomic replace)")
-	saveEvery = flag.Duration("save-every", 30*time.Second, "interval between checkpoints when -save is set")
-	demo      = flag.Bool("demo", false, "serve a volume seeded with a demo corpus")
-	nfiles    = flag.Int("files", 200, "demo corpus size")
-	seedVal   = flag.Int64("seed", 42, "demo corpus seed")
+	addr       = flag.String("addr", "127.0.0.1:7678", "listen address")
+	debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/spans on this address")
+	volume     = flag.String("volume", "", "serve a volume saved by hacsh's save command")
+	savePath   = flag.String("save", "", "checkpoint the volume to this file (atomic replace)")
+	saveEvery  = flag.Duration("save-every", 30*time.Second, "interval between checkpoints when -save is set")
+	mergeEvery = flag.Duration("merge-every", 15*time.Second, "background segment-merge check interval (0 disables the merger)")
+	demo       = flag.Bool("demo", false, "serve a volume seeded with a demo corpus")
+	nfiles     = flag.Int("files", 200, "demo corpus size")
+	seedVal    = flag.Int64("seed", 42, "demo corpus seed")
 )
 
 func main() {
@@ -67,6 +68,12 @@ func main() {
 			}
 			logger.Printf("seeded %d demo documents under /docs", *nfiles)
 		}
+	}
+
+	if *mergeEvery > 0 {
+		stop := fs.Index().StartMerger(*mergeEvery)
+		defer stop()
+		logger.Printf("background merger checking every %s", *mergeEvery)
 	}
 
 	if *savePath != "" {

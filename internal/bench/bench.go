@@ -336,11 +336,11 @@ func scanForTerms(data []byte, terms []string) int {
 // references resolve to nothing, as in a standalone search tool).
 type indexEnv struct{ ix *index.Index }
 
-func (e indexEnv) Term(w string) (*bitset.Bitmap, error)   { return e.ix.Lookup(w), nil }
-func (e indexEnv) Prefix(p string) (*bitset.Bitmap, error) { return e.ix.LookupPrefix(p), nil }
-func (e indexEnv) Fuzzy(w string) (*bitset.Bitmap, error)  { return e.ix.LookupFuzzy(w), nil }
-func (e indexEnv) Universe() (*bitset.Bitmap, error)       { return e.ix.AllDocs(), nil }
-func (e indexEnv) DirRef(*query.DirRef) (*bitset.Bitmap, error) {
+func (e indexEnv) Term(w string) (*bitset.Segmented, error)   { return e.ix.Lookup(w), nil }
+func (e indexEnv) Prefix(p string) (*bitset.Segmented, error) { return e.ix.LookupPrefix(p), nil }
+func (e indexEnv) Fuzzy(w string) (*bitset.Segmented, error)  { return e.ix.LookupFuzzy(w), nil }
+func (e indexEnv) Universe() (*bitset.Segmented, error)       { return e.ix.AllDocs(), nil }
+func (e indexEnv) DirRef(*query.DirRef) (*bitset.Segmented, error) {
 	return e.ix.AllDocs(), nil
 }
 

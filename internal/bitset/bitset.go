@@ -126,6 +126,32 @@ func (b *Bitmap) Clone() *Bitmap {
 	return &Bitmap{words: w}
 }
 
+// Trim removes every element >= n, keeping only ids in [0, n). Used by
+// epoch snapshots to cap a result at the committed length of the active
+// index segment.
+func (b *Bitmap) Trim(n int) {
+	if n < 0 {
+		n = 0
+	}
+	w := n / wordBits
+	if w < len(b.words) {
+		b.words[w] &= (1 << (n % wordBits)) - 1
+		for i := w + 1; i < len(b.words); i++ {
+			b.words[i] = 0
+		}
+	}
+}
+
+// FullBitmap returns a bitmap containing every id in [0, n).
+func FullBitmap(n int) *Bitmap {
+	b := NewBitmap(n)
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.Trim(n)
+	return b
+}
+
 // Clear removes all elements without releasing storage.
 func (b *Bitmap) Clear() {
 	for i := range b.words {

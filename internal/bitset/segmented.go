@@ -1,0 +1,243 @@
+package bitset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Segmented is a set of 64-bit segmented document IDs, as produced by
+// the segmented index store: the high 32 bits of an ID name a segment,
+// the low 32 bits a local slot within it. The representation is one
+// dense Bitmap per segment, so the per-segment set operations stay as
+// cheap as the paper's flat N/8-byte bitmaps while the ID space can
+// grow segment by segment without renumbering.
+//
+// Like Bitmap, a Segmented is not safe for concurrent mutation.
+type Segmented struct {
+	segs map[uint32]*Bitmap // segment → local bitmap, no empty bitmaps
+}
+
+// NewSegmented returns an empty segmented set.
+func NewSegmented() *Segmented {
+	return &Segmented{segs: make(map[uint32]*Bitmap)}
+}
+
+// SegmentedOf returns a segmented set containing exactly the given ids.
+func SegmentedOf(ids ...uint64) *Segmented {
+	s := NewSegmented()
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+func splitSegID(id uint64) (seg, local uint32) {
+	return uint32(id >> 32), uint32(id)
+}
+
+func joinSegID(seg, local uint32) uint64 {
+	return uint64(seg)<<32 | uint64(local)
+}
+
+// Add inserts id.
+func (s *Segmented) Add(id uint64) {
+	seg, local := splitSegID(id)
+	bm, ok := s.segs[seg]
+	if !ok {
+		bm = NewBitmap(0)
+		s.segs[seg] = bm
+	}
+	bm.Add(local)
+}
+
+// Remove deletes id if present.
+func (s *Segmented) Remove(id uint64) {
+	seg, local := splitSegID(id)
+	if bm, ok := s.segs[seg]; ok {
+		bm.Remove(local)
+		if !bm.Any() {
+			delete(s.segs, seg)
+		}
+	}
+}
+
+// Contains reports whether id is present.
+func (s *Segmented) Contains(id uint64) bool {
+	seg, local := splitSegID(id)
+	bm, ok := s.segs[seg]
+	return ok && bm.Contains(local)
+}
+
+// Len returns the number of elements.
+func (s *Segmented) Len() int {
+	n := 0
+	for _, bm := range s.segs {
+		n += bm.Len()
+	}
+	return n
+}
+
+// Any reports whether the set is non-empty.
+func (s *Segmented) Any() bool {
+	for _, bm := range s.segs {
+		if bm.Any() {
+			return true
+		}
+	}
+	return false
+}
+
+// segments returns the segment keys in ascending order.
+func (s *Segmented) segments() []uint32 {
+	keys := make([]uint32, 0, len(s.segs))
+	for k := range s.segs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Range visits elements in ascending ID order until fn returns false.
+func (s *Segmented) Range(fn func(id uint64) bool) {
+	for _, seg := range s.segments() {
+		stop := false
+		s.segs[seg].Range(func(local uint32) bool {
+			if !fn(joinSegID(seg, local)) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Slice returns the elements in ascending order.
+func (s *Segmented) Slice() []uint64 {
+	out := make([]uint64, 0, s.Len())
+	s.Range(func(id uint64) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *Segmented) Clone() *Segmented {
+	out := NewSegmented()
+	for seg, bm := range s.segs {
+		out.segs[seg] = bm.Clone()
+	}
+	return out
+}
+
+// And intersects s with other in place.
+func (s *Segmented) And(other *Segmented) {
+	for seg, bm := range s.segs {
+		ob, ok := other.segs[seg]
+		if !ok {
+			delete(s.segs, seg)
+			continue
+		}
+		bm.And(ob)
+		if !bm.Any() {
+			delete(s.segs, seg)
+		}
+	}
+}
+
+// Or unions other into s in place.
+func (s *Segmented) Or(other *Segmented) {
+	for seg, ob := range other.segs {
+		if !ob.Any() {
+			continue
+		}
+		bm, ok := s.segs[seg]
+		if !ok {
+			s.segs[seg] = ob.Clone()
+			continue
+		}
+		bm.Or(ob)
+	}
+}
+
+// AndNot removes every element of other from s in place.
+func (s *Segmented) AndNot(other *Segmented) {
+	for seg, bm := range s.segs {
+		if ob, ok := other.segs[seg]; ok {
+			bm.AndNot(ob)
+			if !bm.Any() {
+				delete(s.segs, seg)
+			}
+		}
+	}
+}
+
+// Equal reports whether s and other contain the same elements.
+func (s *Segmented) Equal(other *Segmented) bool {
+	for seg, bm := range s.segs {
+		ob, ok := other.segs[seg]
+		if !ok {
+			if bm.Any() {
+				return false
+			}
+			continue
+		}
+		if !bm.Equal(ob) {
+			return false
+		}
+	}
+	for seg, ob := range other.segs {
+		if _, ok := s.segs[seg]; !ok && ob.Any() {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes returns the approximate payload footprint across segments.
+func (s *Segmented) SizeBytes() int {
+	n := 0
+	for _, bm := range s.segs {
+		n += 8 + bm.SizeBytes()
+	}
+	return n
+}
+
+// Seg returns the local bitmap stored for one segment, or nil. The
+// bitmap is shared, not copied; treat it as read-only.
+func (s *Segmented) Seg(seg uint32) *Bitmap {
+	return s.segs[seg]
+}
+
+// PutSeg installs bm as the local bitmap of one segment, taking
+// ownership of bm. An empty bm clears the segment.
+func (s *Segmented) PutSeg(seg uint32, bm *Bitmap) {
+	if bm == nil || !bm.Any() {
+		delete(s.segs, seg)
+		return
+	}
+	s.segs[seg] = bm
+}
+
+// String renders the set for debugging, e.g. "{1:0 1:5 3:2}" as
+// segment:local pairs.
+func (s *Segmented) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	s.Range(func(id uint64) bool {
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		seg, local := splitSegID(id)
+		fmt.Fprintf(&sb, "%d:%d", seg, local)
+		return true
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,149 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func seg(s, l uint32) uint64 { return uint64(s)<<32 | uint64(l) }
+
+func TestSegmentedAddRemoveContains(t *testing.T) {
+	s := NewSegmented()
+	ids := []uint64{seg(0, 0), seg(0, 63), seg(0, 64), seg(1, 5), seg(7, 1000)}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	for _, id := range ids {
+		if !s.Contains(id) {
+			t.Fatalf("missing %d:%d", id>>32, uint32(id))
+		}
+	}
+	if s.Contains(seg(1, 6)) || s.Contains(seg(2, 5)) {
+		t.Fatal("contains elements never added")
+	}
+	if s.Len() != len(ids) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(ids))
+	}
+	s.Remove(seg(1, 5))
+	if s.Contains(seg(1, 5)) || s.Len() != len(ids)-1 {
+		t.Fatal("Remove failed")
+	}
+	// Removing a segment's last element drops its bitmap entirely — the
+	// no-empty-bitmaps invariant Any/Equal depend on.
+	if s.Seg(1) != nil {
+		t.Fatal("emptied segment bitmap retained")
+	}
+	s.Remove(seg(9, 9)) // absent: no-op
+}
+
+func TestSegmentedRangeAscending(t *testing.T) {
+	s := SegmentedOf(seg(3, 2), seg(0, 7), seg(3, 0), seg(1, 64), seg(0, 1))
+	want := []uint64{seg(0, 1), seg(0, 7), seg(1, 64), seg(3, 0), seg(3, 2)}
+	if got := s.Slice(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	// Early stop.
+	var seen int
+	s.Range(func(uint64) bool { seen++; return seen < 2 })
+	if seen != 2 {
+		t.Fatalf("Range visited %d after stop, want 2", seen)
+	}
+}
+
+func TestSegmentedSetOps(t *testing.T) {
+	a := SegmentedOf(seg(0, 1), seg(0, 2), seg(1, 1), seg(2, 9))
+	b := SegmentedOf(seg(0, 2), seg(1, 1), seg(1, 2), seg(3, 4))
+
+	and := a.Clone()
+	and.And(b)
+	if want := SegmentedOf(seg(0, 2), seg(1, 1)); !and.Equal(want) {
+		t.Fatalf("And = %v", and)
+	}
+	or := a.Clone()
+	or.Or(b)
+	if or.Len() != 6 || !or.Contains(seg(3, 4)) || !or.Contains(seg(2, 9)) {
+		t.Fatalf("Or = %v", or)
+	}
+	andNot := a.Clone()
+	andNot.AndNot(b)
+	if want := SegmentedOf(seg(0, 1), seg(2, 9)); !andNot.Equal(want) {
+		t.Fatalf("AndNot = %v", andNot)
+	}
+	// Operands are untouched.
+	if a.Len() != 4 || b.Len() != 4 {
+		t.Fatal("set ops mutated their operands")
+	}
+	// Or clones the donor's bitmaps: mutating the result later must not
+	// write through into b.
+	or.Add(seg(3, 5))
+	if b.Contains(seg(3, 5)) {
+		t.Fatal("Or shares bitmap storage with its operand")
+	}
+}
+
+func TestSegmentedEqual(t *testing.T) {
+	a := SegmentedOf(seg(0, 1), seg(5, 2))
+	b := SegmentedOf(seg(5, 2), seg(0, 1))
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("equal sets not Equal")
+	}
+	b.Add(seg(5, 3))
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("unequal sets Equal")
+	}
+	if !NewSegmented().Equal(NewSegmented()) {
+		t.Fatal("empty sets not Equal")
+	}
+}
+
+func TestSegmentedPutSegAndSeg(t *testing.T) {
+	s := NewSegmented()
+	s.PutSeg(4, BitmapOf(1, 3, 5))
+	if s.Len() != 3 || !s.Contains(seg(4, 3)) {
+		t.Fatalf("PutSeg contents wrong: %v", s)
+	}
+	if got := s.Seg(4); got == nil || got.Len() != 3 {
+		t.Fatal("Seg did not return the installed bitmap")
+	}
+	// Installing an empty bitmap clears the segment.
+	s.PutSeg(4, NewBitmap(0))
+	if s.Any() || s.Seg(4) != nil {
+		t.Fatal("PutSeg with empty bitmap did not clear the segment")
+	}
+	s.PutSeg(2, nil)
+	if s.Seg(2) != nil {
+		t.Fatal("PutSeg(nil) installed something")
+	}
+}
+
+// TestPropertySegmentedMatchesMap cross-checks the structure against a
+// plain map-of-IDs model under random mixed operations.
+func TestPropertySegmentedMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSegmented()
+	model := map[uint64]bool{}
+	randID := func() uint64 { return seg(uint32(rng.Intn(4)), uint32(rng.Intn(200))) }
+	for i := 0; i < 5000; i++ {
+		id := randID()
+		switch rng.Intn(3) {
+		case 0, 1:
+			s.Add(id)
+			model[id] = true
+		case 2:
+			s.Remove(id)
+			delete(model, id)
+		}
+		if probe := randID(); s.Contains(probe) != model[probe] {
+			t.Fatalf("op %d: Contains(%d:%d) = %v, model says %v", i, probe>>32, uint32(probe), s.Contains(probe), model[probe])
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model has %d", s.Len(), len(model))
+	}
+	for id := range model {
+		if !s.Contains(id) {
+			t.Fatalf("model element %d:%d missing", id>>32, uint32(id))
+		}
+	}
+}

@@ -129,11 +129,11 @@ func (c *Catalog) Entries() []Entry {
 // catalogEnv evaluates queries over the catalog's index.
 type catalogEnv struct{ ix *index.Index }
 
-func (e catalogEnv) Term(w string) (*bitset.Bitmap, error)   { return e.ix.Lookup(w), nil }
-func (e catalogEnv) Prefix(p string) (*bitset.Bitmap, error) { return e.ix.LookupPrefix(p), nil }
-func (e catalogEnv) Fuzzy(w string) (*bitset.Bitmap, error)  { return e.ix.LookupFuzzy(w), nil }
-func (e catalogEnv) Universe() (*bitset.Bitmap, error)       { return e.ix.AllDocs(), nil }
-func (e catalogEnv) DirRef(*query.DirRef) (*bitset.Bitmap, error) {
+func (e catalogEnv) Term(w string) (*bitset.Segmented, error)   { return e.ix.Lookup(w), nil }
+func (e catalogEnv) Prefix(p string) (*bitset.Segmented, error) { return e.ix.LookupPrefix(p), nil }
+func (e catalogEnv) Fuzzy(w string) (*bitset.Segmented, error)  { return e.ix.LookupFuzzy(w), nil }
+func (e catalogEnv) Universe() (*bitset.Segmented, error)       { return e.ix.AllDocs(), nil }
+func (e catalogEnv) DirRef(*query.DirRef) (*bitset.Segmented, error) {
 	return nil, errors.New("catalog: dir references are not meaningful here")
 }
 

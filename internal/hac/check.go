@@ -51,13 +51,16 @@ func (fs *FS) CheckConsistency() []string {
 
 		// I1: transient ⊆ parent scope (local targets only; remote
 		// targets are checked against their namespaces at sync time).
-		scope := fs.providedScopeLocalLocked(vfs.Dir(dirPath))
+		// Scope and ID resolution share one snapshot, so a merge
+		// committing mid-audit cannot fabricate a violation.
+		snap := fs.ix.Snapshot()
+		scope := fs.providedScopeLocalLocked(snap, vfs.Dir(dirPath))
 		for target, class := range ds.class {
 			if class != Transient || IsRemoteTarget(target) {
 				continue
 			}
 			if p, ok := fs.resolveToIndexedLocked(target); ok {
-				if id, ok := fs.ix.IDOf(p); ok && !scope.Contains(id) {
+				if id, ok := snap.IDOf(p); ok && !scope.Contains(id) {
 					report("%s: I1 violated: transient %s outside parent scope", dirPath, target)
 				}
 			}

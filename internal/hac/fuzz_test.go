@@ -2,6 +2,7 @@ package hac
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"testing"
 
@@ -87,13 +88,17 @@ func FuzzLoadVolume(f *testing.F) {
 }
 
 // TestFuzzSeedsLoad pins the seed corpus behavior outside of fuzzing
-// mode: the pristine image loads, every corrupted variant fails with
-// ErrCorruptVolume.
+// mode: the pristine image loads; truncations (anywhere) and bit flips
+// in the main frame fail with ErrCorruptVolume. A flip in the appended
+// index section is exercised separately: it may be contained to one
+// segment, in which case the load succeeds and the reindex recovers
+// (TestLoadVolumeRejectsCorruption covers that contract in depth).
 func TestFuzzSeedsLoad(t *testing.T) {
 	img := fuzzSeedImage(t)
 	if _, err := LoadVolume(bytes.NewReader(img), Options{}); err != nil {
 		t.Fatalf("pristine seed image: %v", err)
 	}
+	mainLen := 14 + int(binary.BigEndian.Uint64(img[6:14])) + 4
 	bad := [][]byte{
 		{},
 		img[:13],
@@ -101,11 +106,20 @@ func TestFuzzSeedsLoad(t *testing.T) {
 		img[:len(img)-1],
 	}
 	flipped := append([]byte(nil), img...)
-	flipped[len(flipped)/2] ^= 0x40
+	flipped[mainLen/2] ^= 0x40
 	bad = append(bad, flipped)
 	for i, data := range bad {
 		if _, err := LoadVolume(bytes.NewReader(data), Options{}); !errors.Is(err, ErrCorruptVolume) {
 			t.Errorf("corrupt variant %d: err = %v, want ErrCorruptVolume", i, err)
 		}
+	}
+	idxFlip := append([]byte(nil), img...)
+	idxFlip[(mainLen+len(img))/2] ^= 0x40
+	if fs, err := LoadVolume(bytes.NewReader(idxFlip), Options{}); err != nil {
+		if fs != nil || !errors.Is(err, ErrCorruptVolume) {
+			t.Errorf("index-section flip: fs=%v err=%v", fs != nil, err)
+		}
+	} else if problems := fs.CheckConsistency(); len(problems) > 0 {
+		t.Errorf("index-section flip loaded an inconsistent volume: %v", problems)
 	}
 }

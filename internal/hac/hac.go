@@ -184,6 +184,14 @@ var _ vfs.FileSystem = (*FS)(nil)
 
 // New wraps a substrate file system in a HAC layer with a fresh index.
 func New(under vfs.FileSystem, opts Options) *FS {
+	return newFS(under, opts, nil)
+}
+
+// newFS builds the HAC layer. preIx, when non-nil, is a preloaded index
+// (LoadVolume's index section) that arrives with its transducers and
+// tokenizer already attached via load options; nil means a fresh empty
+// index, onto which Options.Transducers are registered here.
+func newFS(under vfs.FileSystem, opts Options, preIx *index.Index) *FS {
 	if opts.AttrCacheSize <= 0 {
 		opts.AttrCacheSize = 4096
 	}
@@ -193,9 +201,13 @@ func New(under vfs.FileSystem, opts Options) *FS {
 	if opts.Observer == nil {
 		opts.Observer = obs.Default()
 	}
+	ix := preIx
+	if ix == nil {
+		ix = index.New()
+	}
 	fs := &FS{
 		under:         under,
-		ix:            index.New(),
+		ix:            ix,
 		names:         namemap.New(),
 		graph:         depgraph.New(),
 		dirs:          make(map[uint64]*dirState),
@@ -211,9 +223,12 @@ func New(under vfs.FileSystem, opts Options) *FS {
 	fs.ix.SetObserver(opts.Observer)
 	fs.graph.SetObserver(opts.Observer)
 	fs.registerVolumeGauges(opts.Observer)
-	for ext, ts := range opts.Transducers {
-		for _, t := range ts {
-			fs.ix.RegisterTransducer(ext, t)
+	if preIx == nil {
+		for ext, ts := range opts.Transducers {
+			for _, t := range ts {
+				// A fresh index is empty; registration cannot fail.
+				_ = fs.ix.RegisterTransducer(ext, t)
+			}
 		}
 	}
 	fs.mu.Lock()

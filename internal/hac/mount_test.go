@@ -57,11 +57,11 @@ func (n *fakeNS) Fetch(path string) ([]byte, error) {
 // meaningless remotely and resolve to the empty set.
 type nsEnv struct{ ix *index.Index }
 
-func (e *nsEnv) Term(w string) (*bitset.Bitmap, error)   { return e.ix.Lookup(w), nil }
-func (e *nsEnv) Prefix(p string) (*bitset.Bitmap, error) { return e.ix.LookupPrefix(p), nil }
-func (e *nsEnv) Fuzzy(w string) (*bitset.Bitmap, error)  { return e.ix.LookupFuzzy(w), nil }
-func (e *nsEnv) Universe() (*bitset.Bitmap, error)       { return e.ix.AllDocs(), nil }
-func (e *nsEnv) DirRef(*query.DirRef) (*bitset.Bitmap, error) {
+func (e *nsEnv) Term(w string) (*bitset.Segmented, error)   { return e.ix.Lookup(w), nil }
+func (e *nsEnv) Prefix(p string) (*bitset.Segmented, error) { return e.ix.LookupPrefix(p), nil }
+func (e *nsEnv) Fuzzy(w string) (*bitset.Segmented, error)  { return e.ix.LookupFuzzy(w), nil }
+func (e *nsEnv) Universe() (*bitset.Segmented, error)       { return e.ix.AllDocs(), nil }
+func (e *nsEnv) DirRef(*query.DirRef) (*bitset.Segmented, error) {
 	return e.ix.AllDocs(), nil // degrade gracefully: dir refs don't filter remotely
 }
 

@@ -12,26 +12,37 @@ import (
 	"path/filepath"
 	"sort"
 
+	"hacfs/internal/index"
 	"hacfs/internal/vfs"
 )
 
 // Volume persistence. The paper's HAC stores its per-directory
 // structures on disk alongside the file system; here the whole volume —
 // substrate tree plus HAC's semantic metadata — serializes to one
-// stream. The index is not stored: it is rebuilt by the Reindex pass
-// that loading performs (exactly the paper's recovery story, where
-// reindexing settles all consistency).
+// stream. Since version 3 the image also carries the segmented index
+// (index.Save's per-segment blocks appended after the main frame), so a
+// load resumes from the saved postings and the settling Reindex only
+// re-tokenizes files that actually changed. Version-2 images — which
+// stored no index — still load; the Reindex rebuilds it from scratch,
+// exactly the old recovery story.
 //
 // The on-disk image is crash-safe (DESIGN.md §8): a fixed header
 // carries a magic number, a format version and the payload length, the
 // gob payload follows, and a CRC-32C trailer covers the payload. A
-// torn or bit-flipped image fails the length or checksum test and
+// torn or bit-flipped main frame fails the length or checksum test and
 // LoadVolume reports a typed *vfs.PathError wrapping ErrCorruptVolume
-// instead of feeding garbage to gob. SaveVolumeFile writes through a
-// temp file, fsyncs and renames, so a crash during save leaves the
-// previous image intact.
+// instead of feeding garbage to gob. The appended index section is
+// framed per segment: damage that loses the stream position (a torn
+// save) rejects the whole image — recovery proceeds from the previous
+// good one — while a bit flip contained to one segment block costs only
+// that segment, which the load-time Reindex restores from the file
+// tree. SaveVolumeFile writes through a temp file, fsyncs and renames,
+// so a crash during save leaves the previous image intact.
 
-const volumeVersion = 2
+const (
+	volumeVersion       = 3
+	legacyVolumeVersion = 2 // pre-segmented-index images, no index section
+)
 
 // volumeMagic opens every volume image ("HACV" plus a format byte).
 var volumeMagic = [4]byte{'H', 'A', 'C', 'V'}
@@ -47,8 +58,10 @@ var volumeCRC = crc32.MakeTable(crc32.Castagnoli)
 // *vfs.PathError that SaveVolume and LoadVolume return.
 var (
 	// ErrCorruptVolume marks a volume image that is truncated,
-	// bit-flipped, version-skewed or otherwise undecodable.
-	ErrCorruptVolume = errors.New("hac: corrupt volume image")
+	// bit-flipped, version-skewed or otherwise undecodable. It aliases
+	// vfs.ErrCorruptVolume — the same sentinel the index layer wraps —
+	// so one errors.Is test covers damage found at either layer.
+	ErrCorruptVolume = vfs.ErrCorruptVolume
 	// ErrNoSnapshot means the substrate cannot produce a snapshot, so
 	// the volume cannot be saved from this layer.
 	ErrNoSnapshot = errors.New("hac: substrate cannot snapshot")
@@ -147,63 +160,83 @@ func (fs *FS) SaveVolume(w io.Writer) error {
 	if err := gob.NewEncoder(&payload).Encode(&img); err != nil {
 		return volErr("savevolume", fmt.Errorf("encoding volume: %w", err))
 	}
+	if err := writeVolumeFrame(w, volumeVersion, payload.Bytes()); err != nil {
+		return volErr("savevolume", err)
+	}
+	// The index section: the segmented image, one framed block per
+	// segment (see internal/index/persist.go). Appending it after the
+	// main frame keeps version-2 readers' framing intact.
+	if err := fs.ix.Save(w); err != nil {
+		return volErr("savevolume", fmt.Errorf("writing index section: %w", err))
+	}
+	return nil
+}
 
-	// Frame: magic | u16 version | u64 length | payload | u32 CRC-32C.
+// writeVolumeFrame writes one framed image: magic | u16 version | u64
+// length | payload | u32 CRC-32C.
+func writeVolumeFrame(w io.Writer, version uint16, payload []byte) error {
 	var hdr [14]byte
 	copy(hdr[:4], volumeMagic[:])
-	binary.BigEndian.PutUint16(hdr[4:6], volumeVersion)
-	binary.BigEndian.PutUint64(hdr[6:14], uint64(payload.Len()))
+	binary.BigEndian.PutUint16(hdr[4:6], version)
+	binary.BigEndian.PutUint64(hdr[6:14], uint64(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return volErr("savevolume", err)
+		return err
 	}
-	if _, err := w.Write(payload.Bytes()); err != nil {
-		return volErr("savevolume", err)
+	if _, err := w.Write(payload); err != nil {
+		return err
 	}
 	var trailer [4]byte
-	binary.BigEndian.PutUint32(trailer[:], crc32.Checksum(payload.Bytes(), volumeCRC))
+	binary.BigEndian.PutUint32(trailer[:], crc32.Checksum(payload, volumeCRC))
 	if _, err := w.Write(trailer[:]); err != nil {
-		return volErr("savevolume", err)
+		return err
 	}
 	return nil
 }
 
 // readVolumePayload reads and verifies one framed image, returning the
-// gob payload. Every failure wraps ErrCorruptVolume.
-func readVolumePayload(r io.Reader) ([]byte, error) {
+// gob payload and the frame's format version (current or legacy). Every
+// failure wraps ErrCorruptVolume.
+func readVolumePayload(r io.Reader) ([]byte, uint16, error) {
 	var hdr [14]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: short header: %v", ErrCorruptVolume, err)
+		return nil, 0, fmt.Errorf("%w: short header: %v", ErrCorruptVolume, err)
 	}
 	if !bytes.Equal(hdr[:4], volumeMagic[:]) {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptVolume, hdr[:4])
+		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorruptVolume, hdr[:4])
 	}
-	if v := binary.BigEndian.Uint16(hdr[4:6]); v != volumeVersion {
-		return nil, fmt.Errorf("%w: unsupported volume version %d", ErrCorruptVolume, v)
+	version := binary.BigEndian.Uint16(hdr[4:6])
+	if version != volumeVersion && version != legacyVolumeVersion {
+		return nil, 0, fmt.Errorf("%w: unsupported volume version %d", ErrCorruptVolume, version)
 	}
 	length := binary.BigEndian.Uint64(hdr[6:14])
 	if length > maxVolumePayload {
-		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorruptVolume, length)
+		return nil, 0, fmt.Errorf("%w: implausible payload length %d", ErrCorruptVolume, length)
 	}
 	payload := make([]byte, int(length))
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorruptVolume, err)
+		return nil, 0, fmt.Errorf("%w: truncated payload: %v", ErrCorruptVolume, err)
 	}
 	var trailer [4]byte
 	if _, err := io.ReadFull(r, trailer[:]); err != nil {
-		return nil, fmt.Errorf("%w: missing checksum trailer: %v", ErrCorruptVolume, err)
+		return nil, 0, fmt.Errorf("%w: missing checksum trailer: %v", ErrCorruptVolume, err)
 	}
 	if got, want := crc32.Checksum(payload, volumeCRC), binary.BigEndian.Uint32(trailer[:]); got != want {
-		return nil, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorruptVolume, got, want)
+		return nil, 0, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorruptVolume, got, want)
 	}
-	return payload, nil
+	return payload, version, nil
 }
 
 // LoadVolume reconstructs a volume saved by SaveVolume: the image frame
-// is verified (length and CRC), the substrate tree restored, semantic
-// metadata re-attached, queries re-bound, and a full Reindex run so the
-// index and all transient links are consistent. Corrupt or truncated
-// images — including any input that would panic the gob decoder — fail
-// with a *vfs.PathError wrapping ErrCorruptVolume.
+// is verified (length and CRC), the substrate tree restored, the index
+// section loaded, semantic metadata re-attached, queries re-bound, and
+// a settling Reindex run so the index and all transient links are
+// consistent. Corrupt or truncated images — including any input that
+// would panic the gob decoder — fail with a *vfs.PathError wrapping
+// ErrCorruptVolume, with one deliberate exception: damage contained to
+// a single segment block of the index section costs that segment only,
+// and the settling Reindex re-indexes its documents from the restored
+// tree. Version-2 images carry no index section and rebuild the index
+// from scratch the same way.
 func LoadVolume(r io.Reader, opts Options) (fs *FS, err error) {
 	defer func() {
 		// gob can panic on adversarial input; surface it as corruption
@@ -212,7 +245,7 @@ func LoadVolume(r io.Reader, opts Options) (fs *FS, err error) {
 			fs, err = nil, volErr("loadvolume", fmt.Errorf("%w: decode panic: %v", ErrCorruptVolume, p))
 		}
 	}()
-	payload, err := readVolumePayload(r)
+	payload, version, err := readVolumePayload(r)
 	if err != nil {
 		return nil, volErr("loadvolume", err)
 	}
@@ -220,14 +253,41 @@ func LoadVolume(r io.Reader, opts Options) (fs *FS, err error) {
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img); err != nil {
 		return nil, volErr("loadvolume", fmt.Errorf("%w: decoding volume: %v", ErrCorruptVolume, err))
 	}
-	if img.Version != volumeVersion {
-		return nil, volErr("loadvolume", fmt.Errorf("%w: unsupported volume version %d", ErrCorruptVolume, img.Version))
+	if img.Version != int(version) {
+		return nil, volErr("loadvolume", fmt.Errorf("%w: payload version %d in v%d frame", ErrCorruptVolume, img.Version, version))
 	}
 	mem, err := vfs.FromSnapshot(img.Nodes)
 	if err != nil {
 		return nil, volErr("loadvolume", fmt.Errorf("%w: %v", ErrCorruptVolume, err))
 	}
-	fs = New(mem, opts)
+
+	// The index section follows the main frame in version-3 images.
+	// Transducers are code, not data (Options.Transducers), so they
+	// re-attach through load options — the loaded index is non-empty,
+	// which is exactly what RegisterTransducer refuses.
+	var preIx *index.Index
+	if version == volumeVersion {
+		var ixOpts []index.LoadOption
+		for ext, ts := range opts.Transducers {
+			for _, t := range ts {
+				ixOpts = append(ixOpts, index.WithLoadTransducer(ext, t))
+			}
+		}
+		ix, ixErr := index.LoadIndex(r, ixOpts...)
+		if ixErr != nil {
+			if ix == nil || errors.Is(ixErr, index.ErrBlockFraming) {
+				// The stream position is lost: a torn save. Nothing past
+				// this point is trustworthy, so the whole image is
+				// rejected and recovery proceeds from the previous one.
+				return nil, volErr("loadvolume", fmt.Errorf("index section: %w", ixErr))
+			}
+			// Contained damage: the intact segments loaded, the torn
+			// one's documents are simply absent, and the settling
+			// Reindex below restores them from the tree.
+		}
+		preIx = ix
+	}
+	fs = newFS(mem, opts, preIx)
 
 	// Register every directory first, so queries can reference any of
 	// them during binding.

@@ -2,6 +2,8 @@ package hac
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/gob"
 	"errors"
 	"os"
 	"path/filepath"
@@ -215,23 +217,42 @@ func TestSaveVolumeThroughFaultFS(t *testing.T) {
 	wantTargets(t, restored, "/sel", "/docs/a.txt")
 }
 
-// TestLoadVolumeRejectsCorruption checks that every kind of image
-// damage — truncation at any region, bit flips in header, payload or
-// trailer — yields a typed error, never a panic or a silent
-// half-loaded volume.
+// mainFrameLen reads the main frame's claimed payload length out of a
+// saved image and returns the total frame size (header + payload + CRC
+// trailer); everything past it is the appended index section.
+func mainFrameLen(t *testing.T, img []byte) int {
+	t.Helper()
+	if len(img) < 14 {
+		t.Fatalf("image too short for a frame header: %d bytes", len(img))
+	}
+	return 14 + int(binary.BigEndian.Uint64(img[6:14])) + 4
+}
+
+// TestLoadVolumeRejectsCorruption checks that image damage never causes
+// a panic or a silently wrong volume: truncation anywhere (a torn save)
+// and bit flips in the main frame yield a typed error; bit flips in the
+// appended index section either yield the same error or cost at most
+// one segment, which the load-time reindex restores — the loaded volume
+// must be indistinguishable from the original.
 func TestLoadVolumeRejectsCorruption(t *testing.T) {
 	fs := newTestFS(t)
 	if err := fs.MkSemDir("/sel", "apple"); err != nil {
 		t.Fatal(err)
 	}
+	want := targetsOf(t, fs, "/sel")
 	var buf bytes.Buffer
 	if err := fs.SaveVolume(&buf); err != nil {
 		t.Fatal(err)
 	}
 	good := buf.Bytes()
+	mainLen := mainFrameLen(t, good)
+	if mainLen >= len(good) {
+		t.Fatalf("no index section appended: main frame %d of %d bytes", mainLen, len(good))
+	}
 
-	// Truncations: header, payload, trailer, empty.
-	for _, cut := range []int{0, 3, 13, 14, len(good) / 3, len(good) / 2, len(good) - 5, len(good) - 1} {
+	// Truncations tear the save mid-stream: always rejected, wherever
+	// the cut lands — header, payload, trailer, or the index section.
+	for _, cut := range []int{0, 3, 13, 14, len(good) / 3, mainLen - 1, mainLen, mainLen + 7, len(good) - 5, len(good) - 1} {
 		if cut > len(good) {
 			continue
 		}
@@ -243,17 +264,158 @@ func TestLoadVolumeRejectsCorruption(t *testing.T) {
 			t.Fatalf("truncated image (%d bytes): error %v does not wrap ErrCorruptVolume", cut, err)
 		}
 	}
-	// Bit flips across the image.
-	for _, pos := range []int{0, 5, 10, 20, len(good) / 2, len(good) - 2} {
+	// Bit flips in the main frame: always rejected.
+	for _, pos := range []int{0, 5, 10, 20, mainLen / 2, mainLen - 2} {
 		mut := append([]byte(nil), good...)
 		mut[pos] ^= 0x40
 		if _, err := LoadVolume(bytes.NewReader(mut), Options{}); err == nil {
 			t.Fatalf("bit flip at %d accepted", pos)
 		}
 	}
+	// Bit flips in the index section: rejected (framing damage) or
+	// contained to a segment and fully recovered by the settling
+	// reindex — never a half-working volume.
+	for pos := mainLen; pos < len(good); pos += 11 {
+		mut := append([]byte(nil), good...)
+		mut[pos] ^= 0x40
+		restored, err := LoadVolume(bytes.NewReader(mut), Options{})
+		switch {
+		case err != nil:
+			if !errors.Is(err, ErrCorruptVolume) {
+				t.Fatalf("index-section flip at %d: error %v does not wrap ErrCorruptVolume", pos, err)
+			}
+			if restored != nil {
+				t.Fatalf("index-section flip at %d: both volume and error returned", pos)
+			}
+		default:
+			if got := targetsOf(t, restored, "/sel"); !reflect.DeepEqual(got, want) {
+				t.Fatalf("index-section flip at %d: targets = %v, want %v", pos, got, want)
+			}
+		}
+	}
 	// The pristine image still loads.
 	if _, err := LoadVolume(bytes.NewReader(good), Options{}); err != nil {
 		t.Fatalf("pristine image rejected: %v", err)
+	}
+}
+
+// legacyImageOf rewrites a freshly saved volume in the version-2
+// format: the same gob payload (Version field set back) framed with
+// version 2, and no index section — what a pre-segmented-index build
+// would have written.
+func legacyImageOf(t *testing.T, fs *FS) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fs.SaveVolume(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	plen := int(binary.BigEndian.Uint64(good[6:14]))
+	var img volumeImage
+	if err := gob.NewDecoder(bytes.NewReader(good[14 : 14+plen])).Decode(&img); err != nil {
+		t.Fatal(err)
+	}
+	img.Version = legacyVolumeVersion
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&img); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := writeVolumeFrame(&out, legacyVolumeVersion, payload.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestLoadVolumeLegacyV2 is the migration path: version-2 images (no
+// index section) still load — the settling reindex rebuilds the index
+// from scratch — and the next save writes the current format.
+func TestLoadVolumeLegacyV2(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	want := targetsOf(t, fs, "/sel")
+	legacy := legacyImageOf(t, fs)
+
+	restored, err := LoadVolume(bytes.NewReader(legacy), Options{})
+	if err != nil {
+		t.Fatalf("legacy image rejected: %v", err)
+	}
+	if got := targetsOf(t, restored, "/sel"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy targets = %v, want %v", got, want)
+	}
+	// The migrated volume saves in the current format, index section
+	// included, and round-trips from there.
+	var again bytes.Buffer
+	if err := restored.SaveVolume(&again); err != nil {
+		t.Fatal(err)
+	}
+	if mainFrameLen(t, again.Bytes()) >= again.Len() {
+		t.Fatal("migrated save carries no index section")
+	}
+	re, err := LoadVolume(bytes.NewReader(again.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := targetsOf(t, re, "/sel"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("migrated round-trip targets = %v, want %v", got, want)
+	}
+}
+
+// TestLoadVolumeTornSegmentBlock pins the containment story on a
+// many-segment index: flipping a byte inside one segment block's
+// payload loses that segment only — the volume loads, the intact
+// segments survive, and the settling reindex restores the lost
+// documents, so the restored volume matches the original exactly.
+func TestLoadVolumeTornSegmentBlock(t *testing.T) {
+	fs := New(vfs.New(), Options{})
+	fs.Index().SetSealThreshold(2) // force several sealed segments
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct{ name, body string }{
+		{"a1.txt", "apple one"}, {"a2.txt", "apple two"}, {"a3.txt", "apple three"},
+		{"a4.txt", "apple four"}, {"a5.txt", "apple five"}, {"a6.txt", "apple six"},
+	} {
+		if err := fs.WriteFile("/docs/"+f.name, []byte(f.body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.Reindex("/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	want := targetsOf(t, fs, "/sel")
+	var buf bytes.Buffer
+	if err := fs.SaveVolume(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Walk the index section's block frames to find each segment block.
+	var starts []int
+	for off := mainFrameLen(t, good); off+18 <= len(good); {
+		starts = append(starts, off)
+		off += 14 + int(binary.BigEndian.Uint64(good[off+6:off+14])) + 4
+	}
+	if len(starts) < 3 { // container block + at least two segments
+		t.Fatalf("expected a multi-segment index section, got %d blocks", len(starts))
+	}
+	// Flip a payload byte in the second segment block.
+	mut := append([]byte(nil), good...)
+	mut[starts[2]+14+3] ^= 0xff
+	restored, err := LoadVolume(bytes.NewReader(mut), Options{})
+	if err != nil {
+		t.Fatalf("contained segment damage rejected the volume: %v", err)
+	}
+	if got := targetsOf(t, restored, "/sel"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("targets after segment loss = %v, want %v", got, want)
+	}
+	if got, want := restored.Index().NumDocs(), fs.Index().NumDocs(); got != want {
+		t.Fatalf("restored index holds %d docs, want %d", got, want)
 	}
 }
 

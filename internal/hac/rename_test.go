@@ -3,8 +3,12 @@ package hac
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"hacfs/internal/vfs"
 )
@@ -93,6 +97,90 @@ func TestLinksFollowDirectoryRename(t *testing.T) {
 	}
 	if problems := fs.CheckConsistency(); len(problems) != 0 {
 		t.Fatalf("inconsistent after dir rename: %v", problems)
+	}
+}
+
+// TestConcurrentRenameAndSync races Rename against Sync, Search,
+// Reindex and the background segment merger. The snapshot-pinned
+// evaluation must never observe a half-renamed ID space: no operation
+// may fail, and once the dust settles the volume is fully consistent.
+// CI runs this under the race detector.
+func TestConcurrentRenameAndSync(t *testing.T) {
+	fs := newTestFS(t)
+	if err := fs.MkSemDir("/sel", "apple"); err != nil {
+		t.Fatal(err)
+	}
+	stopMerger := fs.Index().StartMerger(time.Millisecond)
+	defer stopMerger()
+
+	const rounds = 40
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // renames a matching file back and forth
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if err := fs.Rename("/docs/apple1.txt", "/docs/apple1-moved.txt"); err != nil {
+				t.Errorf("rename out: %v", err)
+				return
+			}
+			if err := fs.Rename("/docs/apple1-moved.txt", "/docs/apple1.txt"); err != nil {
+				t.Errorf("rename back: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // re-syncs the semantic directory
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if err := fs.Sync("/sel"); err != nil {
+				t.Errorf("sync: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // searches against pinned snapshots
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := fs.Search("apple", "/"); err != nil {
+				t.Errorf("search: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // keeps the index churning (staleness detection + merge)
+		defer wg.Done()
+		for i := 0; i < rounds/4; i++ {
+			if err := fs.WriteFile("/docs/churn.txt", []byte(fmt.Sprintf("apple churn %d", i))); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			if _, err := fs.Reindex("/docs"); err != nil {
+				t.Errorf("reindex: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Settle and audit.
+	if _, err := fs.Reindex("/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	if problems := fs.CheckConsistency(); len(problems) != 0 {
+		t.Fatalf("inconsistent after concurrent rename/sync: %v", problems)
+	}
+	got, err := fs.Search("apple", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := targetsOf(t, fs, "/sel"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("search = %v, targets = %v", got, want)
 	}
 }
 

@@ -8,11 +8,14 @@ import (
 )
 
 // RegisterTransducer attaches an attribute-extracting transducer to a
-// file extension in the volume's index (see index.Transducer). Newly
-// indexed files of that type gain the attribute terms; run Reindex to
-// re-process existing files.
-func (fs *FS) RegisterTransducer(ext string, t index.Transducer) {
-	fs.ix.RegisterTransducer(ext, t)
+// file extension in the volume's index (see index.Transducer). It must
+// be called before the first Reindex: once documents are indexed the
+// call fails with a *vfs.PathError wrapping index.ErrNotEmpty, because
+// the existing documents would silently lack the new attribute terms.
+// Prefer registering at construction time (Options.Transducers or
+// WithTransducer); loaded volumes re-attach transducers the same way.
+func (fs *FS) RegisterTransducer(ext string, t index.Transducer) error {
+	return fs.ix.RegisterTransducer(ext, t)
 }
 
 // Scheduler periodically runs the §2.4 data-consistency pass: "HAC

@@ -1,10 +1,12 @@
 package hac
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"hacfs/internal/index"
+	"hacfs/internal/vfs"
 )
 
 func TestSchedulerPeriodicReindex(t *testing.T) {
@@ -73,8 +75,15 @@ func TestSchedulerStopIdempotent(t *testing.T) {
 }
 
 func TestRegisterTransducerThroughHAC(t *testing.T) {
-	fs := newTestFS(t)
-	fs.RegisterTransducer(".eml", index.EmailTransducer)
+	// Registration is only legal on an empty store, so it happens before
+	// the first Reindex (equivalently: Options.Transducers at New time).
+	fs := New(vfs.New(), Options{})
+	if err := fs.RegisterTransducer(".eml", index.EmailTransducer); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/mail"); err != nil {
+		t.Fatal(err)
+	}
 	if err := fs.WriteFile("/mail/m9.eml", []byte("from zed\n\nnothing else\n")); err != nil {
 		t.Fatal(err)
 	}
@@ -85,4 +94,10 @@ func TestRegisterTransducerThroughHAC(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantTargets(t, fs, "/fromzed", "/mail/m9.eml")
+
+	// Once documents are indexed, late registration fails loudly instead
+	// of silently leaving them without attribute terms.
+	if err := fs.RegisterTransducer(".txt", index.PathTransducer); !errors.Is(err, index.ErrNotEmpty) {
+		t.Fatalf("late RegisterTransducer err = %v, want index.ErrNotEmpty", err)
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hacfs/internal/bitset"
+	"hacfs/internal/index"
 	"hacfs/internal/query"
 	"hacfs/internal/vfs"
 )
@@ -148,8 +149,13 @@ func (fs *FS) computeTargetsLocked(ds *dirState, cfg evalConfig) (map[string]boo
 
 	newTargets := make(map[string]bool)
 	if ds.ast != nil {
+		// Pin one index snapshot for the whole evaluation: every term
+		// lookup, the scope restriction and the final path resolution see
+		// the same segment set even if a background merge commits
+		// mid-query.
+		snap := fs.ix.Snapshot()
 		evalStart := time.Now()
-		local, err := query.Eval(ds.ast, &evalEnv{fs: fs})
+		local, err := query.Eval(ds.ast, &evalEnv{fs: fs, snap: snap})
 		fs.met.queryEvalSeconds.ObserveSince(evalStart)
 		fs.met.phaseEval.ObserveSince(evalStart)
 		if err != nil {
@@ -165,9 +171,9 @@ func (fs *FS) computeTargetsLocked(ds *dirState, cfg evalConfig) (map[string]boo
 		// dependencies, DAG based dependencies, or both").
 		scopeStart := time.Now()
 		if len(query.Refs(ds.ast)) == 0 {
-			local.And(fs.providedScopeLocalLocked(parentPath))
+			local.And(fs.providedScopeLocalLocked(snap, parentPath))
 		}
-		matched := fs.ix.Paths(local)
+		matched := snap.Paths(local)
 		if cfg.verify {
 			// Glimpse-style second level: confirm each candidate by
 			// scanning its content for the query terms.
@@ -322,11 +328,12 @@ func verifyMatches(fsys vfs.FileSystem, paths []string, terms []string) int {
 //   - a syntactic directory (including the root) provides every indexed
 //     file in its subtree.
 //
-// Caller holds fs.mu.
-func (fs *FS) providedScopeLocalLocked(dirPath string) *bitset.Bitmap {
+// The scope is resolved against snap, so it composes with query results
+// evaluated against the same snapshot. Caller holds fs.mu.
+func (fs *FS) providedScopeLocalLocked(snap *index.Snapshot, dirPath string) *bitset.Segmented {
 	ds, ok := fs.stateAtLocked(dirPath)
 	if !ok || !ds.semantic {
-		return fs.ix.DocsUnder(dirPath)
+		return snap.DocsUnder(dirPath)
 	}
 	var paths []string
 	for t := range ds.class {
@@ -344,7 +351,7 @@ func (fs *FS) providedScopeLocalLocked(dirPath string) *bitset.Bitmap {
 			}
 		}
 	}
-	return fs.ix.IDsOf(paths)
+	return snap.IDsOf(paths)
 }
 
 // resolveToIndexedLocked maps a link target to an indexed document
@@ -373,26 +380,31 @@ func (fs *FS) resolveToIndexedLocked(target string) (string, bool) {
 }
 
 // evalEnv adapts the CBA engine and directory scopes to the query
-// evaluator — the paper's API between HAC and the CBA mechanism.
-type evalEnv struct{ fs *FS }
+// evaluator — the paper's API between HAC and the CBA mechanism. All
+// index reads go through one pinned snapshot, so the bitmaps an
+// evaluation intersects share a single consistent ID space.
+type evalEnv struct {
+	fs   *FS
+	snap *index.Snapshot
+}
 
-func (e *evalEnv) Term(w string) (*bitset.Bitmap, error) { return e.fs.ix.Lookup(w), nil }
+func (e *evalEnv) Term(w string) (*bitset.Segmented, error) { return e.snap.Lookup(w), nil }
 
-func (e *evalEnv) Prefix(p string) (*bitset.Bitmap, error) { return e.fs.ix.LookupPrefix(p), nil }
+func (e *evalEnv) Prefix(p string) (*bitset.Segmented, error) { return e.snap.LookupPrefix(p), nil }
 
-func (e *evalEnv) Fuzzy(w string) (*bitset.Bitmap, error) { return e.fs.ix.LookupFuzzy(w), nil }
+func (e *evalEnv) Fuzzy(w string) (*bitset.Segmented, error) { return e.snap.LookupFuzzy(w), nil }
 
-func (e *evalEnv) Universe() (*bitset.Bitmap, error) { return e.fs.ix.AllDocs(), nil }
+func (e *evalEnv) Universe() (*bitset.Segmented, error) { return e.snap.AllDocs(), nil }
 
 // DirRef returns the scope provided by the referenced directory (§2.5:
 // "the CBA mechanism can use HAC's API to obtain the existing
 // query-result stored in that directory").
-func (e *evalEnv) DirRef(ref *query.DirRef) (*bitset.Bitmap, error) {
+func (e *evalEnv) DirRef(ref *query.DirRef) (*bitset.Segmented, error) {
 	p, ok := e.fs.pathOfLocked(ref.UID)
 	if !ok {
 		return nil, fmt.Errorf("%w: dir:#%d", ErrDanglingRef, ref.UID)
 	}
-	return e.fs.providedScopeLocalLocked(p), nil
+	return e.fs.providedScopeLocalLocked(e.snap, p), nil
 }
 
 // Search evaluates an ad-hoc query against the scope provided by
@@ -430,14 +442,15 @@ func (fs *FS) Search(queryStr, scopePath string) ([]string, error) {
 		}
 		ref.UID = uid
 	}
+	snap := fs.ix.Snapshot()
 	evalStart := time.Now()
-	local, err := query.Eval(ast, &evalEnv{fs: fs})
+	local, err := query.Eval(ast, &evalEnv{fs: fs, snap: snap})
 	fs.met.queryEvalSeconds.ObserveSince(evalStart)
 	if err != nil {
 		return nil, err
 	}
-	local.And(fs.providedScopeLocalLocked(clean))
-	return fs.ix.Paths(local), nil
+	local.And(fs.providedScopeLocalLocked(snap, clean))
+	return snap.Paths(local), nil
 }
 
 // IndexReport summarizes a Reindex run.

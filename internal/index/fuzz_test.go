@@ -1,6 +1,9 @@
 package index
 
 import (
+	"bytes"
+	"encoding/binary"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -25,6 +28,65 @@ func FuzzTokenize(f *testing.F) {
 				ok := b >= 'a' && b <= 'z' || b >= '0' && b <= '9'
 				if !ok {
 					t.Fatalf("term %q contains non-lowercase-alnum byte %q", term, b)
+				}
+			}
+		}
+	})
+}
+
+// segmentSeedBlock saves a small index and strips the container block,
+// leaving one valid framed segment block for the fuzz corpus.
+func segmentSeedBlock(tb testing.TB) []byte {
+	tb.Helper()
+	ix := New()
+	ix.Add("/a", []byte("apple banana"))
+	ix.Add("/b", []byte("banana cherry"))
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	img := buf.Bytes()
+	off := 14 + int(binary.BigEndian.Uint64(img[6:14])) + 4
+	if off >= len(img) {
+		tb.Fatal("saved image has no segment block")
+	}
+	return img[off:]
+}
+
+// FuzzLoadSegment feeds arbitrary bytes — seeded with a valid segment
+// block and systematic corruptions of it — to the per-segment decoder.
+// The contract: exactly one of (image, error) comes back, errors wrap
+// ErrCorruptIndex, and a decoded image never references slots outside
+// its own document table (the invariant installSegment relies on).
+func FuzzLoadSegment(f *testing.F) {
+	blk := segmentSeedBlock(f)
+	f.Add(blk)
+	f.Add([]byte{})
+	f.Add(blk[:13])
+	f.Add(blk[:len(blk)/2])
+	f.Add(blk[:len(blk)-1])
+	flipped := append([]byte(nil), blk...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("HACS not a segment"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := loadSegmentBlock(bytes.NewReader(data))
+		switch {
+		case img != nil && err != nil:
+			t.Fatalf("both image and error returned: %v", err)
+		case img == nil && err == nil:
+			t.Fatal("neither image nor error returned")
+		case err != nil:
+			if !errors.Is(err, ErrCorruptIndex) {
+				t.Fatalf("err = %v, does not wrap ErrCorruptIndex", err)
+			}
+		default:
+			for _, pi := range img.Postings {
+				for _, l := range pi.IDs {
+					if int(l) >= len(img.Docs) {
+						t.Fatalf("posting %q references slot %d of %d", pi.Term, l, len(img.Docs))
+					}
 				}
 			}
 		}

@@ -7,20 +7,30 @@ import "hacfs/internal/bitset"
 // or adjacent transposition), plus exact matches. This is the
 // approximate matching that made Glimpse — the paper's CBA engine —
 // distinctive; the query language spells it "~term".
-func (ix *Index) LookupFuzzy(term string) *bitset.Bitmap {
+func (ix *Index) LookupFuzzy(term string) *bitset.Segmented {
 	term = normalizeTerm(term)
-	out := bitset.NewBitmap(0)
+	out := bitset.NewSegmented()
 	if term == "" {
 		return out
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	for candidate, bm := range ix.postings {
-		if withinOneEdit(term, candidate) {
-			out.Or(bm)
+	ix.eachSegmentLocked(func(s *segment) {
+		var acc *bitset.Bitmap
+		for candidate, bm := range s.postings {
+			if withinOneEdit(term, candidate) {
+				if acc == nil {
+					acc = bm.Clone()
+				} else {
+					acc.Or(bm)
+				}
+			}
 		}
-	}
-	out.And(ix.alive)
+		if acc != nil {
+			acc.AndNot(s.dead)
+			out.PutSeg(s.id, acc)
+		}
+	})
 	return out
 }
 

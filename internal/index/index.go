@@ -1,18 +1,29 @@
 // Package index implements the content-based access (CBA) engine HAC
 // delegates searches to — the role Glimpse played in the paper. It is a
-// classic in-memory inverted index: documents are tokenized into terms
-// and each term maps to a bitmap of document IDs.
+// segmented in-memory inverted index: documents are tokenized into
+// terms and each term maps, per segment, to a bitmap of local document
+// slots.
 //
 // The paper's data-consistency model (§2.4) shapes the API: documents
 // can be added and updated incrementally, removals are tombstoned, and
-// a periodic Compact (the paper's "reindexing") rebuilds the ID space
-// and settles everything. SyncTree walks a file system and performs the
-// incremental reindex the paper describes ("re-index the file system
-// periodically ... or on user request, for any part of the file
-// system").
+// the paper's periodic "reindexing" is realized as an online merge of
+// sealed segments (merge.go) that never invalidates document IDs.
+// SyncTree walks a file system and performs the incremental reindex the
+// paper describes ("re-index the file system periodically ... or on
+// user request, for any part of the file system").
+//
+// Storage layout (DESIGN.md §10): writes land in a mutable active
+// segment; once it reaches the seal threshold it becomes an immutable
+// sealed segment and a fresh active segment takes over. Deletions only
+// tombstone. A DocID is segmentID<<32 | localID, so merging sealed
+// segments assigns new IDs internally but old IDs keep resolving
+// through per-segment forward tables; epoch-pinned snapshots
+// (snapshot.go) give queries a consistent segment set while a merge
+// runs.
 package index
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,9 +32,24 @@ import (
 	"hacfs/internal/vfs"
 )
 
-// DocID identifies an indexed document. IDs are dense and stable until
-// the next Compact.
-type DocID = uint32
+// DocID identifies an indexed document: the segment ID in the high 32
+// bits, the local slot within the segment in the low 32. IDs are stable
+// for the life of the index — a merge retires segments but installs
+// forward tables, so an old ID keeps resolving to the same document.
+type DocID = uint64
+
+// NoDoc is the resolution of a deleted document in a forward table.
+const NoDoc DocID = ^DocID(0)
+
+func makeID(seg, local uint32) DocID { return DocID(seg)<<32 | DocID(local) }
+
+func splitID(id DocID) (seg, local uint32) { return uint32(id >> 32), uint32(id) }
+
+// ErrNotEmpty is returned (wrapped in a *vfs.PathError) by SetTokenizer
+// and RegisterTransducer once documents have been indexed: both change
+// how content maps to terms, so calling them late would leave the
+// already-indexed documents silently missing terms.
+var ErrNotEmpty = errors.New("index: documents already indexed")
 
 type docEntry struct {
 	path    string
@@ -32,20 +58,75 @@ type docEntry struct {
 	alive   bool
 }
 
-// Index is an inverted index over documents named by path. It is safe
-// for concurrent use.
+// segment is one unit of index storage. The active segment is mutable;
+// sealed segments never change their docs slice length or their
+// postings — only the tombstone state (dead, deadCount) and the doc
+// entries' path/modTime fields (renames) move under the index write
+// lock. A segment produced by a merge additionally carries prev, the
+// pre-merge DocID of each local slot, so snapshots pinned before the
+// merge can map current IDs back into their own segment set.
+type segment struct {
+	id        uint32
+	docs      []docEntry
+	postings  map[string]*bitset.Bitmap // term → local-slot bitmap
+	dead      *bitset.Bitmap            // tombstoned local slots
+	deadCount int
+	sealed    bool
+	prev      []DocID // merge provenance: local → pre-merge DocID (nil unless merged)
+}
+
+func newSegment(id uint32) *segment {
+	return &segment{
+		id:       id,
+		postings: make(map[string]*bitset.Bitmap),
+		dead:     bitset.NewBitmap(0),
+	}
+}
+
+// aliveLocal returns the bitmap of live local slots. Caller holds ix.mu.
+func (s *segment) aliveLocal() *bitset.Bitmap {
+	bm := bitset.FullBitmap(len(s.docs))
+	bm.AndNot(s.dead)
+	return bm
+}
+
+// DefaultSealThreshold is the active-segment size at which it seals.
+const DefaultSealThreshold = 4096
+
+// Index is a segmented inverted index over documents named by path. It
+// is safe for concurrent use.
 type Index struct {
-	mu       sync.RWMutex
-	docs     []docEntry
-	byPath   map[string]DocID
-	postings map[string]*bitset.Bitmap
-	alive    *bitset.Bitmap
-	deadDocs int
-	tok      Tokenizer
+	mu      sync.RWMutex
+	active  *segment
+	sealed  []*segment // in creation order
+	bySeg   map[uint32]*segment
+	nextSeg uint32
+	byPath  map[string]DocID
+
+	// forward maps a merged-away segment to the new DocID of each of its
+	// local slots (NoDoc for slots that were dead at merge time). Chains
+	// are compressed at each merge commit, so resolution is O(1) hops in
+	// the steady state.
+	forward map[uint32][]DocID
+
+	// epoch counts merge commits; snapshots record the epoch they
+	// pinned, and Search-visible segment sets only change when it moves.
+	epoch uint64
+
+	liveDocs   int
+	deadDocs   int
+	totalSlots int // live + dead slots across resident segments
+
+	sealThreshold int
+	tok           Tokenizer
 	// transducers, keyed by lowercase file extension ("" = all files),
 	// add attribute terms alongside the tokenizer's words.
 	transducers map[string][]Transducer
 	met         ixMetrics
+
+	// mergeMu serializes whole merge operations (plan → build → commit).
+	// Lock order: mergeMu before mu; never acquire mergeMu under mu.
+	mergeMu sync.Mutex
 }
 
 // Tokenizer splits document content into terms. The default is
@@ -54,20 +135,70 @@ type Tokenizer func(content []byte) []string
 
 // New returns an empty index using the default tokenizer.
 func New() *Index {
-	return &Index{
-		byPath:   make(map[string]DocID),
-		postings: make(map[string]*bitset.Bitmap),
-		alive:    bitset.NewBitmap(0),
-		tok:      Tokenize,
+	ix := &Index{
+		bySeg:         make(map[uint32]*segment),
+		byPath:        make(map[string]DocID),
+		forward:       make(map[uint32][]DocID),
+		sealThreshold: DefaultSealThreshold,
+		tok:           Tokenize,
 	}
+	ix.newActiveLocked()
+	return ix
+}
+
+// newActiveLocked installs a fresh active segment. Caller holds ix.mu
+// (or is the constructor).
+func (ix *Index) newActiveLocked() {
+	s := newSegment(ix.nextSeg)
+	ix.nextSeg++
+	ix.bySeg[s.id] = s
+	ix.active = s
+}
+
+// sealActiveLocked freezes a non-empty active segment and starts a new
+// one. Caller holds ix.mu.
+func (ix *Index) sealActiveLocked() {
+	if len(ix.active.docs) == 0 {
+		return
+	}
+	ix.active.sealed = true
+	ix.sealed = append(ix.sealed, ix.active)
+	ix.newActiveLocked()
+}
+
+// eachSegmentLocked visits every resident segment (sealed in creation
+// order, then the active one). Caller holds ix.mu.
+func (ix *Index) eachSegmentLocked(fn func(*segment)) {
+	for _, s := range ix.sealed {
+		fn(s)
+	}
+	fn(ix.active)
+}
+
+// SetSealThreshold overrides the active-segment seal size, mainly so
+// tests can force multi-segment layouts with small corpora. n <= 0
+// restores the default.
+func (ix *Index) SetSealThreshold(n int) {
+	if n <= 0 {
+		n = DefaultSealThreshold
+	}
+	ix.mu.Lock()
+	ix.sealThreshold = n
+	ix.mu.Unlock()
 }
 
 // SetTokenizer replaces the tokenizer. It must be called before any
-// documents are added.
-func (ix *Index) SetTokenizer(t Tokenizer) {
+// documents are added; once the store is non-empty it fails with a
+// *vfs.PathError wrapping ErrNotEmpty, because documents indexed with
+// the old tokenizer would silently keep its terms.
+func (ix *Index) SetTokenizer(t Tokenizer) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.totalSlots > 0 {
+		return &vfs.PathError{Op: "settokenizer", Path: "index", Err: ErrNotEmpty}
+	}
 	ix.tok = t
+	return nil
 }
 
 // Add indexes content under path, replacing any previous document at
@@ -82,8 +213,8 @@ func (ix *Index) AddWithTime(path string, content []byte, modTime time.Time) Doc
 	return ix.commitDoc(ix.prepareDoc(path, content, modTime))
 }
 
-// preparedDoc is a tokenized document awaiting its single-writer merge
-// into the index. Preparation (the expensive part: tokenization plus
+// preparedDoc is a tokenized document awaiting its merge into the
+// index. Preparation (the expensive part: tokenization plus
 // transducers) runs without the index write lock, so many documents can
 // be prepared concurrently and committed by one writer.
 type preparedDoc struct {
@@ -109,22 +240,32 @@ func (ix *Index) prepareDoc(path string, content []byte, modTime time.Time) prep
 func (ix *Index) commitDoc(d preparedDoc) DocID {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	return ix.commitDocLocked(d)
+}
+
+func (ix *Index) commitDocLocked(d preparedDoc) DocID {
 	if old, ok := ix.byPath[d.path]; ok {
-		ix.tombstone(old)
+		ix.tombstoneLocked(old)
 	}
-	id := DocID(len(ix.docs))
-	ix.docs = append(ix.docs, docEntry{path: d.path, modTime: d.modTime, size: d.size, alive: true})
+	s := ix.active
+	local := uint32(len(s.docs))
+	s.docs = append(s.docs, docEntry{path: d.path, modTime: d.modTime, size: d.size, alive: true})
+	id := makeID(s.id, local)
 	ix.byPath[d.path] = id
-	ix.alive.Add(id)
 	for term := range d.terms {
-		bm, ok := ix.postings[term]
+		bm, ok := s.postings[term]
 		if !ok {
 			bm = bitset.NewBitmap(0)
-			ix.postings[term] = bm
+			s.postings[term] = bm
 		}
-		bm.Add(id)
+		bm.Add(local)
 	}
+	ix.liveDocs++
+	ix.totalSlots++
 	ix.met.docsIndexed.Add(1)
+	if len(s.docs) >= ix.sealThreshold {
+		ix.sealActiveLocked()
+	}
 	return id
 }
 
@@ -138,15 +279,42 @@ func (ix *Index) termSet(content []byte) map[string]struct{} {
 	return set
 }
 
-// tombstone marks id dead. Caller holds ix.mu.
-func (ix *Index) tombstone(id DocID) {
-	if int(id) < len(ix.docs) && ix.docs[id].alive {
-		ix.docs[id].alive = false
-		ix.alive.Remove(id)
-		ix.deadDocs++
-		delete(ix.byPath, ix.docs[id].path)
-		ix.met.docsRemoved.Add(1)
+// resolveLocked follows forward tables from id to its resident segment
+// and local slot. Caller holds ix.mu.
+func (ix *Index) resolveLocked(id DocID) (*segment, uint32, bool) {
+	for hops := 0; hops < 64; hops++ {
+		seg, local := splitID(id)
+		if s, ok := ix.bySeg[seg]; ok {
+			if int(local) < len(s.docs) {
+				return s, local, true
+			}
+			return nil, 0, false
+		}
+		tbl, ok := ix.forward[seg]
+		if !ok || int(local) >= len(tbl) {
+			return nil, 0, false
+		}
+		id = tbl[local]
+		if id == NoDoc {
+			return nil, 0, false
+		}
 	}
+	return nil, 0, false
+}
+
+// tombstoneLocked marks id dead. Caller holds ix.mu.
+func (ix *Index) tombstoneLocked(id DocID) {
+	s, local, ok := ix.resolveLocked(id)
+	if !ok || !s.docs[local].alive {
+		return
+	}
+	s.docs[local].alive = false
+	s.dead.Add(local)
+	s.deadCount++
+	ix.liveDocs--
+	ix.deadDocs++
+	delete(ix.byPath, s.docs[local].path)
+	ix.met.docsRemoved.Add(1)
 }
 
 // Remove deletes the document at path from the index. It reports
@@ -158,7 +326,7 @@ func (ix *Index) Remove(path string) bool {
 	if !ok {
 		return false
 	}
-	ix.tombstone(id)
+	ix.tombstoneLocked(id)
 	return true
 }
 
@@ -170,8 +338,12 @@ func (ix *Index) RenamePath(oldPath, newPath string) bool {
 	if !ok {
 		return false
 	}
+	s, local, ok := ix.resolveLocked(id)
+	if !ok {
+		return false
+	}
 	delete(ix.byPath, oldPath)
-	ix.docs[id].path = newPath
+	s.docs[local].path = newPath
 	ix.byPath[newPath] = id
 	return true
 }
@@ -193,9 +365,13 @@ func (ix *Index) RenamePrefix(oldRoot, newRoot string) int {
 		}
 	}
 	for _, m := range moves {
+		s, local, ok := ix.resolveLocked(m.id)
+		if !ok {
+			continue
+		}
 		np := newRoot + m.old[len(oldRoot):]
 		delete(ix.byPath, m.old)
-		ix.docs[m.id].path = np
+		s.docs[local].path = np
 		ix.byPath[np] = m.id
 	}
 	return len(moves)
@@ -203,85 +379,115 @@ func (ix *Index) RenamePrefix(oldRoot, newRoot string) int {
 
 // Lookup returns the set of live documents containing term. The result
 // is owned by the caller.
-func (ix *Index) Lookup(term string) *bitset.Bitmap {
+func (ix *Index) Lookup(term string) *bitset.Segmented {
+	term = normalizeTerm(term)
+	out := bitset.NewSegmented()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	bm, ok := ix.postings[normalizeTerm(term)]
-	if !ok {
-		return bitset.NewBitmap(0)
-	}
-	out := bm.Clone()
-	out.And(ix.alive)
+	ix.eachSegmentLocked(func(s *segment) {
+		if bm, ok := s.postings[term]; ok {
+			live := bm.Clone()
+			live.AndNot(s.dead)
+			out.PutSeg(s.id, live)
+		}
+	})
 	return out
 }
 
 // LookupPrefix returns the set of live documents containing any term
 // with the given prefix (the query language's "foo*").
-func (ix *Index) LookupPrefix(prefix string) *bitset.Bitmap {
+func (ix *Index) LookupPrefix(prefix string) *bitset.Segmented {
 	prefix = normalizeTerm(prefix)
-	out := bitset.NewBitmap(0)
+	out := bitset.NewSegmented()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	for term, bm := range ix.postings {
-		if len(term) >= len(prefix) && term[:len(prefix)] == prefix {
-			out.Or(bm)
+	ix.eachSegmentLocked(func(s *segment) {
+		var acc *bitset.Bitmap
+		for term, bm := range s.postings {
+			if len(term) >= len(prefix) && term[:len(prefix)] == prefix {
+				if acc == nil {
+					acc = bm.Clone()
+				} else {
+					acc.Or(bm)
+				}
+			}
 		}
-	}
-	out.And(ix.alive)
+		if acc != nil {
+			acc.AndNot(s.dead)
+			out.PutSeg(s.id, acc)
+		}
+	})
 	return out
 }
 
 // AllDocs returns the set of all live document IDs.
-func (ix *Index) AllDocs() *bitset.Bitmap {
+func (ix *Index) AllDocs() *bitset.Segmented {
+	out := bitset.NewSegmented()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.alive.Clone()
+	ix.eachSegmentLocked(func(s *segment) {
+		out.PutSeg(s.id, s.aliveLocal())
+	})
+	return out
 }
 
-// PathOf resolves a document ID to its path.
+// PathOf resolves a document ID to its path. IDs issued before a merge
+// keep resolving through the merge's forward tables.
 func (ix *Index) PathOf(id DocID) (string, bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	if int(id) >= len(ix.docs) || !ix.docs[id].alive {
+	s, local, ok := ix.resolveLocked(id)
+	if !ok || !s.docs[local].alive {
 		return "", false
 	}
-	return ix.docs[id].path, true
+	return s.docs[local].path, true
 }
 
-// IDOf resolves a path to its live document ID.
+// IDOf resolves a path to its live document ID. The byPath entry may
+// briefly lag a merge commit (the repoint runs in batches after the
+// swap), so the raw value is canonicalized through the forward tables
+// before it escapes.
 func (ix *Index) IDOf(path string) (DocID, bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	id, ok := ix.byPath[path]
-	return id, ok
+	if !ok {
+		return 0, false
+	}
+	if s, local, ok := ix.resolveLocked(id); ok {
+		return makeID(s.id, local), true
+	}
+	return 0, false
 }
 
 // Paths maps a result set to its sorted document paths. IDs that no
 // longer resolve are skipped.
-func (ix *Index) Paths(bm *bitset.Bitmap) []string {
+func (ix *Index) Paths(res *bitset.Segmented) []string {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	out := make([]string, 0, bm.Len())
-	bm.Range(func(id uint32) bool {
-		if int(id) < len(ix.docs) && ix.docs[id].alive {
-			out = append(out, ix.docs[id].path)
+	out := make([]string, 0, res.Len())
+	res.Range(func(id uint64) bool {
+		if s, local, ok := ix.resolveLocked(id); ok && s.docs[local].alive {
+			out = append(out, s.docs[local].path)
 		}
 		return true
 	})
-	// docs are appended in ID order, not path order; sort for stable output.
+	// docs land in segment order, not path order; sort for stable output.
 	sortStrings(out)
 	return out
 }
 
-// IDsOf maps paths to a bitmap of their live document IDs. Unindexed
+// IDsOf maps paths to the set of their live document IDs. Unindexed
 // paths are skipped.
-func (ix *Index) IDsOf(paths []string) *bitset.Bitmap {
+func (ix *Index) IDsOf(paths []string) *bitset.Segmented {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	out := bitset.NewBitmap(len(ix.docs))
+	out := bitset.NewSegmented()
 	for _, p := range paths {
 		if id, ok := ix.byPath[p]; ok {
-			out.Add(id)
+			if s, local, ok := ix.resolveLocked(id); ok {
+				out.Add(makeID(s.id, local))
+			}
 		}
 	}
 	return out
@@ -290,19 +496,32 @@ func (ix *Index) IDsOf(paths []string) *bitset.Bitmap {
 // DocsUnder returns the set of live documents whose path lies in the
 // subtree rooted at root. This is how a syntactic directory "provides a
 // scope" to the semantic directories beneath it.
-func (ix *Index) DocsUnder(root string) *bitset.Bitmap {
+func (ix *Index) DocsUnder(root string) *bitset.Segmented {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	out := bitset.NewBitmap(len(ix.docs))
-	if root == "/" {
-		out.Or(ix.alive)
-		return out
-	}
-	for id, d := range ix.docs {
-		if d.alive && vfs.HasPrefix(d.path, root) {
-			out.Add(DocID(id))
+	return ix.docsUnderLocked(root)
+}
+
+func (ix *Index) docsUnderLocked(root string) *bitset.Segmented {
+	out := bitset.NewSegmented()
+	ix.eachSegmentLocked(func(s *segment) {
+		if root == "/" {
+			out.PutSeg(s.id, s.aliveLocal())
+			return
 		}
-	}
+		var bm *bitset.Bitmap
+		for local, d := range s.docs {
+			if d.alive && vfs.HasPrefix(d.path, root) {
+				if bm == nil {
+					bm = bitset.NewBitmap(len(s.docs))
+				}
+				bm.Add(uint32(local))
+			}
+		}
+		if bm != nil {
+			out.PutSeg(s.id, bm)
+		}
+	})
 	return out
 }
 
@@ -310,21 +529,31 @@ func (ix *Index) DocsUnder(root string) *bitset.Bitmap {
 func (ix *Index) NumDocs() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.docs) - ix.deadDocs
+	return ix.liveDocs
 }
 
-// Universe returns the size of the current ID space (live + dead), the
-// N in the paper's "N/8 bytes per semantic directory".
+// Universe returns the size of the current ID space (live + dead slots
+// across resident segments), the N in the paper's "N/8 bytes per
+// semantic directory".
 func (ix *Index) Universe() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.docs)
+	return ix.totalSlots
+}
+
+// Epoch returns the merge epoch: it advances exactly when a merge
+// commit changes the resident segment set.
+func (ix *Index) Epoch() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.epoch
 }
 
 // Stats describes the index footprint, for the Table 3 experiment.
 type Stats struct {
 	Docs         int   // live documents
-	DeadDocs     int   // tombstoned documents awaiting Compact
+	DeadDocs     int   // tombstoned documents awaiting a merge
+	Segments     int   // resident segments (sealed + active)
 	Terms        int   // distinct terms
 	IndexBytes   int   // approximate index payload size
 	ContentBytes int64 // total size of live indexed content
@@ -335,70 +564,35 @@ func (ix *Index) Stats() Stats {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	s := Stats{
-		Docs:     len(ix.docs) - ix.deadDocs,
+		Docs:     ix.liveDocs,
 		DeadDocs: ix.deadDocs,
-		Terms:    len(ix.postings),
+		Segments: len(ix.sealed) + 1,
 	}
-	for term, bm := range ix.postings {
-		s.IndexBytes += len(term) + bm.SizeBytes()
-	}
-	for _, d := range ix.docs {
-		s.IndexBytes += len(d.path) + 32
-		if d.alive {
-			s.ContentBytes += int64(d.size)
+	terms := make(map[string]struct{})
+	ix.eachSegmentLocked(func(seg *segment) {
+		for term, bm := range seg.postings {
+			terms[term] = struct{}{}
+			s.IndexBytes += len(term) + bm.SizeBytes()
 		}
-	}
+		for _, d := range seg.docs {
+			s.IndexBytes += len(d.path) + 32
+			if d.alive {
+				s.ContentBytes += int64(d.size)
+			}
+		}
+	})
+	s.Terms = len(terms)
 	return s
 }
 
-// Compact rebuilds the index with a dense ID space, dropping
-// tombstones. This is the paper's full "reindexing" step. It returns a
-// mapping from old to new IDs (dead IDs map to NoDoc).
-const NoDoc DocID = ^DocID(0)
-
-func (ix *Index) Compact() map[DocID]DocID {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	remap := make(map[DocID]DocID, len(ix.docs))
-	newDocs := make([]docEntry, 0, len(ix.docs)-ix.deadDocs)
-	for id, d := range ix.docs {
-		if d.alive {
-			remap[DocID(id)] = DocID(len(newDocs))
-			newDocs = append(newDocs, d)
-		} else {
-			remap[DocID(id)] = NoDoc
-		}
-	}
-	newPostings := make(map[string]*bitset.Bitmap, len(ix.postings))
-	for term, bm := range ix.postings {
-		nb := bitset.NewBitmap(len(newDocs))
-		bm.Range(func(old uint32) bool {
-			if nid := remap[old]; nid != NoDoc {
-				nb.Add(nid)
-			}
-			return true
-		})
-		if nb.Any() {
-			newPostings[term] = nb
-		}
-	}
-	ix.docs = newDocs
-	ix.postings = newPostings
-	ix.byPath = make(map[string]DocID, len(newDocs))
-	ix.alive = bitset.NewBitmap(len(newDocs))
-	for id, d := range ix.docs {
-		ix.byPath[d.path] = DocID(id)
-		ix.alive.Add(DocID(id))
-	}
-	ix.deadDocs = 0
-	return remap
-}
-
 // SyncTreeParallel is SyncTree with file reads and tokenization fanned
-// out over a pool of workers goroutines. A single writer merges the
-// prepared documents in walk (sorted-path) order, so the resulting
-// index — document IDs included — is identical to a serial SyncTree
-// over the same tree. workers <= 1 falls back to the serial path.
+// out over a pool of workers goroutines. Each bounded chunk of the work
+// list is assembled into a whole segment off-lock and committed sealed
+// in one step — the write lock is taken once per chunk, not once per
+// document. Chunks are cut from the walk (sorted-path) order, so link
+// materialization and Search results downstream are identical to a
+// serial SyncTree over the same tree; only the segment layout differs.
+// workers <= 1 falls back to the serial path.
 func (ix *Index) SyncTreeParallel(fsys vfs.FileSystem, root string, workers int) (added, updated, removed int, err error) {
 	if workers <= 1 {
 		return ix.SyncTree(fsys, root)
@@ -419,7 +613,12 @@ func (ix *Index) SyncTreeParallel(fsys vfs.FileSystem, root string, workers int)
 		seen[p] = true
 		ix.mu.RLock()
 		id, ok := ix.byPath[p]
-		stale := ok && !ix.docs[id].modTime.Equal(info.ModTime)
+		stale := false
+		if ok {
+			if s, local, rok := ix.resolveLocked(id); rok {
+				stale = !s.docs[local].modTime.Equal(info.ModTime)
+			}
+		}
 		ix.mu.RUnlock()
 		if ok && !stale {
 			return nil
@@ -431,12 +630,12 @@ func (ix *Index) SyncTreeParallel(fsys vfs.FileSystem, root string, workers int)
 		return 0, 0, 0, err
 	}
 
-	// Phase 2+3: workers read and tokenize one bounded chunk at a
-	// time; the chunk is then merged by a single writer in walk order,
-	// which keeps document IDs deterministic. Chunking bounds how many
-	// prepared term sets are alive at once — preparing the whole tree
-	// before committing any of it made the heap (and GC time) grow
-	// with the corpus, erasing the tokenization speedup.
+	// Phase 2+3: workers read and tokenize one bounded chunk at a time;
+	// the chunk then becomes one sealed segment, built in walk order.
+	// Chunking bounds how many prepared term sets are alive at once —
+	// preparing the whole tree before committing any of it made the heap
+	// (and GC time) grow with the corpus, erasing the tokenization
+	// speedup.
 	type prep struct {
 		doc preparedDoc
 		err error
@@ -470,12 +669,13 @@ func (ix *Index) SyncTreeParallel(fsys vfs.FileSystem, root string, workers int)
 			}()
 		}
 		wg.Wait()
+		docs := make([]preparedDoc, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			p := &preps[i-lo]
 			if p.err != nil {
 				return added, updated, removed, p.err
 			}
-			ix.commitDoc(p.doc)
+			docs = append(docs, p.doc)
 			*p = prep{}
 			if jobs[i].existed {
 				updated++
@@ -483,10 +683,51 @@ func (ix *Index) SyncTreeParallel(fsys vfs.FileSystem, root string, workers int)
 				added++
 			}
 		}
+		ix.commitChunk(docs)
 	}
 
 	removed = ix.removeVanished(root, seen)
+	ix.MaybeMerge()
 	return added, updated, removed, nil
+}
+
+// commitChunk builds one sealed segment from prepared documents (in
+// slice order) off-lock, then installs it under a single write-lock
+// acquisition — the parallel path's seal-on-merge commit.
+func (ix *Index) commitChunk(docs []preparedDoc) {
+	if len(docs) == 0 {
+		return
+	}
+	seg := newSegment(0) // id assigned at install time
+	seg.sealed = true
+	for i, d := range docs {
+		seg.docs = append(seg.docs, docEntry{path: d.path, modTime: d.modTime, size: d.size, alive: true})
+		for term := range d.terms {
+			bm, ok := seg.postings[term]
+			if !ok {
+				bm = bitset.NewBitmap(len(docs))
+				seg.postings[term] = bm
+			}
+			bm.Add(uint32(i))
+		}
+	}
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	seg.id = ix.nextSeg
+	ix.nextSeg++
+	for i := range seg.docs {
+		p := seg.docs[i].path
+		if old, ok := ix.byPath[p]; ok {
+			ix.tombstoneLocked(old)
+		}
+		ix.byPath[p] = makeID(seg.id, uint32(i))
+	}
+	ix.bySeg[seg.id] = seg
+	ix.sealed = append(ix.sealed, seg)
+	ix.liveDocs += len(seg.docs)
+	ix.totalSlots += len(seg.docs)
+	ix.met.docsIndexed.Add(int64(len(seg.docs)))
 }
 
 // removeVanished drops indexed documents under root that are absent
@@ -525,7 +766,9 @@ func (ix *Index) SyncTree(fsys vfs.FileSystem, root string) (added, updated, rem
 		id, ok := ix.byPath[p]
 		var stale bool
 		if ok {
-			stale = !ix.docs[id].modTime.Equal(info.ModTime)
+			if s, local, rok := ix.resolveLocked(id); rok {
+				stale = !s.docs[local].modTime.Equal(info.ModTime)
+			}
 		}
 		ix.mu.RUnlock()
 		if ok && !stale {
@@ -547,5 +790,6 @@ func (ix *Index) SyncTree(fsys vfs.FileSystem, root string) (added, updated, rem
 		return added, updated, removed, err
 	}
 	removed = ix.removeVanished(root, seen)
+	ix.MaybeMerge()
 	return added, updated, removed, nil
 }

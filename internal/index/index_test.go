@@ -1,12 +1,14 @@
 package index
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"hacfs/internal/bitset"
 	"hacfs/internal/corpus"
 	"hacfs/internal/vfs"
 )
@@ -152,32 +154,37 @@ func TestIDsOf(t *testing.T) {
 	}
 }
 
-func TestCompact(t *testing.T) {
+func TestForceMerge(t *testing.T) {
 	ix := New()
-	ix.Add("/a", []byte("apple"))
-	ix.Add("/b", []byte("apple banana"))
+	a := ix.Add("/a", []byte("apple"))
+	b := ix.Add("/b", []byte("apple banana"))
 	ix.Add("/c", []byte("cherry"))
 	ix.Remove("/b")
 
-	remap := ix.Compact()
+	ix.ForceMerge()
 	if ix.Universe() != 2 {
-		t.Fatalf("Universe after compact = %d, want 2", ix.Universe())
+		t.Fatalf("Universe after merge = %d, want 2", ix.Universe())
 	}
-	if remap[1] != NoDoc {
-		t.Fatalf("dead doc remapped to %d, want NoDoc", remap[1])
+	// Pre-merge IDs stay valid: the live one resolves through the
+	// forward table, the dead one resolves to nothing.
+	if p, ok := ix.PathOf(a); !ok || p != "/a" {
+		t.Fatalf("PathOf(pre-merge id) = %q, %v", p, ok)
+	}
+	if _, ok := ix.PathOf(b); ok {
+		t.Fatal("dead pre-merge ID still resolves")
 	}
 	if got := ix.Paths(ix.Lookup("apple")); len(got) != 1 || got[0] != "/a" {
-		t.Fatalf("apple after compact = %v", got)
+		t.Fatalf("apple after merge = %v", got)
 	}
 	if ix.Lookup("banana").Any() {
-		t.Fatal("dead doc's unique term survived compact")
+		t.Fatal("dead doc's unique term survived merge")
 	}
 	if got := ix.Paths(ix.Lookup("cherry")); len(got) != 1 || got[0] != "/c" {
-		t.Fatalf("cherry after compact = %v", got)
+		t.Fatalf("cherry after merge = %v", got)
 	}
 	st := ix.Stats()
 	if st.DeadDocs != 0 || st.Docs != 2 {
-		t.Fatalf("Stats after compact = %+v", st)
+		t.Fatalf("Stats after merge = %+v", st)
 	}
 }
 
@@ -347,10 +354,13 @@ func TestPropertyLookupExact(t *testing.T) {
 	}
 }
 
-// Property: Compact preserves query results (paths, not IDs).
-func TestPropertyCompactPreservesResults(t *testing.T) {
+// Property: a merge preserves query results (paths and pre-merge result
+// bitmaps, not internal layout). The seal threshold is forced low so
+// random op sequences exercise real multi-segment layouts.
+func TestPropertyMergePreservesResults(t *testing.T) {
 	f := func(ops []uint8) bool {
 		ix := New()
+		ix.SetSealThreshold(4)
 		terms := []string{"red", "green", "blue"}
 		for i, op := range ops {
 			p := fmt.Sprintf("/f%d", int(op)%10)
@@ -363,12 +373,20 @@ func TestPropertyCompactPreservesResults(t *testing.T) {
 			_ = i
 		}
 		before := map[string][]string{}
+		held := map[string]*bitset.Segmented{}
 		for _, term := range terms {
-			before[term] = ix.Paths(ix.Lookup(term))
+			held[term] = ix.Lookup(term)
+			before[term] = ix.Paths(held[term])
 		}
-		ix.Compact()
+		ix.ForceMerge()
 		for _, term := range terms {
+			// Fresh lookups see the same documents...
 			if !reflect.DeepEqual(before[term], ix.Paths(ix.Lookup(term))) {
+				return false
+			}
+			// ...and result bitmaps captured before the merge still
+			// resolve to the same paths through the forward tables.
+			if !reflect.DeepEqual(before[term], ix.Paths(held[term])) {
 				return false
 			}
 		}
@@ -397,13 +415,45 @@ func TestAllDocs(t *testing.T) {
 
 func TestCustomTokenizer(t *testing.T) {
 	ix := New()
-	ix.SetTokenizer(func(content []byte) []string { return []string{"constant"} })
+	if err := ix.SetTokenizer(func(content []byte) []string { return []string{"constant"} }); err != nil {
+		t.Fatal(err)
+	}
 	ix.Add("/a", []byte("whatever"))
 	if !ix.Lookup("constant").Any() {
 		t.Fatal("custom tokenizer not used")
 	}
 	if ix.Lookup("whatever").Any() {
 		t.Fatal("default tokenizer still in effect")
+	}
+}
+
+// Changing how content maps to terms is only allowed on an empty store:
+// both calls fail with a typed *vfs.PathError wrapping ErrNotEmpty once
+// a document has been indexed — even a tombstoned one, since its slots
+// still hold old-tokenizer terms.
+func TestTokenizerAndTransducerLockedAfterAdd(t *testing.T) {
+	ix := New()
+	if err := ix.RegisterTransducer("", PathTransducer); err != nil {
+		t.Fatalf("RegisterTransducer on empty index: %v", err)
+	}
+	ix.Add("/a", []byte("word"))
+	err := ix.SetTokenizer(func([]byte) []string { return nil })
+	if !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("SetTokenizer err = %v, want ErrNotEmpty", err)
+	}
+	var pe *vfs.PathError
+	if !errors.As(err, &pe) {
+		t.Fatalf("SetTokenizer err %T, want *vfs.PathError", err)
+	}
+	err = ix.RegisterTransducer(".eml", EmailTransducer)
+	if !errors.Is(err, ErrNotEmpty) || !errors.As(err, &pe) {
+		t.Fatalf("RegisterTransducer err = %v, want *vfs.PathError wrapping ErrNotEmpty", err)
+	}
+	// A removed document does not unlock the store: its slot survives
+	// until a merge, still carrying old terms.
+	ix.Remove("/a")
+	if err := ix.SetTokenizer(func([]byte) []string { return nil }); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("SetTokenizer after Remove err = %v, want ErrNotEmpty", err)
 	}
 }
 

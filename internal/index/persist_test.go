@@ -2,9 +2,16 @@ package index
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
 	"reflect"
 	"testing"
 	"time"
+
+	"hacfs/internal/vfs"
 )
 
 func TestIndexSaveLoadRoundTrip(t *testing.T) {
@@ -70,6 +77,182 @@ func TestLoadIndexRejectsGarbage(t *testing.T) {
 	}
 }
 
+// blockStarts walks the framed blocks of a saved image and returns
+// each block's byte offset (container first, then segments).
+func blockStarts(img []byte) []int {
+	var starts []int
+	for off := 0; off+18 <= len(img); {
+		starts = append(starts, off)
+		off += 14 + int(binary.BigEndian.Uint64(img[off+6:off+14])) + 4
+	}
+	return starts
+}
+
+// multiSegmentIndex builds an index whose image has several segment
+// blocks: a low seal threshold forces sealing every two documents.
+func multiSegmentIndex(tb testing.TB) *Index {
+	tb.Helper()
+	ix := New()
+	ix.SetSealThreshold(2)
+	for i := 0; i < 6; i++ {
+		ix.Add(fmt.Sprintf("/f%d", i), []byte(fmt.Sprintf("shared term%d", i)))
+	}
+	return ix
+}
+
+// TestLoadIndexSkipsDamagedSegment pins the containment contract: a bit
+// flip inside one segment block's payload costs that segment only. The
+// partial index is returned together with a typed error, and the intact
+// segments' documents all still resolve.
+func TestLoadIndexSkipsDamagedSegment(t *testing.T) {
+	ix := multiSegmentIndex(t)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	starts := blockStarts(img)
+	if len(starts) < 3 {
+		t.Fatalf("expected container + ≥2 segment blocks, got %d blocks", len(starts))
+	}
+	mut := append([]byte(nil), img...)
+	mut[starts[1]+14+5] ^= 0xff // payload byte of the first segment block
+
+	loaded, err := LoadIndex(bytes.NewReader(mut))
+	if loaded == nil {
+		t.Fatalf("partial index discarded entirely: %v", err)
+	}
+	if err == nil {
+		t.Fatal("segment damage went unreported")
+	}
+	var pe *vfs.PathError
+	if !errors.Is(err, ErrCorruptIndex) || !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *vfs.PathError wrapping ErrCorruptIndex", err)
+	}
+	if got := loaded.NumDocs(); got == 0 || got >= ix.NumDocs() {
+		t.Fatalf("partial load holds %d docs, want strictly between 0 and %d", got, ix.NumDocs())
+	}
+	// Every surviving document fully resolves.
+	for _, p := range loaded.Paths(loaded.Lookup("shared")) {
+		if id, ok := loaded.IDOf(p); !ok {
+			t.Fatalf("surviving doc %s has no ID", p)
+		} else if rp, ok := loaded.PathOf(id); !ok || rp != p {
+			t.Fatalf("surviving doc %s round-trips to %q, %v", p, rp, ok)
+		}
+	}
+	// The lost documents can simply be re-added (how hac's settling
+	// reindex recovers them).
+	loaded.Add("/f0", []byte("shared term0"))
+	if !loaded.Lookup("term0").Any() {
+		t.Fatal("partial index rejects re-added documents")
+	}
+}
+
+// TestLoadIndexTornTailKeepsEarlierSegments: truncation inside a later
+// segment block loses the stream position — the error wraps
+// ErrBlockFraming so embedding callers treat the stream as torn — but
+// the segments already read still come back.
+func TestLoadIndexTornTailKeepsEarlierSegments(t *testing.T) {
+	ix := multiSegmentIndex(t)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	starts := blockStarts(img)
+	if len(starts) < 3 {
+		t.Fatalf("expected container + ≥2 segment blocks, got %d blocks", len(starts))
+	}
+	cut := starts[2] + 7 // mid-header of the second segment block
+	loaded, err := LoadIndex(bytes.NewReader(img[:cut]))
+	if !errors.Is(err, ErrBlockFraming) || !errors.Is(err, ErrCorruptIndex) {
+		t.Fatalf("err = %v, want ErrBlockFraming wrapping ErrCorruptIndex", err)
+	}
+	if loaded == nil || loaded.NumDocs() == 0 {
+		t.Fatal("torn tail discarded the intact earlier segments")
+	}
+}
+
+// legacyIndexImage writes a version-2 monolithic image: one frame whose
+// gob stream is header, then docs, then postings — what the
+// pre-segmented format looked like.
+func legacyIndexImage(t *testing.T, docs []docImage, posts []postingImage) []byte {
+	t.Helper()
+	var payload bytes.Buffer
+	enc := gob.NewEncoder(&payload)
+	if err := enc.Encode(&legacyHeader{Version: legacyIndexVersion, Docs: len(docs), Terms: len(posts)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range docs {
+		if err := enc.Encode(&docs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range posts {
+		if err := enc.Encode(&posts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	var hdr [14]byte
+	copy(hdr[:4], indexMagic[:])
+	binary.BigEndian.PutUint16(hdr[4:6], legacyIndexVersion)
+	binary.BigEndian.PutUint64(hdr[6:14], uint64(payload.Len()))
+	out.Write(hdr[:])
+	out.Write(payload.Bytes())
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc32.Checksum(payload.Bytes(), indexCRC))
+	out.Write(trailer[:])
+	return out.Bytes()
+}
+
+// TestLoadIndexLegacyV2 is the migration path: a version-2 monolithic
+// image loads into a single sealed segment, queries work, and
+// incremental updates resume in a fresh active segment.
+func TestLoadIndexLegacyV2(t *testing.T) {
+	mt := time.Date(2026, 1, 15, 9, 0, 0, 0, time.UTC)
+	img := legacyIndexImage(t,
+		[]docImage{{Path: "/a", ModTime: mt, Size: 12}, {Path: "/b", ModTime: mt, Size: 13}},
+		[]postingImage{{Term: "apple", IDs: []uint32{0}}, {Term: "banana", IDs: []uint32{0, 1}}},
+	)
+	loaded, err := LoadIndex(bytes.NewReader(img))
+	if err != nil {
+		t.Fatalf("legacy image rejected: %v", err)
+	}
+	if loaded.NumDocs() != 2 {
+		t.Fatalf("docs = %d, want 2", loaded.NumDocs())
+	}
+	if got := loaded.Paths(loaded.Lookup("banana")); !reflect.DeepEqual(got, []string{"/a", "/b"}) {
+		t.Fatalf("banana = %v", got)
+	}
+	if got := loaded.Paths(loaded.Lookup("apple")); !reflect.DeepEqual(got, []string{"/a"}) {
+		t.Fatalf("apple = %v", got)
+	}
+	id, ok := loaded.IDOf("/a")
+	if !ok {
+		t.Fatal("legacy doc lost its ID")
+	}
+	if seg, _ := splitID(id); seg != 0 {
+		t.Fatalf("legacy docs should land in segment 0, got %d", seg)
+	}
+	loaded.Add("/c", []byte("cherry"))
+	if !loaded.Lookup("cherry").Any() {
+		t.Fatal("migrated index rejects new documents")
+	}
+	// Saving the migrated index produces a current-format image.
+	var again bytes.Buffer
+	if err := loaded.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadIndex(&again)
+	if err != nil {
+		t.Fatalf("re-saved migrated index rejected: %v", err)
+	}
+	if re.NumDocs() != 3 {
+		t.Fatalf("re-saved migrated index: docs = %d, want 3", re.NumDocs())
+	}
+}
+
 func TestIndexSaveLoadPreservesModTimes(t *testing.T) {
 	ix := New()
 	mt := time.Date(2026, 6, 2, 0, 0, 0, 0, time.UTC)
@@ -82,8 +265,13 @@ func TestIndexSaveLoadPreservesModTimes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	id, ok := loaded.IDOf("/f")
+	if !ok {
+		t.Fatal("loaded index lost /f")
+	}
+	seg, local := splitID(id)
 	loaded.mu.RLock()
-	got := loaded.docs[0].modTime
+	got := loaded.bySeg[seg].docs[local].modTime
 	loaded.mu.RUnlock()
 	if !got.Equal(mt) {
 		t.Fatalf("modTime = %v, want %v", got, mt)

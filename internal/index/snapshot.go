@@ -1,0 +1,266 @@
+package index
+
+import (
+	"hacfs/internal/bitset"
+	"hacfs/internal/vfs"
+)
+
+// Snapshot is an epoch-pinned read view of the index: the set of
+// segments resident when it was taken, with the active segment capped
+// at its committed length. A multi-call query evaluation (one Lookup
+// per term, then Paths) sees a single consistent ID space even while a
+// merge commits concurrently — the snapshot keeps references to the
+// pinned segments, which a merge retires but never mutates.
+//
+// Liveness is read at call time, not pin time: a document deleted after
+// the pin stops matching. What the snapshot freezes is the segment set
+// — the ID space — not the tombstone state, which is exactly what a
+// consistent bitmap intersection needs.
+type Snapshot struct {
+	ix        *Index
+	epoch     uint64
+	segs      []*segment // sealed (pin order) then active
+	bySeg     map[uint32]*segment
+	activeID  uint32
+	activeLen int // committed docs in the active segment at pin time
+}
+
+// Snapshot pins the current segment set.
+func (ix *Index) Snapshot() *Snapshot {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	sn := &Snapshot{
+		ix:        ix,
+		epoch:     ix.epoch,
+		bySeg:     make(map[uint32]*segment, len(ix.sealed)+1),
+		activeID:  ix.active.id,
+		activeLen: len(ix.active.docs),
+	}
+	for _, s := range ix.sealed {
+		sn.segs = append(sn.segs, s)
+		sn.bySeg[s.id] = s
+	}
+	sn.segs = append(sn.segs, ix.active)
+	sn.bySeg[ix.active.id] = ix.active
+	return sn
+}
+
+// Epoch returns the merge epoch the snapshot pinned.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// cap limits a result bitmap of segment s to the slots committed at pin
+// time (only the active segment can have grown since).
+func (sn *Snapshot) capSeg(s *segment, bm *bitset.Bitmap) *bitset.Bitmap {
+	if s.id == sn.activeID {
+		bm.Trim(sn.activeLen)
+	}
+	return bm
+}
+
+func (sn *Snapshot) segLen(s *segment) int {
+	if s.id == sn.activeID {
+		return sn.activeLen
+	}
+	return len(s.docs)
+}
+
+// Lookup returns the live documents containing term, within the pinned
+// segment set.
+func (sn *Snapshot) Lookup(term string) *bitset.Segmented {
+	term = normalizeTerm(term)
+	out := bitset.NewSegmented()
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	for _, s := range sn.segs {
+		if bm, ok := s.postings[term]; ok {
+			live := bm.Clone()
+			live.AndNot(s.dead)
+			out.PutSeg(s.id, sn.capSeg(s, live))
+		}
+	}
+	return out
+}
+
+// LookupPrefix returns the live documents containing any term with the
+// given prefix.
+func (sn *Snapshot) LookupPrefix(prefix string) *bitset.Segmented {
+	prefix = normalizeTerm(prefix)
+	out := bitset.NewSegmented()
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	for _, s := range sn.segs {
+		var acc *bitset.Bitmap
+		for term, bm := range s.postings {
+			if len(term) >= len(prefix) && term[:len(prefix)] == prefix {
+				if acc == nil {
+					acc = bm.Clone()
+				} else {
+					acc.Or(bm)
+				}
+			}
+		}
+		if acc != nil {
+			acc.AndNot(s.dead)
+			out.PutSeg(s.id, sn.capSeg(s, acc))
+		}
+	}
+	return out
+}
+
+// LookupFuzzy returns the live documents containing any term within
+// edit distance 1 of term.
+func (sn *Snapshot) LookupFuzzy(term string) *bitset.Segmented {
+	term = normalizeTerm(term)
+	out := bitset.NewSegmented()
+	if term == "" {
+		return out
+	}
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	for _, s := range sn.segs {
+		var acc *bitset.Bitmap
+		for candidate, bm := range s.postings {
+			if withinOneEdit(term, candidate) {
+				if acc == nil {
+					acc = bm.Clone()
+				} else {
+					acc.Or(bm)
+				}
+			}
+		}
+		if acc != nil {
+			acc.AndNot(s.dead)
+			out.PutSeg(s.id, sn.capSeg(s, acc))
+		}
+	}
+	return out
+}
+
+// AllDocs returns all live documents in the pinned set.
+func (sn *Snapshot) AllDocs() *bitset.Segmented {
+	out := bitset.NewSegmented()
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	for _, s := range sn.segs {
+		out.PutSeg(s.id, sn.capSeg(s, s.aliveLocal()))
+	}
+	return out
+}
+
+// DocsUnder returns the live documents under root, within the pinned
+// set.
+func (sn *Snapshot) DocsUnder(root string) *bitset.Segmented {
+	out := bitset.NewSegmented()
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	for _, s := range sn.segs {
+		n := sn.segLen(s)
+		if root == "/" {
+			bm := s.aliveLocal()
+			bm.Trim(n)
+			out.PutSeg(s.id, bm)
+			continue
+		}
+		var bm *bitset.Bitmap
+		for local := 0; local < n; local++ {
+			d := s.docs[local]
+			if d.alive && vfs.HasPrefix(d.path, root) {
+				if bm == nil {
+					bm = bitset.NewBitmap(n)
+				}
+				bm.Add(uint32(local))
+			}
+		}
+		if bm != nil {
+			out.PutSeg(s.id, bm)
+		}
+	}
+	return out
+}
+
+// Paths maps a result set to its sorted document paths. IDs outside the
+// pinned set are resolved through the index's forward tables first, so
+// mixing an older result into a newer snapshot degrades gracefully.
+func (sn *Snapshot) Paths(res *bitset.Segmented) []string {
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	out := make([]string, 0, res.Len())
+	res.Range(func(id uint64) bool {
+		seg, local := splitID(id)
+		if s, ok := sn.bySeg[seg]; ok {
+			if int(local) < sn.segLen(s) && s.docs[local].alive {
+				out = append(out, s.docs[local].path)
+			}
+			return true
+		}
+		if s, local2, ok := sn.ix.resolveLocked(id); ok && s.docs[local2].alive {
+			out = append(out, s.docs[local2].path)
+		}
+		return true
+	})
+	sortStrings(out)
+	return out
+}
+
+// PathOf resolves one pinned ID to its path.
+func (sn *Snapshot) PathOf(id DocID) (string, bool) {
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	seg, local := splitID(id)
+	if s, ok := sn.bySeg[seg]; ok {
+		if int(local) < sn.segLen(s) && s.docs[local].alive {
+			return s.docs[local].path, true
+		}
+		return "", false
+	}
+	if s, l, ok := sn.ix.resolveLocked(id); ok && s.docs[l].alive {
+		return s.docs[l].path, true
+	}
+	return "", false
+}
+
+// IDOf resolves a path to a document ID within the pinned segment set.
+// If the document moved to a post-pin segment (a merge committed after
+// the snapshot was taken), the ID is mapped back through the merged
+// segments' provenance tables so it stays comparable with the
+// snapshot's other results.
+func (sn *Snapshot) IDOf(path string) (DocID, bool) {
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	id, ok := sn.ix.byPath[path]
+	if !ok {
+		return 0, false
+	}
+	// The byPath entry may lag a merge commit (the repoint is batched);
+	// canonicalize it forward to a resident slot before mapping it back
+	// into the pinned set through the provenance chains.
+	if s, local, ok := sn.ix.resolveLocked(id); ok {
+		id = makeID(s.id, local)
+	}
+	for hops := 0; hops < 64; hops++ {
+		seg, local := splitID(id)
+		if s, ok := sn.bySeg[seg]; ok {
+			if int(local) >= sn.segLen(s) {
+				return 0, false // committed after the pin
+			}
+			return id, true
+		}
+		s, ok := sn.ix.bySeg[seg]
+		if !ok || s.prev == nil || int(local) >= len(s.prev) {
+			return 0, false
+		}
+		id = s.prev[local]
+	}
+	return 0, false
+}
+
+// IDsOf maps paths to their pinned document IDs (see IDOf).
+func (sn *Snapshot) IDsOf(paths []string) *bitset.Segmented {
+	out := bitset.NewSegmented()
+	for _, p := range paths {
+		if id, ok := sn.IDOf(p); ok {
+			out.Add(id)
+		}
+	}
+	return out
+}

@@ -3,6 +3,8 @@ package index
 import (
 	"bytes"
 	"strings"
+
+	"hacfs/internal/vfs"
 )
 
 // A Transducer extracts attribute terms from a document, in the spirit
@@ -16,12 +18,26 @@ import (
 type Transducer func(path string, content []byte) []string
 
 // RegisterTransducer attaches a transducer to a file extension (with
-// the dot, e.g. ".eml"). Documents with that extension indexed after
-// the call also carry the transducer's attribute terms. The empty
-// extension registers a transducer that runs on every document.
-func (ix *Index) RegisterTransducer(ext string, t Transducer) {
+// the dot, e.g. ".eml"). The empty extension registers a transducer
+// that runs on every document. Like SetTokenizer, it must be called
+// before any documents are indexed: registering late would leave the
+// existing documents silently missing the new attribute terms, so once
+// the store is non-empty it fails with a *vfs.PathError wrapping
+// ErrNotEmpty.
+func (ix *Index) RegisterTransducer(ext string, t Transducer) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.totalSlots > 0 {
+		return &vfs.PathError{Op: "registertransducer", Path: "index", Err: ErrNotEmpty}
+	}
+	ix.registerTransducerLocked(ext, t)
+	return nil
+}
+
+// registerTransducerLocked installs the transducer without the
+// empty-store check; LoadIndex uses it to attach transducers to a
+// freshly decoded image before handing the index out.
+func (ix *Index) registerTransducerLocked(ext string, t Transducer) {
 	if ix.transducers == nil {
 		ix.transducers = make(map[string][]Transducer)
 	}

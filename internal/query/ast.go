@@ -139,22 +139,22 @@ func Terms(n Node) []string {
 // the paper's "simple, well defined API" between HAC and Glimpse.
 type Env interface {
 	// Term returns the documents containing the word.
-	Term(word string) (*bitset.Bitmap, error)
+	Term(word string) (*bitset.Segmented, error)
 	// Prefix returns the documents containing any word with the prefix.
-	Prefix(prefix string) (*bitset.Bitmap, error)
+	Prefix(prefix string) (*bitset.Segmented, error)
 	// Fuzzy returns the documents containing any word within edit
 	// distance 1 of the word (approximate matching).
-	Fuzzy(word string) (*bitset.Bitmap, error)
+	Fuzzy(word string) (*bitset.Segmented, error)
 	// DirRef returns the current link set of the referenced directory.
-	DirRef(ref *DirRef) (*bitset.Bitmap, error)
+	DirRef(ref *DirRef) (*bitset.Segmented, error)
 	// Universe returns all documents in scope, the complement base for
 	// NOT.
-	Universe() (*bitset.Bitmap, error)
+	Universe() (*bitset.Segmented, error)
 }
 
 // Eval evaluates the expression against env. The result is owned by
 // the caller.
-func Eval(n Node, env Env) (*bitset.Bitmap, error) {
+func Eval(n Node, env Env) (*bitset.Segmented, error) {
 	switch x := n.(type) {
 	case *And:
 		l, err := Eval(x.L, env)

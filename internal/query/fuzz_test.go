@@ -10,11 +10,11 @@ import (
 // run on arbitrary parsed input.
 type fuzzEnv struct{}
 
-func (fuzzEnv) Term(string) (*bitset.Bitmap, error)    { return bitset.BitmapOf(1, 2), nil }
-func (fuzzEnv) Prefix(string) (*bitset.Bitmap, error)  { return bitset.BitmapOf(2, 3), nil }
-func (fuzzEnv) Fuzzy(string) (*bitset.Bitmap, error)   { return bitset.BitmapOf(3), nil }
-func (fuzzEnv) Universe() (*bitset.Bitmap, error)      { return bitset.BitmapOf(1, 2, 3, 4), nil }
-func (fuzzEnv) DirRef(*DirRef) (*bitset.Bitmap, error) { return bitset.BitmapOf(4), nil }
+func (fuzzEnv) Term(string) (*bitset.Segmented, error)    { return bitset.SegmentedOf(1, 2), nil }
+func (fuzzEnv) Prefix(string) (*bitset.Segmented, error)  { return bitset.SegmentedOf(2, 3), nil }
+func (fuzzEnv) Fuzzy(string) (*bitset.Segmented, error)   { return bitset.SegmentedOf(3), nil }
+func (fuzzEnv) Universe() (*bitset.Segmented, error)      { return bitset.SegmentedOf(1, 2, 3, 4), nil }
+func (fuzzEnv) DirRef(*DirRef) (*bitset.Segmented, error) { return bitset.SegmentedOf(4), nil }
 
 // FuzzParse checks three total properties of the parser on arbitrary
 // input: it never panics; accepted input re-parses from its canonical

@@ -17,25 +17,34 @@ type mapEnv struct {
 	universe []uint32
 }
 
-func (e *mapEnv) Term(w string) (*bitset.Bitmap, error) {
-	return bitset.BitmapOf(e.terms[w]...), nil
+// segOf lifts plain uint32 ids into a segmented set (all in segment 0).
+func segOf(ids ...uint32) *bitset.Segmented {
+	out := bitset.NewSegmented()
+	for _, id := range ids {
+		out.Add(uint64(id))
+	}
+	return out
 }
 
-func (e *mapEnv) Prefix(p string) (*bitset.Bitmap, error) {
-	out := bitset.NewBitmap(0)
+func (e *mapEnv) Term(w string) (*bitset.Segmented, error) {
+	return segOf(e.terms[w]...), nil
+}
+
+func (e *mapEnv) Prefix(p string) (*bitset.Segmented, error) {
+	out := bitset.NewSegmented()
 	for w, ids := range e.terms {
 		if strings.HasPrefix(w, p) {
-			out.Or(bitset.BitmapOf(ids...))
+			out.Or(segOf(ids...))
 		}
 	}
 	return out, nil
 }
 
-func (e *mapEnv) Fuzzy(w string) (*bitset.Bitmap, error) {
-	out := bitset.NewBitmap(0)
+func (e *mapEnv) Fuzzy(w string) (*bitset.Segmented, error) {
+	out := bitset.NewSegmented()
 	for t, ids := range e.terms {
 		if t == w || oneOff(t, w) {
-			out.Or(bitset.BitmapOf(ids...))
+			out.Or(segOf(ids...))
 		}
 	}
 	return out, nil
@@ -55,16 +64,16 @@ func oneOff(a, b string) bool {
 	return diff == 1
 }
 
-func (e *mapEnv) DirRef(r *DirRef) (*bitset.Bitmap, error) {
+func (e *mapEnv) DirRef(r *DirRef) (*bitset.Segmented, error) {
 	ids, ok := e.dirs[r.UID]
 	if !ok {
 		return nil, fmt.Errorf("no directory #%d", r.UID)
 	}
-	return bitset.BitmapOf(ids...), nil
+	return segOf(ids...), nil
 }
 
-func (e *mapEnv) Universe() (*bitset.Bitmap, error) {
-	return bitset.BitmapOf(e.universe...), nil
+func (e *mapEnv) Universe() (*bitset.Segmented, error) {
+	return segOf(e.universe...), nil
 }
 
 func testEnv() *mapEnv {
@@ -90,7 +99,12 @@ func evalStr(t *testing.T, q string) []uint32 {
 	if err != nil {
 		t.Fatalf("Eval(%q): %v", q, err)
 	}
-	return bm.Slice()
+	out := make([]uint32, 0, bm.Len())
+	bm.Range(func(id uint64) bool {
+		out = append(out, uint32(id))
+		return true
+	})
+	return out
 }
 
 func ids(xs ...uint32) []uint32 { return xs }

@@ -66,13 +66,13 @@ func (b *IndexBackend) Fetch(path string) ([]byte, error) {
 // backendEnv evaluates query primitives over a bare index.
 type backendEnv struct{ ix *index.Index }
 
-func (e *backendEnv) Term(w string) (*bitset.Bitmap, error)   { return e.ix.Lookup(w), nil }
-func (e *backendEnv) Prefix(p string) (*bitset.Bitmap, error) { return e.ix.LookupPrefix(p), nil }
-func (e *backendEnv) Fuzzy(w string) (*bitset.Bitmap, error)  { return e.ix.LookupFuzzy(w), nil }
-func (e *backendEnv) Universe() (*bitset.Bitmap, error)       { return e.ix.AllDocs(), nil }
-func (e *backendEnv) DirRef(*query.DirRef) (*bitset.Bitmap, error) {
+func (e *backendEnv) Term(w string) (*bitset.Segmented, error)   { return e.ix.Lookup(w), nil }
+func (e *backendEnv) Prefix(p string) (*bitset.Segmented, error) { return e.ix.LookupPrefix(p), nil }
+func (e *backendEnv) Fuzzy(w string) (*bitset.Segmented, error)  { return e.ix.LookupFuzzy(w), nil }
+func (e *backendEnv) Universe() (*bitset.Segmented, error)       { return e.ix.AllDocs(), nil }
+func (e *backendEnv) DirRef(*query.DirRef) (*bitset.Segmented, error) {
 	// No local directories exist here; the reference selects nothing.
-	return bitset.NewBitmap(0), nil
+	return bitset.NewSegmented(), nil
 }
 
 // Server accepts protocol connections and answers them from a Backend.

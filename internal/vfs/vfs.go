@@ -60,6 +60,12 @@ var (
 	ErrWriteOnly   = errors.New("file handle not open for reading")
 	ErrBusy        = errors.New("resource busy")
 	ErrUnsupported = errors.New("operation not supported")
+	// ErrCorruptVolume marks a persisted image — a volume, an index, or
+	// one index segment block — that is truncated, bit-flipped,
+	// version-skewed or otherwise undecodable. It lives here so both the
+	// hac and index layers can wrap the same sentinel without an import
+	// cycle; hac.ErrCorruptVolume aliases it.
+	ErrCorruptVolume = errors.New("corrupt volume image")
 )
 
 // PathError records the operation and path that caused an error, in the
