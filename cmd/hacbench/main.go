@@ -40,6 +40,8 @@ var (
 	obsJSON     = flag.String("obs-json", "BENCH_obs.json", "obs experiment: write machine-readable results here (empty = skip)")
 	searchReps  = flag.Int("search-samples", 1500, "compaction: timed Search calls per phase")
 	compJSON    = flag.String("compaction-json", "BENCH_compaction.json", "compaction experiment: write machine-readable results here (empty = skip)")
+	planReps    = flag.Int("plan-samples", 300, "planner: timed runs per query per mode")
+	planJSON    = flag.String("planner-json", "BENCH_planner.json", "planner experiment: write machine-readable results here (empty = skip)")
 )
 
 func main() {
@@ -83,6 +85,8 @@ func main() {
 			err = obsOverhead(cspec)
 		case "compaction":
 			err = compaction(cspec)
+		case "planner":
+			err = planner(cspec)
 		case "ablate-order":
 			err = ablateOrder()
 		case "ablate-sets":
@@ -115,6 +119,7 @@ Experiments (default: all):
   parallel      evaluation engine vs worker count      (EXPERIMENTS.md)
   obs           instrumentation overhead, on vs off    (EXPERIMENTS.md)
   compaction    Search latency under concurrent merge  (EXPERIMENTS.md)
+  planner       cost-based planner vs naive pipeline   (EXPERIMENTS.md)
   ablate-order  targeted vs full consistency updates   (DESIGN.md A1)
   ablate-sets   bitmap vs sparse result sets           (DESIGN.md A2)
   ablate-scope  scope-direction design comparison      (DESIGN.md A3)
@@ -135,6 +140,7 @@ func runAll(aspec andrew.Spec, cspec corpus.Spec) error {
 		func() error { return parallel(cspec) },
 		func() error { return obsOverhead(cspec) },
 		func() error { return compaction(cspec) },
+		func() error { return planner(cspec) },
 		ablateOrder,
 		ablateSets,
 		ablateScope,
@@ -348,6 +354,36 @@ func compaction(spec corpus.Spec) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *compJSON)
+	}
+	fmt.Println()
+	return nil
+}
+
+func planner(spec corpus.Spec) error {
+	fmt.Printf("== Cost-based planner: paged Search vs naive pipeline (files=%d samples=%d) ==\n",
+		spec.Files, *planReps)
+	res, err := bench.Planner(spec, *planReps)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Query\tScope\tMatches\tNaive p99\tCold p99\tWarm p99\tCold ×\tWarm ×")
+	for _, q := range res.Queries {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\t%s\t%.1fx\t%.1fx\n",
+			q.Query, q.Scope, q.Matches,
+			ms(q.NaiveP99), ms(q.ColdP99), ms(q.WarmP99),
+			q.SpeedupCold, q.SpeedupWarm)
+	}
+	w.Flush()
+	if *planJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*planJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *planJSON)
 	}
 	fmt.Println()
 	return nil

@@ -101,6 +101,36 @@ var (
 	WithObserver = hac.WithObserver
 )
 
+// SearchResult is the paged result handle returned by FS.Search:
+// cursor iteration with Next/More/Cursor, eager collection with All,
+// and plan introspection with Explain and Stats.
+type SearchResult = hac.SearchResult
+
+// SearchStats summarizes one Search evaluation (match count, cache
+// hit, planner leaf count, postings skipped by scope pruning).
+type SearchStats = hac.SearchStats
+
+// SearchOption configures one FS.Search call.
+type SearchOption = hac.SearchOption
+
+// Search options.
+var (
+	// WithScope restricts a search to a directory subtree (default "/").
+	WithScope = hac.WithScope
+	// WithPageSize sets how many paths each Next page holds.
+	WithPageSize = hac.WithPageSize
+	// WithLimit caps the total number of matches returned.
+	WithLimit = hac.WithLimit
+	// WithAfter resumes iteration from a cursor of a previous result.
+	WithAfter = hac.WithAfter
+	// WithoutCache bypasses the volume's query-result cache.
+	WithoutCache = hac.WithoutCache
+)
+
+// DefaultSearchPageSize is the page size Search uses unless overridden
+// with WithPageSize.
+const DefaultSearchPageSize = hac.DefaultPageSize
+
 // PathError records the operation and path of a failed HAC or substrate
 // call. Recover it with errors.As; the wrapped sentinel remains
 // matchable with errors.Is.

@@ -83,7 +83,7 @@ func Compaction(spec corpus.Spec, samples int) (CompactionResult, error) {
 		for i := 0; len(ds) < samples || (more != nil && more() && i < samples*1000); i++ {
 			q := queries[i%len(queries)]
 			start := time.Now()
-			if _, err := hfs.Search(q, "/"); err != nil {
+			if _, err := hfs.SearchPaths(q, "/"); err != nil {
 				return nil
 			}
 			ds = append(ds, time.Since(start))

@@ -1,6 +1,7 @@
 package bitset
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,19 +9,20 @@ import (
 
 // Segmented is a set of 64-bit segmented document IDs, as produced by
 // the segmented index store: the high 32 bits of an ID name a segment,
-// the low 32 bits a local slot within it. The representation is one
-// dense Bitmap per segment, so the per-segment set operations stay as
-// cheap as the paper's flat N/8-byte bitmaps while the ID space can
-// grow segment by segment without renumbering.
+// the low 32 bits a local slot within it. Each segment's local set is a
+// Container — a roaring-style compressed set that picks an array,
+// bitmap, or run representation by cardinality — so sparse query
+// results cost bytes proportional to their size while dense postings
+// keep the paper's flat-bitmap operation costs.
 //
 // Like Bitmap, a Segmented is not safe for concurrent mutation.
 type Segmented struct {
-	segs map[uint32]*Bitmap // segment → local bitmap, no empty bitmaps
+	segs map[uint32]*Container // segment → local set, no empty containers
 }
 
 // NewSegmented returns an empty segmented set.
 func NewSegmented() *Segmented {
-	return &Segmented{segs: make(map[uint32]*Bitmap)}
+	return &Segmented{segs: make(map[uint32]*Container)}
 }
 
 // SegmentedOf returns a segmented set containing exactly the given ids.
@@ -43,20 +45,20 @@ func joinSegID(seg, local uint32) uint64 {
 // Add inserts id.
 func (s *Segmented) Add(id uint64) {
 	seg, local := splitSegID(id)
-	bm, ok := s.segs[seg]
+	c, ok := s.segs[seg]
 	if !ok {
-		bm = NewBitmap(0)
-		s.segs[seg] = bm
+		c = NewContainer()
+		s.segs[seg] = c
 	}
-	bm.Add(local)
+	c.Add(local)
 }
 
 // Remove deletes id if present.
 func (s *Segmented) Remove(id uint64) {
 	seg, local := splitSegID(id)
-	if bm, ok := s.segs[seg]; ok {
-		bm.Remove(local)
-		if !bm.Any() {
+	if c, ok := s.segs[seg]; ok {
+		c.Remove(local)
+		if !c.Any() {
 			delete(s.segs, seg)
 		}
 	}
@@ -65,23 +67,23 @@ func (s *Segmented) Remove(id uint64) {
 // Contains reports whether id is present.
 func (s *Segmented) Contains(id uint64) bool {
 	seg, local := splitSegID(id)
-	bm, ok := s.segs[seg]
-	return ok && bm.Contains(local)
+	c, ok := s.segs[seg]
+	return ok && c.Contains(local)
 }
 
 // Len returns the number of elements.
 func (s *Segmented) Len() int {
 	n := 0
-	for _, bm := range s.segs {
-		n += bm.Len()
+	for _, c := range s.segs {
+		n += c.Len()
 	}
 	return n
 }
 
 // Any reports whether the set is non-empty.
 func (s *Segmented) Any() bool {
-	for _, bm := range s.segs {
-		if bm.Any() {
+	for _, c := range s.segs {
+		if c.Any() {
 			return true
 		}
 	}
@@ -128,22 +130,22 @@ func (s *Segmented) Slice() []uint64 {
 // Clone returns a deep copy.
 func (s *Segmented) Clone() *Segmented {
 	out := NewSegmented()
-	for seg, bm := range s.segs {
-		out.segs[seg] = bm.Clone()
+	for seg, c := range s.segs {
+		out.segs[seg] = c.Clone()
 	}
 	return out
 }
 
 // And intersects s with other in place.
 func (s *Segmented) And(other *Segmented) {
-	for seg, bm := range s.segs {
-		ob, ok := other.segs[seg]
+	for seg, c := range s.segs {
+		oc, ok := other.segs[seg]
 		if !ok {
 			delete(s.segs, seg)
 			continue
 		}
-		bm.And(ob)
-		if !bm.Any() {
+		c.And(oc)
+		if !c.Any() {
 			delete(s.segs, seg)
 		}
 	}
@@ -151,25 +153,25 @@ func (s *Segmented) And(other *Segmented) {
 
 // Or unions other into s in place.
 func (s *Segmented) Or(other *Segmented) {
-	for seg, ob := range other.segs {
-		if !ob.Any() {
+	for seg, oc := range other.segs {
+		if !oc.Any() {
 			continue
 		}
-		bm, ok := s.segs[seg]
+		c, ok := s.segs[seg]
 		if !ok {
-			s.segs[seg] = ob.Clone()
+			s.segs[seg] = oc.Clone()
 			continue
 		}
-		bm.Or(ob)
+		c.Or(oc)
 	}
 }
 
 // AndNot removes every element of other from s in place.
 func (s *Segmented) AndNot(other *Segmented) {
-	for seg, bm := range s.segs {
-		if ob, ok := other.segs[seg]; ok {
-			bm.AndNot(ob)
-			if !bm.Any() {
+	for seg, c := range s.segs {
+		if oc, ok := other.segs[seg]; ok {
+			c.AndNot(oc)
+			if !c.Any() {
 				delete(s.segs, seg)
 			}
 		}
@@ -178,20 +180,20 @@ func (s *Segmented) AndNot(other *Segmented) {
 
 // Equal reports whether s and other contain the same elements.
 func (s *Segmented) Equal(other *Segmented) bool {
-	for seg, bm := range s.segs {
-		ob, ok := other.segs[seg]
+	for seg, c := range s.segs {
+		oc, ok := other.segs[seg]
 		if !ok {
-			if bm.Any() {
+			if c.Any() {
 				return false
 			}
 			continue
 		}
-		if !bm.Equal(ob) {
+		if !c.Equal(oc) {
 			return false
 		}
 	}
-	for seg, ob := range other.segs {
-		if _, ok := s.segs[seg]; !ok && ob.Any() {
+	for seg, oc := range other.segs {
+		if _, ok := s.segs[seg]; !ok && oc.Any() {
 			return false
 		}
 	}
@@ -201,26 +203,123 @@ func (s *Segmented) Equal(other *Segmented) bool {
 // SizeBytes returns the approximate payload footprint across segments.
 func (s *Segmented) SizeBytes() int {
 	n := 0
-	for _, bm := range s.segs {
-		n += 8 + bm.SizeBytes()
+	for _, c := range s.segs {
+		n += 8 + c.SizeBytes()
 	}
 	return n
 }
 
-// Seg returns the local bitmap stored for one segment, or nil. The
-// bitmap is shared, not copied; treat it as read-only.
+// Seg returns one segment's local set as a dense bitmap, or nil when
+// the segment is empty. The bitmap is a copy; mutating it does not
+// affect s.
 func (s *Segmented) Seg(seg uint32) *Bitmap {
-	return s.segs[seg]
+	c, ok := s.segs[seg]
+	if !ok {
+		return nil
+	}
+	return c.Bitmap()
 }
 
-// PutSeg installs bm as the local bitmap of one segment, taking
-// ownership of bm. An empty bm clears the segment.
+// PutSeg installs bm as the local set of one segment, taking ownership
+// of bm. An empty bm clears the segment.
 func (s *Segmented) PutSeg(seg uint32, bm *Bitmap) {
 	if bm == nil || !bm.Any() {
 		delete(s.segs, seg)
 		return
 	}
-	s.segs[seg] = bm
+	s.segs[seg] = containerSharingBitmap(bm)
+}
+
+// SegContainer returns the container stored for one segment, or nil.
+// The container is shared, not copied; treat it as read-only.
+func (s *Segmented) SegContainer(seg uint32) *Container {
+	return s.segs[seg]
+}
+
+// PutSegContainer installs c as the local set of one segment, taking
+// ownership of c. An empty or nil c clears the segment.
+func (s *Segmented) PutSegContainer(seg uint32, c *Container) {
+	if c == nil || !c.Any() {
+		delete(s.segs, seg)
+		return
+	}
+	s.segs[seg] = c
+}
+
+// Pack re-selects the cheapest representation for every segment.
+func (s *Segmented) Pack() {
+	for _, c := range s.segs {
+		c.Pack()
+	}
+}
+
+// Kinds returns a "kind:count" histogram of segment representations,
+// e.g. "array:3 run:1", for Explain output and tests.
+func (s *Segmented) Kinds() string {
+	counts := map[string]int{}
+	for _, c := range s.segs {
+		counts[c.Kind()]++
+	}
+	names := make([]string, 0, len(counts))
+	for k := range counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, k := range names {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, counts[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// MarshalBinary serializes the set as
+//
+//	u32 segCount | repeated (u32 segID | container)
+//
+// with segments in ascending order. Containers are packed first so the
+// image is canonical for a given element set and representation choice.
+func (s *Segmented) MarshalBinary() ([]byte, error) {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(s.segs)))
+	for _, seg := range s.segments() {
+		out = binary.LittleEndian.AppendUint32(out, seg)
+		out = s.segs[seg].AppendBinary(out)
+	}
+	return out, nil
+}
+
+// UnmarshalSegmented decodes a set serialized by MarshalBinary,
+// validating all container invariants.
+func UnmarshalSegmented(data []byte) (*Segmented, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("bitset: segmented image truncated")
+	}
+	count := int(binary.LittleEndian.Uint32(data))
+	if count > maxCodecCount {
+		return nil, fmt.Errorf("bitset: implausible segment count %d", count)
+	}
+	data = data[4:]
+	s := NewSegmented()
+	prev, first := uint32(0), true
+	for i := 0; i < count; i++ {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("bitset: segmented image truncated at segment %d", i)
+		}
+		seg := binary.LittleEndian.Uint32(data)
+		if !first && seg <= prev {
+			return nil, fmt.Errorf("bitset: segment ids out of order at %d", i)
+		}
+		prev, first = seg, false
+		c, n, err := DecodeContainer(data[4:])
+		if err != nil {
+			return nil, err
+		}
+		if !c.Any() {
+			return nil, fmt.Errorf("bitset: empty container for segment %d", seg)
+		}
+		data = data[4+n:]
+		s.segs[seg] = c
+	}
+	return s, nil
 }
 
 // String renders the set for debugging, e.g. "{1:0 1:5 3:2}" as

@@ -18,10 +18,10 @@ import (
 	"strings"
 	"sync"
 
-	"hacfs/internal/bitset"
 	"hacfs/internal/hac"
 	"hacfs/internal/index"
 	"hacfs/internal/query"
+	"hacfs/internal/query/plan"
 )
 
 // Entry is one published semantic directory.
@@ -126,20 +126,10 @@ func (c *Catalog) Entries() []Entry {
 	return out
 }
 
-// catalogEnv evaluates queries over the catalog's index.
-type catalogEnv struct{ ix *index.Index }
-
-func (e catalogEnv) Term(w string) (*bitset.Segmented, error)   { return e.ix.Lookup(w), nil }
-func (e catalogEnv) Prefix(p string) (*bitset.Segmented, error) { return e.ix.LookupPrefix(p), nil }
-func (e catalogEnv) Fuzzy(w string) (*bitset.Segmented, error)  { return e.ix.LookupFuzzy(w), nil }
-func (e catalogEnv) Universe() (*bitset.Segmented, error)       { return e.ix.AllDocs(), nil }
-func (e catalogEnv) DirRef(*query.DirRef) (*bitset.Segmented, error) {
-	return nil, errors.New("catalog: dir references are not meaningful here")
-}
-
 // Search runs a boolean query over the published entries (matching
 // their user names, paths, queries and result paths) and returns the
-// matches sorted by user/path.
+// matches sorted by user/path. Queries are compiled by the cost-based
+// planner, the same evaluator HAC volumes use.
 func (c *Catalog) Search(q string) ([]Entry, error) {
 	ast, err := query.Parse(q)
 	if err != nil {
@@ -148,14 +138,24 @@ func (c *Catalog) Search(q string) ([]Entry, error) {
 		}
 		return nil, err
 	}
+	if len(query.Refs(ast)) > 0 {
+		return nil, errors.New("catalog: dir references are not meaningful here")
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	bm, err := query.Eval(ast, catalogEnv{c.ix})
+	snap := c.ix.Snapshot()
+	c.mu.Unlock()
+	p, err := plan.Build(ast, plan.Scope{}, &plan.SnapEnv{Snap: snap})
 	if err != nil {
 		return nil, err
 	}
+	bm, err := p.Exec()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var out []Entry
-	for _, k := range c.ix.Paths(bm) {
+	for _, k := range snap.Paths(bm) {
 		if e, ok := c.entries[k]; ok {
 			out = append(out, e)
 		}

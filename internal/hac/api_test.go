@@ -17,7 +17,7 @@ func TestSearchWithDirRef(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Ad-hoc search referencing the curated directory.
-	got, err := fs.Search("dir:/curated AND fruit", "/")
+	got, err := fs.SearchPaths("dir:/curated AND fruit", "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,17 +25,17 @@ func TestSearchWithDirRef(t *testing.T) {
 		t.Fatalf("Search dir-ref = %v", got)
 	}
 	// Unknown reference errors cleanly.
-	if _, err := fs.Search("dir:/nowhere", "/"); !errors.Is(err, ErrDanglingRef) {
+	if _, err := fs.SearchPaths("dir:/nowhere", "/"); !errors.Is(err, ErrDanglingRef) {
 		t.Fatalf("dangling search err = %v", err)
 	}
 }
 
 func TestSearchBadInputs(t *testing.T) {
 	fs := newTestFS(t)
-	if _, err := fs.Search("(((", "/"); err == nil {
+	if _, err := fs.SearchPaths("(((", "/"); err == nil {
 		t.Fatal("bad query accepted")
 	}
-	if _, err := fs.Search("apple", "relative"); err == nil {
+	if _, err := fs.SearchPaths("apple", "relative"); err == nil {
 		t.Fatal("relative scope accepted")
 	}
 }

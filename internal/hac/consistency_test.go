@@ -253,7 +253,7 @@ func (h *consistencyHarness) verifyI2() {
 		trans, perm, proh := h.linkSets(dir)
 		want := map[string]bool{}
 		if q != "" {
-			matches, err := h.fs.Search(q, vfs.Dir(dir))
+			matches, err := h.fs.SearchPaths(q, vfs.Dir(dir))
 			if err != nil {
 				h.t.Fatalf("Search(%q): %v", q, err)
 			}

@@ -36,6 +36,7 @@ import (
 	"hacfs/internal/namemap"
 	"hacfs/internal/obs"
 	"hacfs/internal/query"
+	"hacfs/internal/query/plan"
 	"hacfs/internal/vfs"
 )
 
@@ -169,6 +170,15 @@ type FS struct {
 	dirs   map[uint64]*dirState
 	mounts map[string][]Namespace // mount point path → mounted namespaces
 
+	// scopeEpoch counts, per directory UID, how many times the scope the
+	// directory provides (its link set) has changed. Search results are
+	// cached keyed on these epochs plus the index version; a bump — which
+	// propagates through the dependency graph to every transitive
+	// dependent — invalidates cached results that read the directory as a
+	// scope or dir: reference. Guarded by mu.
+	scopeEpoch map[uint64]uint64
+	qcache     *plan.Cache // ad-hoc Search result cache
+
 	attrs         *attrCache
 	fds           *fdTable
 	verify        bool
@@ -212,6 +222,8 @@ func newFS(under vfs.FileSystem, opts Options, preIx *index.Index) *FS {
 		graph:         depgraph.New(),
 		dirs:          make(map[uint64]*dirState),
 		mounts:        make(map[string][]Namespace),
+		scopeEpoch:    make(map[uint64]uint64),
+		qcache:        plan.NewCache(plan.DefaultCacheSize),
 		attrs:         newAttrCache(opts.AttrCacheSize),
 		fds:           newFDTable(),
 		verify:        opts.VerifyMatches,
@@ -283,6 +295,18 @@ func (fs *FS) stateAtLocked(path string) (*dirState, bool) {
 // pathOfLocked resolves a UID to its current path.
 func (fs *FS) pathOfLocked(uid uint64) (string, bool) {
 	return fs.names.PathOf(uid)
+}
+
+// bumpScopeEpochLocked records that uid's link set — the scope it
+// provides — changed, advancing its epoch and, through the dependency
+// graph, the epoch of every transitive dependent (their queries read
+// uid's scope, so their cached results are stale too). Caller holds
+// fs.mu for writing.
+func (fs *FS) bumpScopeEpochLocked(uid uint64) {
+	fs.scopeEpoch[uid]++
+	for _, dep := range fs.graph.AffectedBy(uid) {
+		fs.scopeEpoch[dep]++
+	}
 }
 
 // IsSemantic reports whether path is a semantic directory.
@@ -497,6 +521,7 @@ func (fs *FS) Symlink(target, link string) error {
 		// The user may be re-adding a link they once deleted; an
 		// explicit action overrides the prohibition (§2.3).
 		delete(ds.prohibited, target)
+		fs.bumpScopeEpochLocked(ds.uid)
 		return fs.syncDependentsLocked(ds.uid)
 	}
 	return fs.under.Symlink(target, clean)
@@ -600,6 +625,7 @@ func (fs *FS) removeLocked(clean string, recursive bool) error {
 			// explicit deletion.
 			prohibitIn.prohibited[prohibitTarget] = true
 		}
+		fs.bumpScopeEpochLocked(prohibitIn.uid)
 		return fs.syncDependentsLocked(prohibitIn.uid)
 	}
 
@@ -690,6 +716,7 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 			resync = append(resync, ds.uid)
 		}
 		for _, uid := range resync {
+			fs.bumpScopeEpochLocked(uid)
 			if err := fs.syncDependentsLocked(uid); err != nil {
 				return err
 			}
@@ -775,6 +802,9 @@ func (fs *FS) rewriteTargetsLocked(oldPrefix, newPrefix string) error {
 		for _, m := range prohMoves {
 			delete(ds.prohibited, m.old)
 			ds.prohibited[m.new] = true
+		}
+		if len(moves) > 0 {
+			fs.bumpScopeEpochLocked(ds.uid)
 		}
 	}
 	return nil

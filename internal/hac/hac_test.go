@@ -580,7 +580,7 @@ func TestFuzzyQueryEndToEnd(t *testing.T) {
 
 func TestSearch(t *testing.T) {
 	fs := newTestFS(t)
-	got, err := fs.Search("apple AND banana", "/")
+	got, err := fs.SearchPaths("apple AND banana", "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -588,12 +588,12 @@ func TestSearch(t *testing.T) {
 		t.Fatalf("Search = %v", got)
 	}
 	// Scoped search.
-	got, err = fs.Search("apple", "/mail")
+	got, err = fs.SearchPaths("apple", "/mail")
 	if err != nil || !reflect.DeepEqual(got, []string{"/mail/m1.txt"}) {
 		t.Fatalf("scoped Search = %v, %v", got, err)
 	}
 	// Empty query.
-	got, err = fs.Search("", "/")
+	got, err = fs.SearchPaths("", "/")
 	if err != nil || got != nil {
 		t.Fatalf("empty Search = %v, %v", got, err)
 	}
@@ -735,7 +735,7 @@ func TestRenameDirKeepsIndexAndCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The index followed the rename without a Reindex.
-	got, err := fs.Search("cherry", "/papers")
+	got, err := fs.SearchPaths("cherry", "/papers")
 	if err != nil || len(got) != 1 || got[0] != "/papers/cherry.txt" {
 		t.Fatalf("Search after dir rename = %v, %v", got, err)
 	}

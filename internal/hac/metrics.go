@@ -37,6 +37,12 @@ type fsMetrics struct {
 	queryEvalSeconds  *obs.Histogram // hac_query_eval_seconds
 	searchSeconds     *obs.Histogram // hac_search_seconds
 
+	// Cost-based planner (plan package) and its result cache.
+	plansBuilt      *obs.Counter // hac_plans_built_total
+	planCacheHits   *obs.Counter // hac_plan_cache_hits_total
+	planCacheMisses *obs.Counter // hac_plan_cache_misses_total
+	postingsSkipped *obs.Counter // hac_postings_skipped_total
+
 	// Evaluation worker pool.
 	workersBusy *obs.Gauge // hac_eval_workers_busy
 	queueDepth  *obs.Gauge // hac_eval_queue_depth
@@ -74,6 +80,11 @@ func newFSMetrics(o *obs.Observer) *fsMetrics {
 		queryParseSeconds: r.Histogram("hac_query_parse_seconds", nil),
 		queryEvalSeconds:  r.Histogram("hac_query_eval_seconds", nil),
 		searchSeconds:     r.Histogram("hac_search_seconds", nil),
+
+		plansBuilt:      r.Counter("hac_plans_built_total"),
+		planCacheHits:   r.Counter("hac_plan_cache_hits_total"),
+		planCacheMisses: r.Counter("hac_plan_cache_misses_total"),
+		postingsSkipped: r.Counter("hac_postings_skipped_total"),
 
 		workersBusy: r.Gauge("hac_eval_workers_busy"),
 		queueDepth:  r.Gauge("hac_eval_queue_depth"),

@@ -141,7 +141,7 @@ func TestConcurrentRenameAndSync(t *testing.T) {
 	go func() { // searches against pinned snapshots
 		defer wg.Done()
 		for i := 0; i < rounds; i++ {
-			if _, err := fs.Search("apple", "/"); err != nil {
+			if _, err := fs.SearchPaths("apple", "/"); err != nil {
 				t.Errorf("search: %v", err)
 				return
 			}
@@ -175,7 +175,7 @@ func TestConcurrentRenameAndSync(t *testing.T) {
 	if problems := fs.CheckConsistency(); len(problems) != 0 {
 		t.Fatalf("inconsistent after concurrent rename/sync: %v", problems)
 	}
-	got, err := fs.Search("apple", "/")
+	got, err := fs.SearchPaths("apple", "/")
 	if err != nil {
 		t.Fatal(err)
 	}

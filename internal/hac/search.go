@@ -1,0 +1,338 @@
+package hac
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"hacfs/internal/bitset"
+	"hacfs/internal/index"
+	"hacfs/internal/query"
+	"hacfs/internal/query/plan"
+	"hacfs/internal/vfs"
+)
+
+// DefaultPageSize is the page size SearchResult.Next uses unless
+// WithPageSize overrides it.
+const DefaultPageSize = 256
+
+// SearchOption configures one Search call.
+type SearchOption func(*searchConfig)
+
+type searchConfig struct {
+	scope    string
+	pageSize int
+	limit    int
+	after    uint64
+	noCache  bool
+}
+
+// WithScope restricts the search to the scope provided by path: a
+// syntactic directory contributes its subtree, a semantic directory its
+// current link targets (§2.3). The default scope is the root.
+func WithScope(path string) SearchOption {
+	return func(c *searchConfig) { c.scope = path }
+}
+
+// WithPageSize sets how many paths each SearchResult.Next call
+// materializes (default DefaultPageSize; <= 0 means one page with
+// everything).
+func WithPageSize(n int) SearchOption {
+	return func(c *searchConfig) { c.pageSize = n }
+}
+
+// WithLimit caps the total number of matches the result iterates over
+// (<= 0, the default, means unlimited).
+func WithLimit(n int) SearchOption {
+	return func(c *searchConfig) { c.limit = n }
+}
+
+// WithAfter resumes iteration from a cursor previously returned by
+// SearchResult.Cursor: only matches at or beyond the cursor position
+// are returned. The zero cursor starts from the beginning.
+func WithAfter(cursor uint64) SearchOption {
+	return func(c *searchConfig) { c.after = cursor }
+}
+
+// WithoutCache bypasses the volume's query-result cache for this call,
+// neither reading nor populating it.
+func WithoutCache() SearchOption {
+	return func(c *searchConfig) { c.noCache = true }
+}
+
+// SearchStats summarizes how one Search was answered.
+type SearchStats struct {
+	Matches         int  // total matches the result iterates over
+	Cached          bool // answered from the query-result cache
+	Leaves          int  // leaf lookups the plan evaluated (0 when cached)
+	PostingsSkipped int  // posting entries scope pruning avoided
+}
+
+// SearchResult is a paged view over one search's matches, pinned to the
+// index snapshot the query was evaluated against. Pages materialize
+// paths lazily: only the documents a Next call covers are resolved.
+// Iteration order is document-ID order (stable for a given volume), not
+// lexicographic; SearchPaths sorts for callers that want the old
+// behavior. A SearchResult is not safe for concurrent use.
+type SearchResult struct {
+	snap     *index.Snapshot
+	ids      []index.DocID // ascending
+	pos      int
+	pageSize int
+	cursor   uint64
+	plan     *plan.Plan
+	stats    SearchStats
+}
+
+// Len returns the total number of matches (after cursor and limit).
+func (r *SearchResult) Len() int { return len(r.ids) }
+
+// Next materializes the next page of matching paths off the pinned
+// snapshot. It returns false when the result is exhausted.
+func (r *SearchResult) Next() ([]string, bool) {
+	if r.pos >= len(r.ids) {
+		return nil, false
+	}
+	end := r.pos + r.pageSize
+	if r.pageSize <= 0 || end > len(r.ids) {
+		end = len(r.ids)
+	}
+	page := r.ids[r.pos:end]
+	r.pos = end
+	r.cursor = page[len(page)-1] + 1
+	return r.snap.PathsOf(page), true
+}
+
+// More reports whether pages remain.
+func (r *SearchResult) More() bool { return r.pos < len(r.ids) }
+
+// Cursor returns an opaque resume position: passing it to a new Search
+// via WithAfter continues where iteration stopped, even across index
+// mutations (matches that still exist keep their position).
+func (r *SearchResult) Cursor() uint64 { return r.cursor }
+
+// All drains the remaining pages into one slice, in iteration order.
+func (r *SearchResult) All() []string {
+	var out []string
+	for {
+		page, ok := r.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, page...)
+	}
+}
+
+// Plan returns the compiled evaluation plan (nil for an empty query).
+func (r *SearchResult) Plan() *plan.Plan { return r.plan }
+
+// Explain renders the evaluation plan with per-node cost estimates.
+func (r *SearchResult) Explain() string {
+	if r.plan == nil {
+		return "empty query\n"
+	}
+	return r.plan.Explain()
+}
+
+// Stats returns how the search was answered.
+func (r *SearchResult) Stats() SearchStats { return r.stats }
+
+// Search evaluates an ad-hoc query without creating a semantic
+// directory — the programmatic equivalent of running Glimpse directly,
+// restricted to a HAC scope (WithScope). The query is compiled by the
+// cost-based planner (package plan) and answered from the volume's
+// epoch-keyed result cache when a previous identical search is still
+// valid.
+//
+// The volume lock is held only while directory references are bound,
+// the snapshot is pinned and semantic scopes are resolved to document
+// sets; plan evaluation and path materialization run without it, so a
+// long search no longer blocks mutations.
+func (fs *FS) Search(ctx context.Context, queryStr string, opts ...SearchOption) (*SearchResult, error) {
+	searchStart := time.Now()
+	defer fs.met.searchSeconds.ObserveSince(searchStart)
+	cfg := searchConfig{scope: "/", pageSize: DefaultPageSize}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	clean, err := vfs.Clean(cfg.scope)
+	if err != nil {
+		return nil, &vfs.PathError{Op: "search", Path: cfg.scope, Err: err}
+	}
+	ast, err := fs.parseQueryTimed(queryStr)
+	if err != nil {
+		return nil, err
+	}
+	if ast == nil {
+		return &SearchResult{pageSize: cfg.pageSize, cursor: cfg.after}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 1, under the volume read lock: bind path references, pin an
+	// index snapshot, resolve every semantic input (dir: references and
+	// a semantic scope) to a concrete document set, and record the
+	// epochs the result depends on. Everything afterwards runs off the
+	// snapshot alone.
+	fs.mu.RLock()
+	env := &plan.SnapEnv{Snap: fs.ix.Snapshot()}
+	var deps []plan.Dep
+	refs := query.Refs(ast)
+	if len(refs) > 0 {
+		env.Refs = make(map[uint64]*bitset.Segmented, len(refs))
+	}
+	for _, ref := range refs {
+		if ref.UID == 0 {
+			rp, cerr := vfs.Clean(ref.Path)
+			if cerr != nil {
+				fs.mu.RUnlock()
+				return nil, &vfs.PathError{Op: "search", Path: "dir:" + ref.Path, Err: ErrDanglingRef}
+			}
+			uid, ok := fs.names.UIDOf(rp)
+			if !ok {
+				fs.mu.RUnlock()
+				return nil, &vfs.PathError{Op: "search", Path: "dir:" + rp, Err: ErrDanglingRef}
+			}
+			ref.UID = uid
+		}
+		if _, seen := env.Refs[ref.UID]; seen {
+			continue
+		}
+		p, ok := fs.pathOfLocked(ref.UID)
+		if !ok {
+			fs.mu.RUnlock()
+			return nil, &vfs.PathError{Op: "search", Path: fmt.Sprintf("dir:#%d", ref.UID), Err: ErrDanglingRef}
+		}
+		env.Refs[ref.UID] = fs.providedScopeLocalLocked(env.Snap, p)
+		deps = append(deps, plan.Dep{UID: ref.UID, Epoch: fs.scopeEpoch[ref.UID]})
+	}
+	sc := plan.Scope{Prefix: clean}
+	scopeKey := "p:" + clean
+	if ds, ok := fs.stateAtLocked(clean); ok && ds.semantic {
+		sc = plan.Scope{Set: fs.providedScopeLocalLocked(env.Snap, clean)}
+		scopeKey = "u:" + strconv.FormatUint(ds.uid, 10)
+		deps = append(deps, plan.Dep{UID: ds.uid, Epoch: fs.scopeEpoch[ds.uid]})
+	}
+	fs.mu.RUnlock()
+
+	p, err := plan.Build(ast, sc, env)
+	if err != nil {
+		return nil, err
+	}
+	fs.met.plansBuilt.Add(1)
+
+	// The key is the canonical bound query plus the scope's identity;
+	// validity is the index version the entry was computed at plus the
+	// link-set epoch of every directory it read.
+	key := ast.String() + "\x00" + scopeKey
+	version := env.Snap.Version()
+	cur := make(map[uint64]uint64, len(deps))
+	for _, d := range deps {
+		cur[d.UID] = d.Epoch
+	}
+	depsValid := func(entDeps []plan.Dep) bool {
+		for _, d := range entDeps {
+			if cur[d.UID] != d.Epoch {
+				return false
+			}
+		}
+		return true
+	}
+
+	var res *bitset.Segmented
+	cached := false
+	if !cfg.noCache {
+		if r, ok := fs.qcache.Get(key, version, depsValid); ok {
+			res, cached = r, true
+			fs.met.planCacheHits.Add(1)
+		} else {
+			fs.met.planCacheMisses.Add(1)
+		}
+	}
+	if res == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		evalStart := time.Now()
+		r, err := p.Exec()
+		fs.met.queryEvalSeconds.ObserveSince(evalStart)
+		if err != nil {
+			return nil, err
+		}
+		fs.met.postingsSkipped.Add(int64(p.Stats().PostingsSkipped))
+		if !cfg.noCache {
+			fs.qcache.Put(key, r.Clone(), version, deps)
+		}
+		res = r
+	}
+
+	ids := res.Slice()
+	if cfg.after > 0 {
+		i := sort.Search(len(ids), func(i int) bool { return ids[i] >= cfg.after })
+		ids = ids[i:]
+	}
+	if cfg.limit > 0 && len(ids) > cfg.limit {
+		ids = ids[:cfg.limit]
+	}
+	st := p.Stats()
+	return &SearchResult{
+		snap:     env.Snap,
+		ids:      ids,
+		pageSize: cfg.pageSize,
+		cursor:   cfg.after,
+		plan:     p,
+		stats: SearchStats{
+			Matches:         len(ids),
+			Cached:          cached,
+			Leaves:          st.Leaves,
+			PostingsSkipped: st.PostingsSkipped,
+		},
+	}, nil
+}
+
+// SearchPaths evaluates queryStr against the scope provided by
+// scopePath and returns every matching local path, sorted — the
+// original Search signature.
+//
+// Deprecated: use Search, which pages results lazily and exposes the
+// evaluation plan; SearchPaths materializes everything eagerly.
+func (fs *FS) SearchPaths(queryStr, scopePath string) ([]string, error) {
+	res, err := fs.Search(context.Background(), queryStr, WithScope(scopePath))
+	if err != nil {
+		return nil, err
+	}
+	paths := res.All()
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// SearchPage returns one page of matches starting at the given cursor
+// (0 = first page) with at most limit paths (<= 0 = everything), plus
+// the cursor for the next page — 0 when no pages remain. It exists for
+// the remote protocol layers, which forward cursors across the wire.
+func (fs *FS) SearchPage(queryStr, scopePath string, after uint64, limit int) ([]string, uint64, error) {
+	opts := []SearchOption{WithScope(scopePath), WithAfter(after), WithPageSize(limit)}
+	if limit > 0 {
+		// One extra match beyond the page, so More() can tell whether a
+		// next page exists without fetching it.
+		opts = append(opts, WithLimit(limit+1))
+	}
+	res, err := fs.Search(context.Background(), queryStr, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	page, ok := res.Next()
+	if !ok {
+		return nil, 0, nil
+	}
+	if !res.More() {
+		return page, 0, nil
+	}
+	return page, res.Cursor(), nil
+}

@@ -161,6 +161,7 @@ func (fs *FS) MakeSyntactic(path string) error {
 		return err
 	}
 	// The scope it provides changed shape; dependents must adapt.
+	fs.bumpScopeEpochLocked(ds.uid)
 	return fs.syncDependentsLocked(ds.uid)
 }
 
@@ -401,6 +402,7 @@ func (fs *FS) MarkPermanent(dirPath, target string) error {
 		ds.linkName[target] = name
 	}
 	ds.class[target] = Permanent
+	fs.bumpScopeEpochLocked(ds.uid)
 	return fs.syncDependentsLocked(ds.uid)
 }
 
@@ -427,6 +429,7 @@ func (fs *FS) MarkProhibited(dirPath, target string) error {
 		delete(ds.linkName, target)
 	}
 	ds.prohibited[target] = true
+	fs.bumpScopeEpochLocked(ds.uid)
 	return fs.syncDependentsLocked(ds.uid)
 }
 
@@ -446,6 +449,7 @@ func (fs *FS) Unprohibit(dirPath, target string) error {
 	}
 	fs.gen++
 	delete(ds.prohibited, target)
+	fs.bumpScopeEpochLocked(ds.uid)
 	return fs.syncFromLocked(ds.uid)
 }
 

@@ -134,7 +134,7 @@ func TestConcurrentUse(t *testing.T) {
 						return
 					}
 				case 1: // searcher + syncer
-					if _, err := fs.Search("apple", "/"); err != nil {
+					if _, err := fs.SearchPaths("apple", "/"); err != nil {
 						t.Errorf("search: %v", err)
 						return
 					}

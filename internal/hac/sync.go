@@ -252,6 +252,9 @@ func (fs *FS) commitTargetsLocked(ds *dirState, newTargets map[string]bool) erro
 		ds.class[t] = Transient
 		ds.linkName[t] = name
 	}
+	if len(drop)+len(add) > 0 {
+		fs.bumpScopeEpochLocked(ds.uid)
+	}
 	fs.met.linksDropped.Add(int64(len(drop)))
 	fs.met.linksAdded.Add(int64(len(add)))
 	fs.met.phaseCommit.ObserveSince(commitStart)
@@ -402,55 +405,9 @@ func (e *evalEnv) Universe() (*bitset.Segmented, error) { return e.snap.AllDocs(
 func (e *evalEnv) DirRef(ref *query.DirRef) (*bitset.Segmented, error) {
 	p, ok := e.fs.pathOfLocked(ref.UID)
 	if !ok {
-		return nil, fmt.Errorf("%w: dir:#%d", ErrDanglingRef, ref.UID)
+		return nil, &vfs.PathError{Op: "eval", Path: fmt.Sprintf("dir:#%d", ref.UID), Err: ErrDanglingRef}
 	}
 	return e.fs.providedScopeLocalLocked(e.snap, p), nil
-}
-
-// Search evaluates an ad-hoc query against the scope provided by
-// scopePath, without creating a semantic directory. It returns the
-// matching local paths, sorted. This is the programmatic equivalent of
-// running Glimpse directly, restricted to a HAC scope.
-func (fs *FS) Search(queryStr, scopePath string) ([]string, error) {
-	searchStart := time.Now()
-	defer fs.met.searchSeconds.ObserveSince(searchStart)
-	clean, err := vfs.Clean(scopePath)
-	if err != nil {
-		return nil, &vfs.PathError{Op: "search", Path: scopePath, Err: err}
-	}
-	ast, err := fs.parseQueryTimed(queryStr)
-	if err != nil {
-		return nil, err
-	}
-	if ast == nil {
-		return nil, nil
-	}
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	// Bind path references without registering permanent state.
-	for _, ref := range query.Refs(ast) {
-		if ref.UID != 0 {
-			continue
-		}
-		rp, cerr := vfs.Clean(ref.Path)
-		if cerr != nil {
-			return nil, fmt.Errorf("%w: dir:%s", ErrDanglingRef, ref.Path)
-		}
-		uid, ok := fs.names.UIDOf(rp)
-		if !ok {
-			return nil, fmt.Errorf("%w: dir:%s", ErrDanglingRef, ref.Path)
-		}
-		ref.UID = uid
-	}
-	snap := fs.ix.Snapshot()
-	evalStart := time.Now()
-	local, err := query.Eval(ast, &evalEnv{fs: fs, snap: snap})
-	fs.met.queryEvalSeconds.ObserveSince(evalStart)
-	if err != nil {
-		return nil, err
-	}
-	local.And(fs.providedScopeLocalLocked(snap, clean))
-	return snap.Paths(local), nil
 }
 
 // IndexReport summarizes a Reindex run.

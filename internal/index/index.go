@@ -24,6 +24,7 @@ package index
 
 import (
 	"errors"
+	gopath "path"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,7 @@ type segment struct {
 	id        uint32
 	docs      []docEntry
 	postings  map[string]*bitset.Bitmap // term → local-slot bitmap
+	dirs      map[string]*bitset.Container // ancestor dir → local slots beneath it (dirs.go)
 	dead      *bitset.Bitmap            // tombstoned local slots
 	deadCount int
 	sealed    bool
@@ -79,6 +81,7 @@ func newSegment(id uint32) *segment {
 	return &segment{
 		id:       id,
 		postings: make(map[string]*bitset.Bitmap),
+		dirs:     make(map[string]*bitset.Container),
 		dead:     bitset.NewBitmap(0),
 	}
 }
@@ -112,6 +115,12 @@ type Index struct {
 	// epoch counts merge commits; snapshots record the epoch they
 	// pinned, and Search-visible segment sets only change when it moves.
 	epoch uint64
+
+	// version counts every result-visible mutation (commit, tombstone,
+	// rename, merge commit) — much finer-grained than epoch, which only
+	// moves on merges. The query-result cache keys on it: a cached result
+	// is valid exactly while the version it was computed at still stands.
+	version atomic.Uint64
 
 	liveDocs   int
 	deadDocs   int
@@ -162,6 +171,7 @@ func (ix *Index) sealActiveLocked() {
 		return
 	}
 	ix.active.sealed = true
+	ix.active.packDirs()
 	ix.sealed = append(ix.sealed, ix.active)
 	ix.newActiveLocked()
 }
@@ -250,6 +260,7 @@ func (ix *Index) commitDocLocked(d preparedDoc) DocID {
 	s := ix.active
 	local := uint32(len(s.docs))
 	s.docs = append(s.docs, docEntry{path: d.path, modTime: d.modTime, size: d.size, alive: true})
+	s.dirsAdd(d.path, local)
 	id := makeID(s.id, local)
 	ix.byPath[d.path] = id
 	for term := range d.terms {
@@ -262,6 +273,7 @@ func (ix *Index) commitDocLocked(d preparedDoc) DocID {
 	}
 	ix.liveDocs++
 	ix.totalSlots++
+	ix.version.Add(1)
 	ix.met.docsIndexed.Add(1)
 	if len(s.docs) >= ix.sealThreshold {
 		ix.sealActiveLocked()
@@ -313,6 +325,7 @@ func (ix *Index) tombstoneLocked(id DocID) {
 	s.deadCount++
 	ix.liveDocs--
 	ix.deadDocs++
+	ix.version.Add(1)
 	delete(ix.byPath, s.docs[local].path)
 	ix.met.docsRemoved.Add(1)
 }
@@ -343,8 +356,10 @@ func (ix *Index) RenamePath(oldPath, newPath string) bool {
 		return false
 	}
 	delete(ix.byPath, oldPath)
+	s.dirsRename(s.docs[local].path, newPath, local)
 	s.docs[local].path = newPath
 	ix.byPath[newPath] = id
+	ix.version.Add(1)
 	return true
 }
 
@@ -371,8 +386,12 @@ func (ix *Index) RenamePrefix(oldRoot, newRoot string) int {
 		}
 		np := newRoot + m.old[len(oldRoot):]
 		delete(ix.byPath, m.old)
+		s.dirsRename(s.docs[local].path, np, local)
 		s.docs[local].path = np
 		ix.byPath[np] = m.id
+	}
+	if len(moves) > 0 {
+		ix.version.Add(1)
 	}
 	return len(moves)
 }
@@ -503,27 +522,27 @@ func (ix *Index) DocsUnder(root string) *bitset.Segmented {
 }
 
 func (ix *Index) docsUnderLocked(root string) *bitset.Segmented {
+	root = gopath.Clean(root)
 	out := bitset.NewSegmented()
 	ix.eachSegmentLocked(func(s *segment) {
 		if root == "/" {
 			out.PutSeg(s.id, s.aliveLocal())
 			return
 		}
-		var bm *bitset.Bitmap
-		for local, d := range s.docs {
-			if d.alive && vfs.HasPrefix(d.path, root) {
-				if bm == nil {
-					bm = bitset.NewBitmap(len(s.docs))
-				}
-				bm.Add(uint32(local))
+		if c := ix.underLocked(s, root); c != nil {
+			live := c.Clone()
+			if s.deadCount > 0 {
+				live.AndNotBitmap(s.dead)
 			}
-		}
-		if bm != nil {
-			out.PutSeg(s.id, bm)
+			out.PutSegContainer(s.id, live)
 		}
 	})
 	return out
 }
+
+// Version returns the mutation counter: it moves on every
+// result-visible change, so equal versions imply equal query results.
+func (ix *Index) Version() uint64 { return ix.version.Load() }
 
 // NumDocs returns the number of live documents.
 func (ix *Index) NumDocs() int {
@@ -702,6 +721,7 @@ func (ix *Index) commitChunk(docs []preparedDoc) {
 	seg.sealed = true
 	for i, d := range docs {
 		seg.docs = append(seg.docs, docEntry{path: d.path, modTime: d.modTime, size: d.size, alive: true})
+		seg.dirsAdd(d.path, uint32(i))
 		for term := range d.terms {
 			bm, ok := seg.postings[term]
 			if !ok {
@@ -711,6 +731,7 @@ func (ix *Index) commitChunk(docs []preparedDoc) {
 			bm.Add(uint32(i))
 		}
 	}
+	seg.packDirs()
 
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -727,6 +748,7 @@ func (ix *Index) commitChunk(docs []preparedDoc) {
 	ix.sealed = append(ix.sealed, seg)
 	ix.liveDocs += len(seg.docs)
 	ix.totalSlots += len(seg.docs)
+	ix.version.Add(1)
 	ix.met.docsIndexed.Add(int64(len(seg.docs)))
 }
 

@@ -170,10 +170,12 @@ func (ix *Index) mergeSealedLocked() {
 			}
 			nl := uint32(len(merged.docs))
 			merged.docs = append(merged.docs, d)
+			merged.dirsAdd(d.path, nl)
 			prev = append(prev, makeID(v.s.id, uint32(l)))
 			remap[i][l] = nl
 		}
 	}
+	merged.packDirs()
 	merged.prev = prev
 	for i, v := range victims {
 		for term, bm := range v.s.postings {
@@ -240,6 +242,7 @@ func (ix *Index) mergeSealedLocked() {
 			} else {
 				// Renames after the plan rewrote path/modTime in place;
 				// refresh so the merged entry is current.
+				merged.dirsRename(merged.docs[nl].path, cur.path, nl)
 				merged.docs[nl] = *cur
 			}
 		}
@@ -278,6 +281,7 @@ func (ix *Index) mergeSealedLocked() {
 	ix.totalSlots += len(merged.docs) - inputSlots
 	ix.deadDocs += merged.deadCount - deadBefore
 	ix.epoch++
+	ix.version.Add(1)
 	ix.mu.Unlock()
 
 	// Repoint byPath at the moved documents in batches, each under its

@@ -86,7 +86,13 @@ type docImage struct {
 
 type postingImage struct {
 	Term string
-	IDs  []uint32
+	IDs  []uint32 // legacy uncompressed form; images written before Packed existed
+	// Packed is the posting set in the bitset container codec (array /
+	// bitmap / run picked by cardinality), the on-disk analogue of the
+	// in-memory compressed containers. New images write Packed only; IDs
+	// is still accepted so older images keep loading (gob leaves absent
+	// fields zero).
+	Packed []byte
 }
 
 // segmentImage is the persisted form of one compacted segment.
@@ -182,15 +188,16 @@ func encodeSegmentLocked(s *segment) *segmentImage {
 		return nil
 	}
 	for term, bm := range s.postings {
-		pi := postingImage{Term: term}
+		c := bitset.NewContainer()
 		bm.Range(func(l uint32) bool {
 			if nl := remap[l]; nl != noLocal {
-				pi.IDs = append(pi.IDs, nl)
+				c.Add(nl) // remap is monotonic, so adds stay ascending
 			}
 			return true
 		})
-		if len(pi.IDs) > 0 {
-			img.Postings = append(img.Postings, pi)
+		if c.Any() {
+			c.Pack()
+			img.Postings = append(img.Postings, postingImage{Term: term, Packed: c.AppendBinary(nil)})
 		}
 	}
 	return img
@@ -261,6 +268,22 @@ func decodeSegmentImage(payload []byte) (img *segmentImage, err error) {
 				return nil, fmt.Errorf("%w: posting for %q references slot %d of %d", vfs.ErrCorruptVolume, pi.Term, l, len(img.Docs))
 			}
 		}
+		if len(pi.Packed) > 0 {
+			c, n, err := bitset.DecodeContainer(pi.Packed)
+			if err != nil {
+				return nil, fmt.Errorf("%w: posting for %q: %v", vfs.ErrCorruptVolume, pi.Term, err)
+			}
+			if n != len(pi.Packed) {
+				return nil, fmt.Errorf("%w: posting for %q has %d trailing bytes", vfs.ErrCorruptVolume, pi.Term, len(pi.Packed)-n)
+			}
+			if c.Any() {
+				var maxLocal uint32
+				c.Range(func(l uint32) bool { maxLocal = l; return true })
+				if int(maxLocal) >= len(img.Docs) {
+					return nil, fmt.Errorf("%w: packed posting for %q references slot %d of %d", vfs.ErrCorruptVolume, pi.Term, maxLocal, len(img.Docs))
+				}
+			}
+		}
 	}
 	return img, nil
 }
@@ -308,11 +331,23 @@ func (ix *Index) installSegment(img *segmentImage) error {
 	}
 	s := newSegment(img.ID)
 	s.sealed = true
-	for _, di := range img.Docs {
+	for local, di := range img.Docs {
 		s.docs = append(s.docs, docEntry{path: di.Path, modTime: di.ModTime, size: di.Size, alive: true})
+		s.dirsAdd(di.Path, uint32(local))
 	}
+	s.packDirs()
 	for _, pi := range img.Postings {
 		bm := bitset.NewBitmap(len(s.docs))
+		if len(pi.Packed) > 0 {
+			c, _, err := bitset.DecodeContainer(pi.Packed)
+			if err != nil {
+				return fmt.Errorf("%w: posting for %q: %v", vfs.ErrCorruptVolume, pi.Term, err)
+			}
+			c.Range(func(l uint32) bool {
+				bm.Add(l)
+				return true
+			})
+		}
 		for _, l := range pi.IDs {
 			bm.Add(l)
 		}
@@ -322,6 +357,7 @@ func (ix *Index) installSegment(img *segmentImage) error {
 	ix.sealed = append(ix.sealed, s)
 	ix.totalSlots += len(s.docs)
 	ix.liveDocs += len(s.docs)
+	ix.version.Add(1)
 	for local := range s.docs {
 		p := s.docs[local].path
 		if old, ok := ix.byPath[p]; ok {

@@ -1,8 +1,9 @@
 package index
 
 import (
+	gopath "path"
+
 	"hacfs/internal/bitset"
-	"hacfs/internal/vfs"
 )
 
 // Snapshot is an epoch-pinned read view of the index: the set of
@@ -19,6 +20,7 @@ import (
 type Snapshot struct {
 	ix        *Index
 	epoch     uint64
+	version   uint64
 	segs      []*segment // sealed (pin order) then active
 	bySeg     map[uint32]*segment
 	activeID  uint32
@@ -32,6 +34,7 @@ func (ix *Index) Snapshot() *Snapshot {
 	sn := &Snapshot{
 		ix:        ix,
 		epoch:     ix.epoch,
+		version:   ix.version.Load(),
 		bySeg:     make(map[uint32]*segment, len(ix.sealed)+1),
 		activeID:  ix.active.id,
 		activeLen: len(ix.active.docs),
@@ -47,6 +50,11 @@ func (ix *Index) Snapshot() *Snapshot {
 
 // Epoch returns the merge epoch the snapshot pinned.
 func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// Version returns the index mutation counter at pin time. Two
+// snapshots with equal versions answer every query identically, which
+// is what the planner's result cache keys on.
+func (sn *Snapshot) Version() uint64 { return sn.version }
 
 // cap limits a result bitmap of segment s to the slots committed at pin
 // time (only the active segment can have grown since).
@@ -148,34 +156,139 @@ func (sn *Snapshot) AllDocs() *bitset.Segmented {
 }
 
 // DocsUnder returns the live documents under root, within the pinned
-// set.
+// set. Non-"/" roots resolve through the per-segment composite dirs
+// index (dirs.go): one map probe per segment instead of a scan over
+// every doc entry.
 func (sn *Snapshot) DocsUnder(root string) *bitset.Segmented {
+	root = gopath.Clean(root)
 	out := bitset.NewSegmented()
 	sn.ix.mu.RLock()
 	defer sn.ix.mu.RUnlock()
-	for _, s := range sn.segs {
-		n := sn.segLen(s)
-		if root == "/" {
+	if root == "/" {
+		for _, s := range sn.segs {
 			bm := s.aliveLocal()
-			bm.Trim(n)
+			bm.Trim(sn.segLen(s))
 			out.PutSeg(s.id, bm)
+		}
+		return out
+	}
+	selfID, selfOK := sn.idOfLocked(root)
+	for _, s := range sn.segs {
+		scope := sn.scopeLocalLocked(s, root, selfID, selfOK)
+		if scope == nil {
 			continue
 		}
-		var bm *bitset.Bitmap
-		for local := 0; local < n; local++ {
-			d := s.docs[local]
-			if d.alive && vfs.HasPrefix(d.path, root) {
-				if bm == nil {
-					bm = bitset.NewBitmap(n)
-				}
-				bm.Add(uint32(local))
-			}
+		if s.deadCount > 0 {
+			scope.AndNotBitmap(s.dead)
 		}
-		if bm != nil {
-			out.PutSeg(s.id, bm)
+		if s.id == sn.activeID {
+			scope.Trim(sn.activeLen)
 		}
+		out.PutSegContainer(s.id, scope)
 	}
 	return out
+}
+
+// scopeLocalLocked returns a fresh container of s's local slots under
+// root (alive or dead; caller applies the dead mask), or nil when the
+// segment holds none. selfID/selfOK name the pinned document at exactly
+// root, if any — vfs.HasPrefix(p, root) matches p == root, so a file
+// path used as a scope selects the file itself. Caller holds ix.mu.
+func (sn *Snapshot) scopeLocalLocked(s *segment, root string, selfID DocID, selfOK bool) *bitset.Container {
+	var scope *bitset.Container
+	if c, ok := s.dirs[root]; ok {
+		scope = c.Clone()
+	}
+	if selfOK {
+		if seg, local := splitID(selfID); seg == s.id {
+			if scope == nil {
+				scope = bitset.NewContainer()
+			}
+			scope.Add(local)
+		}
+	}
+	return scope
+}
+
+// LookupUnder returns the live documents containing term whose path
+// lies under root, touching only in-scope postings — the composite
+// path-prefix × term lookup. The second result counts the posting
+// entries the scope pruning avoided examining (whole segments whose
+// dirs map lacks root count all their postings; intersected segments
+// count the postings beyond the scope's cardinality).
+func (sn *Snapshot) LookupUnder(term, root string) (*bitset.Segmented, int) {
+	root = gopath.Clean(root)
+	if root == "/" {
+		return sn.Lookup(term), 0
+	}
+	term = normalizeTerm(term)
+	out := bitset.NewSegmented()
+	skipped := 0
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	selfID, selfOK := sn.idOfLocked(root)
+	for _, s := range sn.segs {
+		bm, ok := s.postings[term]
+		if !ok {
+			continue
+		}
+		scope := sn.scopeLocalLocked(s, root, selfID, selfOK)
+		if scope == nil {
+			skipped += bm.Len() // whole segment out of scope
+			continue
+		}
+		if d := bm.Len() - scope.Len(); d > 0 {
+			skipped += d
+		}
+		scope.AndBitmap(bm)
+		if s.deadCount > 0 {
+			scope.AndNotBitmap(s.dead)
+		}
+		if s.id == sn.activeID {
+			scope.Trim(sn.activeLen)
+		}
+		out.PutSegContainer(s.id, scope)
+	}
+	return out, skipped
+}
+
+// TermCost returns the total posting cardinality of term across the
+// pinned segments — the planner's per-term selectivity estimate. Dead
+// slots are counted (they cost iteration work even though they are
+// filtered), which keeps the estimate one map probe per segment.
+func (sn *Snapshot) TermCost(term string) int {
+	term = normalizeTerm(term)
+	n := 0
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	for _, s := range sn.segs {
+		if bm, ok := s.postings[term]; ok {
+			n += bm.Len()
+		}
+	}
+	return n
+}
+
+// ScopeCost returns how many slots lie under root across the pinned
+// segments (dead included) — the planner's scope selectivity estimate.
+func (sn *Snapshot) ScopeCost(root string) int {
+	root = gopath.Clean(root)
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	if root == "/" {
+		n := 0
+		for _, s := range sn.segs {
+			n += sn.segLen(s)
+		}
+		return n
+	}
+	n := 0
+	for _, s := range sn.segs {
+		if c, ok := s.dirs[root]; ok {
+			n += c.Len()
+		}
+	}
+	return n
 }
 
 // Paths maps a result set to its sorted document paths. IDs outside the
@@ -199,6 +312,30 @@ func (sn *Snapshot) Paths(res *bitset.Segmented) []string {
 		return true
 	})
 	sortStrings(out)
+	return out
+}
+
+// PathsOf maps a batch of pinned IDs to their paths, in input order,
+// skipping IDs that no longer resolve to a live document. Unlike Paths
+// it does not sort — the paged SearchResult iterator materializes one
+// page at a time in ID order, and sorting would force the whole result
+// set eager again.
+func (sn *Snapshot) PathsOf(ids []DocID) []string {
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		seg, local := splitID(id)
+		if s, ok := sn.bySeg[seg]; ok {
+			if int(local) < sn.segLen(s) && s.docs[local].alive {
+				out = append(out, s.docs[local].path)
+			}
+			continue
+		}
+		if s, l, ok := sn.ix.resolveLocked(id); ok && s.docs[l].alive {
+			out = append(out, s.docs[l].path)
+		}
+	}
 	return out
 }
 
@@ -227,6 +364,11 @@ func (sn *Snapshot) PathOf(id DocID) (string, bool) {
 func (sn *Snapshot) IDOf(path string) (DocID, bool) {
 	sn.ix.mu.RLock()
 	defer sn.ix.mu.RUnlock()
+	return sn.idOfLocked(path)
+}
+
+// idOfLocked is IDOf with ix.mu already held.
+func (sn *Snapshot) idOfLocked(path string) (DocID, bool) {
 	id, ok := sn.ix.byPath[path]
 	if !ok {
 		return 0, false

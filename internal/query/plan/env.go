@@ -1,0 +1,54 @@
+package plan
+
+import (
+	"hacfs/internal/bitset"
+	"hacfs/internal/index"
+	"hacfs/internal/query"
+)
+
+// SnapEnv adapts a pinned index snapshot to the planner's Env. All
+// methods are lock-free with respect to the embedding layer: the
+// snapshot takes the index's own read lock per call, and directory
+// references resolve through the Refs map, which the caller populates
+// up front (HAC binds and resolves them under its volume lock before
+// planning, precisely so evaluation can run without it).
+type SnapEnv struct {
+	Snap *index.Snapshot
+	// Refs maps a bound directory reference's UID to its pinned link
+	// set. A reference absent from the map matches nothing — remote
+	// backends serve namespaces with no semantic directories at all and
+	// leave Refs nil; HAC rejects dangling references before planning.
+	Refs map[uint64]*bitset.Segmented
+}
+
+func (e *SnapEnv) Term(w string) (*bitset.Segmented, error)   { return e.Snap.Lookup(w), nil }
+func (e *SnapEnv) Prefix(p string) (*bitset.Segmented, error) { return e.Snap.LookupPrefix(p), nil }
+func (e *SnapEnv) Fuzzy(w string) (*bitset.Segmented, error)  { return e.Snap.LookupFuzzy(w), nil }
+func (e *SnapEnv) Universe() (*bitset.Segmented, error)       { return e.Snap.AllDocs(), nil }
+
+func (e *SnapEnv) DirRef(ref *query.DirRef) (*bitset.Segmented, error) {
+	if set, ok := e.Refs[ref.UID]; ok {
+		return set.Clone(), nil
+	}
+	return bitset.NewSegmented(), nil
+}
+
+func (e *SnapEnv) TermUnder(w, root string) (*bitset.Segmented, int, error) {
+	res, skipped := e.Snap.LookupUnder(w, root)
+	return res, skipped, nil
+}
+
+func (e *SnapEnv) TermCost(w string) int { return e.Snap.TermCost(w) }
+
+func (e *SnapEnv) DocsUnder(root string) (*bitset.Segmented, error) {
+	return e.Snap.DocsUnder(root), nil
+}
+
+func (e *SnapEnv) ScopeCost(root string) int { return e.Snap.ScopeCost(root) }
+
+func (e *SnapEnv) RefCost(ref *query.DirRef) int {
+	if set, ok := e.Refs[ref.UID]; ok {
+		return set.Len()
+	}
+	return 0
+}

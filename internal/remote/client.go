@@ -199,6 +199,52 @@ func (c *Client) SearchContext(ctx context.Context, q string) (_ []string, err e
 	}
 }
 
+// SearchPage fetches one cursor page of matches: at most limit paths
+// starting at cursor after (0 = first page), plus the cursor of the
+// next page (0 = no more). The cursor is opaque; pass it back verbatim.
+func (c *Client) SearchPage(ctx context.Context, q string, after uint64, limit int) (_ []string, _ uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.met.search.done(time.Now(), &err)
+	line, err := c.roundTrip(ctx, verbSearchPage,
+		strconv.FormatUint(after, 10), strconv.Itoa(limit), quote(q))
+	if err != nil {
+		return nil, 0, err
+	}
+	verb, arg := splitVerb(line)
+	switch verb {
+	case replyOK:
+		cnt, nextStr := splitVerb(arg)
+		n, cerr := strconv.Atoi(cnt)
+		next, nerr := strconv.ParseUint(nextStr, 10, 64)
+		if cerr != nil || nerr != nil || n < 0 {
+			c.dropLocked()
+			return nil, 0, fmt.Errorf("remote: malformed page header %q", arg)
+		}
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			pl, err := readLine(c.r)
+			if err != nil {
+				c.dropLocked()
+				return nil, 0, err
+			}
+			p, err := unquote(pl)
+			if err != nil {
+				c.dropLocked()
+				return nil, 0, fmt.Errorf("remote: malformed result line %q", pl)
+			}
+			out = append(out, p)
+		}
+		return out, next, nil
+	case replyErr:
+		msg, _ := unquote(arg)
+		return nil, 0, errors.New("remote: server: " + msg)
+	default:
+		c.dropLocked()
+		return nil, 0, fmt.Errorf("remote: unexpected reply %q", line)
+	}
+}
+
 // Fetch retrieves one remote document.
 func (c *Client) Fetch(path string) ([]byte, error) {
 	return c.FetchContext(context.Background(), path)

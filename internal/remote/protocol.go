@@ -6,6 +6,9 @@
 // The wire protocol is a line-oriented text protocol over TCP:
 //
 //	C: SEARCH <quoted-query>\n        S: OK <n>\n  then n path lines
+//	C: SEARCHP <after> <limit> <quoted-query>\n
+//	                                  S: OK <n> <next>\n then n path lines
+//	                                  (<next> = cursor of the next page, 0 = done)
 //	C: FETCH <quoted-path>\n          S: DATA <len>\n then len bytes
 //	C: PING\n                         S: PONG\n
 //	any error                         S: ERR <quoted-message>\n
@@ -24,9 +27,10 @@ import (
 
 // Protocol verbs.
 const (
-	verbSearch = "SEARCH"
-	verbFetch  = "FETCH"
-	verbPing   = "PING"
+	verbSearch     = "SEARCH"
+	verbSearchPage = "SEARCHP"
+	verbFetch      = "FETCH"
+	verbPing       = "PING"
 
 	replyOK   = "OK"
 	replyData = "DATA"

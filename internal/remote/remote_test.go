@@ -1,8 +1,10 @@
 package remote
 
 import (
+	"context"
 	"net"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -86,6 +88,56 @@ func TestSearchBadQuery(t *testing.T) {
 	// Connection still usable after a server-side error.
 	if err := c.Ping(); err != nil {
 		t.Fatalf("ping after error: %v", err)
+	}
+}
+
+func TestSearchPage(t *testing.T) {
+	c, _ := startServer(t)
+	// Walk the whole result in pages of 1 and compare against the
+	// unpaged answer.
+	want, err := c.Search("fingerprint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 3 {
+		t.Fatalf("unpaged Search = %v", want)
+	}
+	var got []string
+	var after uint64
+	ctx := context.Background()
+	for pages := 0; ; pages++ {
+		if pages > len(want) {
+			t.Fatalf("cursor did not terminate: got %v", got)
+		}
+		page, next, err := c.SearchPage(ctx, "fingerprint", after, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, page...)
+		if next == 0 {
+			break
+		}
+		after = next
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("paged Search = %v, want %v", got, want)
+	}
+
+	// Unlimited page = everything at once, terminated.
+	all, next, err := c.SearchPage(ctx, "fingerprint", 0, 0)
+	if err != nil || next != 0 {
+		t.Fatalf("unlimited page: %v, next=%d", err, next)
+	}
+	sort.Strings(all)
+	if !reflect.DeepEqual(all, want) {
+		t.Fatalf("unlimited page = %v, want %v", all, want)
+	}
+
+	// Server-side errors come back as ERR.
+	if _, _, err := c.SearchPage(ctx, "((broken", 0, 1); err == nil ||
+		!strings.Contains(err.Error(), "server:") {
+		t.Fatalf("bad query err = %v", err)
 	}
 }
 

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
-	"hacfs/internal/bitset"
 	"hacfs/internal/index"
 	"hacfs/internal/query"
+	"hacfs/internal/query/plan"
 	"hacfs/internal/vfs"
 )
 
@@ -20,6 +22,13 @@ import (
 type Backend interface {
 	Search(q string) ([]string, error)
 	Fetch(path string) ([]byte, error)
+}
+
+// PagedBackend is an optional Backend extension serving cursor-paged
+// searches (the SEARCHP verb). A server whose backend lacks it answers
+// SEARCHP with the full result as a single page.
+type PagedBackend interface {
+	SearchPage(q string, after uint64, limit int) ([]string, uint64, error)
 }
 
 // IndexBackend serves searches from an index over a file system tree —
@@ -44,35 +53,54 @@ func (b *IndexBackend) Index() *index.Index { return b.ix }
 // Search evaluates a query over the backend's index. Directory
 // references have no meaning in a remote namespace and match nothing.
 func (b *IndexBackend) Search(q string) ([]string, error) {
+	res, _, err := b.search(q, 0, 0)
+	return res, err
+}
+
+// SearchPage serves one cursor page: matches with DocID >= after, at
+// most limit of them (<= 0 = all), plus the next cursor (0 = done).
+func (b *IndexBackend) SearchPage(q string, after uint64, limit int) ([]string, uint64, error) {
+	return b.search(q, after, limit)
+}
+
+// search compiles q with the cost-based planner against a pinned
+// snapshot. The nil Refs map makes dir: references match nothing, the
+// pre-planner behavior for remote namespaces.
+func (b *IndexBackend) search(q string, after uint64, limit int) ([]string, uint64, error) {
 	ast, err := query.Parse(q)
 	if err != nil {
 		if errors.Is(err, query.ErrEmpty) {
-			return nil, nil
+			return nil, 0, nil
 		}
-		return nil, err
+		return nil, 0, err
 	}
-	bm, err := query.Eval(ast, &backendEnv{b.ix})
+	snap := b.ix.Snapshot()
+	p, err := plan.Build(ast, plan.Scope{}, &plan.SnapEnv{Snap: snap})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return b.ix.Paths(bm), nil
+	bm, err := p.Exec()
+	if err != nil {
+		return nil, 0, err
+	}
+	if after == 0 && limit <= 0 {
+		// Unpaged: the full result, path-sorted as before.
+		return snap.Paths(bm), 0, nil
+	}
+	ids := bm.Slice()
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= after })
+	ids = ids[i:]
+	var next uint64
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+		next = ids[len(ids)-1] + 1
+	}
+	return snap.PathsOf(ids), next, nil
 }
 
 // Fetch reads one document.
 func (b *IndexBackend) Fetch(path string) ([]byte, error) {
 	return b.fsys.ReadFile(path)
-}
-
-// backendEnv evaluates query primitives over a bare index.
-type backendEnv struct{ ix *index.Index }
-
-func (e *backendEnv) Term(w string) (*bitset.Segmented, error)   { return e.ix.Lookup(w), nil }
-func (e *backendEnv) Prefix(p string) (*bitset.Segmented, error) { return e.ix.LookupPrefix(p), nil }
-func (e *backendEnv) Fuzzy(w string) (*bitset.Segmented, error)  { return e.ix.LookupFuzzy(w), nil }
-func (e *backendEnv) Universe() (*bitset.Segmented, error)       { return e.ix.AllDocs(), nil }
-func (e *backendEnv) DirRef(*query.DirRef) (*bitset.Segmented, error) {
-	// No local directories exist here; the reference selects nothing.
-	return bitset.NewSegmented(), nil
 }
 
 // Server accepts protocol connections and answers them from a Backend.
@@ -197,6 +225,38 @@ func (s *Server) handle(w *bufio.Writer, line string) error {
 			return writeLine(w, replyErr, quote(err.Error()))
 		}
 		if err := writeLine(w, replyOK, strconv.Itoa(len(results))); err != nil {
+			return err
+		}
+		for _, p := range results {
+			if err := writeLine(w, quote(p)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case verbSearchPage:
+		fields := strings.SplitN(arg, " ", 3)
+		if len(fields) != 3 {
+			return writeLine(w, replyErr, quote("malformed page arguments"))
+		}
+		after, aerr := strconv.ParseUint(fields[0], 10, 64)
+		limit, lerr := strconv.Atoi(fields[1])
+		q, qerr := unquote(fields[2])
+		if aerr != nil || lerr != nil || qerr != nil {
+			return writeLine(w, replyErr, quote("malformed page arguments"))
+		}
+		var results []string
+		var next uint64
+		var err error
+		if pb, ok := s.backend.(PagedBackend); ok {
+			results, next, err = pb.SearchPage(q, after, limit)
+		} else if after == 0 {
+			// Unpaged backend: everything as one page.
+			results, err = s.backend.Search(q)
+		}
+		if err != nil {
+			return writeLine(w, replyErr, quote(err.Error()))
+		}
+		if err := writeLine(w, replyOK, strconv.Itoa(len(results)), strconv.FormatUint(next, 10)); err != nil {
 			return err
 		}
 		for _, p := range results {

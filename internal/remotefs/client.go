@@ -192,6 +192,25 @@ func (c *Client) StatContext(ctx context.Context, path string) (vfs.Info, error)
 	return resp.Info, resp.Err.decode()
 }
 
+// SearchPage runs a content query on the remote volume and returns one
+// cursor page of matching paths: matches under scope starting at cursor
+// after (0 = first page), at most limit of them, plus the cursor of the
+// next page (0 = no more). Only servers exporting a searchable file
+// system — a HAC volume — answer; others return vfs.ErrUnsupported.
+func (c *Client) SearchPage(ctx context.Context, query, scope string, after uint64, limit int) ([]string, uint64, error) {
+	if after > (1<<63 - 1) {
+		return nil, 0, fmt.Errorf("remotefs: search cursor overflow")
+	}
+	resp, err := c.callCtx(ctx, &request{Op: opSearch, Path: scope, Path2: query, Offset: int64(after), N: limit})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := resp.Err.decode(); err != nil {
+		return nil, 0, err
+	}
+	return resp.Strs, uint64(resp.Off), nil
+}
+
 // Mkdir creates a directory on the remote volume.
 func (c *Client) Mkdir(path string) error {
 	return c.do(&request{Op: opMkdir, Path: path})

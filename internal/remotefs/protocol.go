@@ -48,6 +48,11 @@ const (
 	opFileStat
 	opFileClose
 	opPing
+	// opSearch asks the served file system for one cursor page of query
+	// matches (Path = scope, Path2 = query, Offset = after-cursor,
+	// N = page limit). Only file systems that implement Searcher — a HAC
+	// volume — answer it; others reply Unsupported.
+	opSearch
 )
 
 // request is one marshalled operation.
@@ -71,9 +76,10 @@ type response struct {
 	Info    vfs.Info
 	Entries []vfs.DirEntry
 	Str     string
+	Strs    []string // opSearch: one page of matching paths
 	Handle  uint64
 	N       int
-	Off     int64
+	Off     int64 // seek result / opSearch next cursor
 	EOF     bool
 }
 

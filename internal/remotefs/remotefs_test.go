@@ -1,10 +1,13 @@
 package remotefs
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -234,6 +237,64 @@ func TestServeLiveHACVolume(t *testing.T) {
 	data, err := bob.ReadFile("/fp/" + entries[0].Name)
 	if err != nil || string(data) != "fingerprint notes" {
 		t.Fatalf("remote read through link = %q, %v", data, err)
+	}
+}
+
+func TestSearchOverWire(t *testing.T) {
+	// A served HAC volume answers opSearch with cursor pages.
+	hfs := hac.New(vfs.New(), hac.Options{})
+	if err := hfs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 9; i++ {
+		p := fmt.Sprintf("/docs/note%d.txt", i)
+		if err := hfs.WriteFile(p, []byte("fingerprint survey")); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	if _, err := hfs.Reindex("/"); err != nil {
+		t.Fatal(err)
+	}
+
+	c := serve(t, hfs)
+	ctx := context.Background()
+	var got []string
+	var after uint64
+	for pages := 0; ; pages++ {
+		if pages > len(want) {
+			t.Fatalf("cursor did not terminate: got %v", got)
+		}
+		page, next, err := c.SearchPage(ctx, "fingerprint", "/docs", after, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, page...)
+		if next == 0 {
+			break
+		}
+		after = next
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("paged search = %v, want %v", got, want)
+	}
+
+	// Out-of-scope search matches nothing.
+	page, next, err := c.SearchPage(ctx, "fingerprint", "/empty", 0, 0)
+	if err != nil || next != 0 || len(page) != 0 {
+		t.Fatalf("out-of-scope search = %v, %d, %v", page, next, err)
+	}
+}
+
+func TestSearchUnsupportedOverWire(t *testing.T) {
+	// A plain MemFS is not a Searcher; the wire error keeps its
+	// sentinel.
+	c := serve(t, vfs.New())
+	_, _, err := c.SearchPage(context.Background(), "anything", "/", 0, 0)
+	if !errors.Is(err, vfs.ErrUnsupported) {
+		t.Fatalf("search on plain memfs = %v, want ErrUnsupported", err)
 	}
 }
 

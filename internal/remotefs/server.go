@@ -92,6 +92,14 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
+// Searcher is the optional content-search surface a served file system
+// may provide; hac.FS implements it. The cursor contract is
+// hac.FS.SearchPage's: after 0 starts, the returned next cursor resumes,
+// 0 means no more pages.
+type Searcher interface {
+	SearchPage(query, scope string, after uint64, limit int) ([]string, uint64, error)
+}
+
 // session is one client connection's state.
 type session struct {
 	fsys       vfs.FileSystem
@@ -171,6 +179,22 @@ func (sess *session) handle(req *request) *response {
 	case opReadDir:
 		entries, err := sess.fsys.ReadDir(req.Path)
 		return &response{Entries: entries, Err: encodeErr(err)}
+	case opSearch:
+		sr, ok := sess.fsys.(Searcher)
+		if !ok {
+			return &response{Err: &wireError{Kind: "Unsupported", Msg: "remotefs: file system is not searchable"}}
+		}
+		if req.Offset < 0 {
+			return &response{Err: &wireError{Kind: "Invalid", Msg: "remotefs: negative search cursor"}}
+		}
+		paths, next, err := sr.SearchPage(req.Path2, req.Path, uint64(req.Offset), req.N)
+		if err != nil {
+			return &response{Err: encodeErr(err)}
+		}
+		if next > (1<<63 - 1) {
+			return &response{Err: &wireError{Kind: "Invalid", Msg: "remotefs: search cursor overflow"}}
+		}
+		return &response{Strs: paths, Off: int64(next)}
 	}
 
 	// Handle-based operations.

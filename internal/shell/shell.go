@@ -6,6 +6,7 @@
 package shell
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -124,6 +125,7 @@ func (sh *Shell) commands() map[string]command {
 		"sumount":  sh.cmdSumount,
 		"sact":     sh.cmdSact,
 		"search":   sh.cmdSearch,
+		"explain":  sh.cmdExplain,
 		"sstat":    sh.cmdSstat,
 		"stats":    sh.cmdStats,
 		"save":     sh.cmdSave,
@@ -275,6 +277,7 @@ semantic commands (the paper's extensions):
   sumount <dir> <name>        detach a mounted namespace
   sact <link>                 print content behind a link (local/remote)
   search <scope> <query...>   evaluate a query without creating a dir
+  explain <scope> <query...>  show the cost-based evaluation plan
   sstat                       show HAC layer statistics
   stats [prefix]              dump live observability metrics
 
@@ -575,14 +578,39 @@ func (sh *Shell) cmdSearch(args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("usage: search <scope-dir> <query...>")
 	}
-	results, err := sh.fs.Search(strings.Join(args[1:], " "), sh.abs(args[0]))
+	res, err := sh.fs.Search(context.Background(), strings.Join(args[1:], " "),
+		hac.WithScope(sh.abs(args[0])))
 	if err != nil {
 		return err
 	}
+	results := res.All()
+	sort.Strings(results)
 	for _, p := range results {
 		sh.printf("%s\n", p)
 	}
-	sh.printf("%d match(es)\n", len(results))
+	if res.Stats().Cached {
+		sh.printf("%d match(es) (cached)\n", len(results))
+	} else {
+		sh.printf("%d match(es)\n", len(results))
+	}
+	return nil
+}
+
+// cmdExplain runs a query through the cost-based planner and prints the
+// evaluation plan with per-node selectivity estimates.
+func (sh *Shell) cmdExplain(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: explain <scope-dir> <query...>")
+	}
+	res, err := sh.fs.Search(context.Background(), strings.Join(args[1:], " "),
+		hac.WithScope(sh.abs(args[0])))
+	if err != nil {
+		return err
+	}
+	sh.printf("%s", res.Explain())
+	st := res.Stats()
+	sh.printf("matches: %d  cached: %v  leaves: %d  postings skipped: %d\n",
+		st.Matches, st.Cached, st.Leaves, st.PostingsSkipped)
 	return nil
 }
 
