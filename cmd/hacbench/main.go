@@ -42,6 +42,15 @@ var (
 	compJSON    = flag.String("compaction-json", "BENCH_compaction.json", "compaction experiment: write machine-readable results here (empty = skip)")
 	planReps    = flag.Int("plan-samples", 300, "planner: timed runs per query per mode")
 	planJSON    = flag.String("planner-json", "BENCH_planner.json", "planner experiment: write machine-readable results here (empty = skip)")
+
+	serveClients  = flag.Int("serve-clients", 1000, "serve: closed-loop simulated clients")
+	serveTenants  = flag.Int("serve-tenants", 4, "serve: tenant volumes")
+	serveConns    = flag.Int("serve-conns", 8, "serve: shared TCP connections per protocol")
+	serveDuration = flag.Duration("serve-duration", 5*time.Second, "serve: measured window per protocol")
+	serveDocs     = flag.Int("serve-docs", 300, "serve: corpus files per tenant volume")
+	serveNetDelay = flag.Duration("serve-net-delay", 2*time.Millisecond, "serve: emulated network round-trip paid by both protocols (0 = none)")
+	serveAddr     = flag.String("serve-addr", "", "serve: drive this external hacvold instead of an in-process server (tenants t0..tN-1 must exist)")
+	serveJSON     = flag.String("serve-json", "BENCH_serve.json", "serve experiment: write machine-readable results here (empty = skip)")
 )
 
 func main() {
@@ -87,6 +96,8 @@ func main() {
 			err = compaction(cspec)
 		case "planner":
 			err = planner(cspec)
+		case "serve":
+			err = serveBench()
 		case "ablate-order":
 			err = ablateOrder()
 		case "ablate-sets":
@@ -120,6 +131,7 @@ Experiments (default: all):
   obs           instrumentation overhead, on vs off    (EXPERIMENTS.md)
   compaction    Search latency under concurrent merge  (EXPERIMENTS.md)
   planner       cost-based planner vs naive pipeline   (EXPERIMENTS.md)
+  serve         multi-tenant serving, line vs mux      (EXPERIMENTS.md)
   ablate-order  targeted vs full consistency updates   (DESIGN.md A1)
   ablate-sets   bitmap vs sparse result sets           (DESIGN.md A2)
   ablate-scope  scope-direction design comparison      (DESIGN.md A3)
@@ -384,6 +396,60 @@ func planner(spec corpus.Spec) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *planJSON)
+	}
+	fmt.Println()
+	return nil
+}
+
+func serveBench() error {
+	spec := bench.ServeSpec{
+		Clients:       *serveClients,
+		Tenants:       *serveTenants,
+		Conns:         *serveConns,
+		Duration:      *serveDuration,
+		DocsPerTenant: *serveDocs,
+		NetDelay:      *serveNetDelay,
+		Seed:          *seed,
+		Addr:          *serveAddr,
+	}
+	if spec.NetDelay == 0 {
+		spec.NetDelay = -1 // flag 0 means "really none", not "default"
+	}
+	target := "in-process server"
+	if spec.Addr != "" {
+		target = spec.Addr
+	}
+	fmt.Printf("== Multi-tenant serving: %d closed-loop clients, %d tenants, %d conns, %s each (%s, %s emulated RTT) ==\n",
+		spec.Clients, spec.Tenants, spec.Conns, spec.Duration, target, *serveNetDelay)
+	res, err := bench.ServeLoad(spec)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Protocol\tConns\tOps\tThroughput\tp50\tp99\tp99.9")
+	for _, pr := range []bench.ServeProtoResult{res.Line, res.Mux} {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f op/s\t%s\t%s\t%s\n",
+			pr.Protocol, pr.Conns, pr.Ops, pr.Throughput, ms(pr.P50), ms(pr.P99), ms(pr.P999))
+	}
+	w.Flush()
+	fmt.Printf("mux throughput / line throughput: %.1fx (same connection count)\n\n", res.MuxSpeedup)
+	w = newTab()
+	fmt.Fprintln(w, "Tenant (mux)\tOps\tBackpressure\tp50\tp99\tp99.9")
+	for _, ts := range res.Mux.Tenants {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%s\t%s\n",
+			ts.Tenant, ts.Ops, ts.Backpressure, ms(ts.P50), ms(ts.P99), ms(ts.P999))
+	}
+	w.Flush()
+	fmt.Printf("per-tenant p99 spread: %.2fx worst/best (fair scheduling target: < 3x)\n", res.FairnessP99Ratio)
+	if *serveJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*serveJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *serveJSON)
 	}
 	fmt.Println()
 	return nil

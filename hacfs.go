@@ -216,6 +216,14 @@ var (
 	// FaultFS substrate.
 	ErrInjected = vfs.ErrInjected
 	ErrCrashed  = vfs.ErrCrashed
+	// ErrQuotaExceeded, ErrBackpressure and ErrShuttingDown are the
+	// multi-tenant serving sentinels (DESIGN.md §12): a write past the
+	// tenant's byte/document quota, an admission rejected by the
+	// in-flight limit (retryable), and a server draining for shutdown.
+	// All three travel the remote protocols typed.
+	ErrQuotaExceeded = vfs.ErrQuotaExceeded
+	ErrBackpressure  = vfs.ErrBackpressure
+	ErrShuttingDown  = vfs.ErrShuttingDown
 )
 
 // New layers HAC over a substrate file system, configured by functional

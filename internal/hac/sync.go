@@ -62,6 +62,11 @@ func (fs *FS) Sync(path string, opts ...Option) error {
 	return err
 }
 
+// SyncPath is Sync with volume-default options, under the fixed
+// signature that the serving layer (remotefs.PathSyncer) dispatches
+// ssync requests through.
+func (fs *FS) SyncPath(path string) error { return fs.Sync(path) }
+
 // SyncAll restores scope consistency for the whole volume, level by
 // level (see Sync).
 func (fs *FS) SyncAll(opts ...Option) error {

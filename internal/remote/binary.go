@@ -1,0 +1,357 @@
+package remote
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hacfs/internal/obs"
+	"hacfs/internal/wire"
+)
+
+// Binary protocol (DESIGN.md §12). A connection that opens with the
+// wire magic speaks length-prefixed frames instead of the legacy line
+// protocol; the server sniffs the first bytes and serves both. Frame
+// types:
+//
+//	fPing    → fPong
+//	fSearch  → fPage* — the server pages the result through the cursor
+//	           machinery and streams one fPage frame per page; the last
+//	           carries FlagFinal. Payload: after(u64) pageSize(varint)
+//	           limitPages(varint, 0 = all) query(string).
+//	fFetch   → fData
+//	fErr     ends any request with a message.
+//
+// Many requests may be in flight per connection; responses interleave
+// by request ID.
+const (
+	fPing uint8 = iota + 1
+	fPong
+	fSearch
+	fPage
+	fFetch
+	fData
+	fErr
+)
+
+// maxFramePayload bounds one binary frame's payload: a fetched
+// document plus slack for framing fields.
+const maxFramePayload = maxFetch + 64*1024
+
+// maxPageEntries bounds the declared path count of one result page.
+const maxPageEntries = 1 << 20
+
+// appendSearchReq encodes an fSearch payload.
+func appendSearchReq(b []byte, q string, after uint64, pageSize, limitPages int) []byte {
+	b = wire.AppendUvarint(b, after)
+	b = wire.AppendVarint(b, int64(pageSize))
+	b = wire.AppendVarint(b, int64(limitPages))
+	b = wire.AppendString(b, q)
+	return b
+}
+
+// decodeSearchReq decodes an fSearch payload.
+func decodeSearchReq(payload []byte) (q string, after uint64, pageSize, limitPages int, err error) {
+	d := wire.NewDec(payload)
+	after = d.Uvarint()
+	pageSize = d.Int()
+	limitPages = d.Int()
+	q = d.String(maxLine)
+	return q, after, pageSize, limitPages, d.Close()
+}
+
+// appendPage encodes an fPage payload: the next cursor and one page of
+// paths.
+func appendPage(b []byte, next uint64, paths []string) []byte {
+	b = wire.AppendUvarint(b, next)
+	b = wire.AppendStrings(b, paths)
+	return b
+}
+
+// decodePage decodes an fPage payload.
+func decodePage(payload []byte) (paths []string, next uint64, err error) {
+	d := wire.NewDec(payload)
+	next = d.Uvarint()
+	paths = d.Strings(maxLine, maxPageEntries)
+	return paths, next, d.Close()
+}
+
+// serveBinary answers framed requests on conn until it dies. Each
+// request runs on its own goroutine (bounded per connection) so slow
+// searches do not block pings — the multiplexing that the line
+// protocol lacked.
+func (s *Server) serveBinary(conn net.Conn, r frameReader) {
+	ver, err := wire.ReadHello(r)
+	if err != nil {
+		return
+	}
+	// Always answer with the server's own hello: a client speaking a
+	// different framing version reads it and reports a clean versioned
+	// error instead of misparsing a frame.
+	if err := wire.WriteHello(conn, wire.Version); err != nil {
+		return
+	}
+	w := newFrameWriter(conn)
+	if ver != wire.Version {
+		w.send(wire.Frame{Type: fErr, Flags: wire.FlagFinal,
+			Payload: []byte(fmt.Sprintf("unsupported protocol version %d (server speaks %d)", ver, wire.Version))})
+		return
+	}
+	// Bound concurrent requests per connection.
+	sem := make(chan struct{}, 64)
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		f, err := wire.ReadFrame(r, maxFramePayload)
+		if err != nil {
+			return
+		}
+		sem <- struct{}{}
+		reqWG.Add(1)
+		go func(f wire.Frame) {
+			defer reqWG.Done()
+			defer func() { <-sem }()
+			s.handleFrame(w, f)
+		}(f)
+	}
+}
+
+// frameReader is the buffered reader serveConn peeked the magic from.
+type frameReader interface {
+	Read([]byte) (int, error)
+}
+
+// frameWriter serializes response frames onto one connection. Frames
+// accumulate in a buffered writer and only the last sender in a pack
+// flushes, batching syscalls under load without adding idle latency.
+type frameWriter struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	writers atomic.Int64
+}
+
+func newFrameWriter(conn net.Conn) *frameWriter {
+	return &frameWriter{bw: bufio.NewWriterSize(conn, 64<<10)}
+}
+
+func (w *frameWriter) send(f wire.Frame) error {
+	w.writers.Add(1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := wire.WriteFrame(w.bw, f)
+	if w.writers.Add(-1) == 0 && err == nil {
+		err = w.bw.Flush()
+	}
+	return err
+}
+
+func (w *frameWriter) sendErr(id uint64, err error) error {
+	return w.send(wire.Frame{Type: fErr, Flags: wire.FlagFinal, ID: id, Payload: []byte(err.Error())})
+}
+
+func (s *Server) handleFrame(w *frameWriter, f wire.Frame) {
+	switch f.Type {
+	case fPing:
+		w.send(wire.Frame{Type: fPong, Flags: wire.FlagFinal, ID: f.ID})
+	case fSearch:
+		q, after, pageSize, limitPages, err := decodeSearchReq(f.Payload)
+		if err != nil {
+			w.sendErr(f.ID, err)
+			return
+		}
+		if pageSize <= 0 {
+			pageSize = 512
+		}
+		pb, paged := s.backend.(PagedBackend)
+		if !paged {
+			// Unpaged backend: the whole result as a single final page.
+			paths, err := s.backend.Search(q)
+			if err != nil {
+				w.sendErr(f.ID, err)
+				return
+			}
+			w.send(wire.Frame{Type: fPage, Flags: wire.FlagFinal, ID: f.ID, Payload: appendPage(nil, 0, paths)})
+			return
+		}
+		// Stream pages through the cursor machinery until the cursor
+		// runs out or the client's page budget is spent.
+		cursor := after
+		for page := 0; ; page++ {
+			paths, next, err := pb.SearchPage(q, cursor, pageSize)
+			if err != nil {
+				w.sendErr(f.ID, err)
+				return
+			}
+			final := next == 0 || (limitPages > 0 && page+1 >= limitPages)
+			fr := wire.Frame{Type: fPage, ID: f.ID, Payload: appendPage(nil, next, paths)}
+			if final {
+				fr.Flags = wire.FlagFinal
+			}
+			if err := w.send(fr); err != nil {
+				return
+			}
+			if final {
+				return
+			}
+			cursor = next
+		}
+	case fFetch:
+		d := wire.NewDec(f.Payload)
+		path := d.String(maxLine)
+		if err := d.Close(); err != nil {
+			w.sendErr(f.ID, err)
+			return
+		}
+		data, err := s.backend.Fetch(path)
+		if err != nil {
+			w.sendErr(f.ID, err)
+			return
+		}
+		if len(data) > maxFetch {
+			w.sendErr(f.ID, errors.New("document too large"))
+			return
+		}
+		w.send(wire.Frame{Type: fData, Flags: wire.FlagFinal, ID: f.ID, Payload: data})
+	default:
+		w.sendErr(f.ID, fmt.Errorf("unknown frame type %d", f.Type))
+	}
+}
+
+// BinClient speaks the multiplexed binary protocol and implements
+// hac.Namespace and hac.ContextNamespace, like the line-protocol
+// Client — but many requests proceed concurrently on one connection,
+// and search results stream in pages instead of one counted blob.
+type BinClient struct {
+	name string
+	mux  *wire.Mux
+	met  clientMetrics
+}
+
+// DialBin creates a binary-protocol client for the server at addr.
+// name becomes the namespace name inside the HAC volume. No connection
+// is made until the first request.
+func DialBin(name, addr string) *BinClient {
+	return &BinClient{
+		name: name,
+		mux:  wire.NewMux(addr, 10*time.Second, maxFramePayload),
+		met:  newClientMetrics(obs.Default()),
+	}
+}
+
+// SetTimeout changes the dial/request deadline.
+func (c *BinClient) SetTimeout(d time.Duration) { c.mux.SetTimeout(d) }
+
+// Name returns the namespace name.
+func (c *BinClient) Name() string { return c.name }
+
+// Close tears down the connection; later requests re-dial.
+func (c *BinClient) Close() error { return c.mux.Close() }
+
+// Ping checks liveness.
+func (c *BinClient) Ping() error { return c.PingContext(context.Background()) }
+
+// PingContext checks liveness, bounded by ctx.
+func (c *BinClient) PingContext(ctx context.Context) (err error) {
+	defer c.met.ping.done(time.Now(), &err)
+	f, err := c.mux.CallOne(ctx, fPing, nil)
+	if err != nil {
+		return err
+	}
+	if f.Type != fPong {
+		return c.unexpected(f)
+	}
+	return nil
+}
+
+func (c *BinClient) unexpected(f wire.Frame) error {
+	if f.Type == fErr {
+		return errors.New("remote: server: " + string(f.Payload))
+	}
+	return fmt.Errorf("remote: unexpected frame type %d", f.Type)
+}
+
+// Search evaluates a query on the remote system, streaming all result
+// pages.
+func (c *BinClient) Search(q string) ([]string, error) {
+	return c.SearchContext(context.Background(), q)
+}
+
+// SearchContext is Search bounded by ctx.
+func (c *BinClient) SearchContext(ctx context.Context, q string) (_ []string, err error) {
+	defer c.met.search.done(time.Now(), &err)
+	var out []string
+	err = c.searchPages(ctx, q, 0, 0, 0, func(paths []string, next uint64) {
+		out = append(out, paths...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SearchPage fetches one cursor page, for callers that page explicitly
+// (the PagedBackend shape). The server streams; asking for one page
+// bounds the stream to one frame.
+func (c *BinClient) SearchPage(ctx context.Context, q string, after uint64, limit int) (_ []string, _ uint64, err error) {
+	defer c.met.search.done(time.Now(), &err)
+	var out []string
+	var nextOut uint64
+	err = c.searchPages(ctx, q, after, limit, 1, func(paths []string, next uint64) {
+		out = append(out, paths...)
+		nextOut = next
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, nextOut, nil
+}
+
+// searchPages issues one search call and invokes fn for every streamed
+// page frame.
+func (c *BinClient) searchPages(ctx context.Context, q string, after uint64, pageSize, limitPages int, fn func([]string, uint64)) error {
+	st, err := c.mux.Call(ctx, fSearch, appendSearchReq(nil, q, after, pageSize, limitPages))
+	if err != nil {
+		return err
+	}
+	defer st.Cancel()
+	for {
+		f, err := st.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if f.Type != fPage {
+			return c.unexpected(f)
+		}
+		paths, next, err := decodePage(f.Payload)
+		if err != nil {
+			return err
+		}
+		fn(paths, next)
+		if f.Final() {
+			return nil
+		}
+	}
+}
+
+// Fetch retrieves one remote document.
+func (c *BinClient) Fetch(path string) ([]byte, error) {
+	return c.FetchContext(context.Background(), path)
+}
+
+// FetchContext is Fetch bounded by ctx.
+func (c *BinClient) FetchContext(ctx context.Context, path string) (_ []byte, err error) {
+	defer c.met.fetch.done(time.Now(), &err)
+	f, err := c.mux.CallOne(ctx, fFetch, wire.AppendString(nil, path))
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != fData {
+		return nil, c.unexpected(f)
+	}
+	return f.Payload, nil
+}

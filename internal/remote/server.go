@@ -15,6 +15,7 @@ import (
 	"hacfs/internal/query"
 	"hacfs/internal/query/plan"
 	"hacfs/internal/vfs"
+	"hacfs/internal/wire"
 )
 
 // Backend answers the two remote operations. IndexBackend is the
@@ -190,10 +191,17 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
-// serveConn handles one client connection until EOF or error.
+// serveConn handles one client connection until EOF or error. The
+// first bytes select the protocol: the wire magic enters the
+// multiplexed binary framing, anything else falls back to the legacy
+// line protocol, so old clients keep working unchanged.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
+	if prefix, err := r.Peek(4); err == nil && wire.IsMagic(prefix) {
+		s.serveBinary(conn, r)
+		return
+	}
 	w := bufio.NewWriter(conn)
 	for {
 		line, err := readLine(r)

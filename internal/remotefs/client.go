@@ -22,6 +22,7 @@ import (
 type Client struct {
 	addr    string
 	timeout time.Duration
+	tenant  string
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -47,6 +48,14 @@ func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.timeout = d
+}
+
+// SetTenant addresses all subsequent requests at the named tenant
+// volume on a multi-tenant server ("" = the server's default volume).
+func (c *Client) SetTenant(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tenant = name
 }
 
 // Close drops the connection; later requests re-dial.
@@ -110,6 +119,7 @@ func (c *Client) callCtx(ctx context.Context, req *request) (_ *response, err er
 	if m, ok := c.met.ops[req.Op]; ok {
 		defer m.done(time.Now(), &err)
 	}
+	req.Tenant = c.tenant
 	attempts := 2
 	if req.Handle != 0 {
 		attempts = 1
@@ -163,6 +173,14 @@ func (c *Client) PingContext(ctx context.Context) error {
 		return err
 	}
 	return resp.Err.decode()
+}
+
+// SyncPath restores scope consistency for the semantic directory at
+// path on the served volume (the paper's ssync, over the wire). Only
+// servers exporting a HAC volume answer; others return
+// vfs.ErrUnsupported.
+func (c *Client) SyncPath(path string) error {
+	return c.do(&request{Op: opSync, Path: path})
 }
 
 // ReadFileContext reads a whole remote file, bounded by ctx.

@@ -31,6 +31,9 @@ var opNames = map[opCode]string{
 	opFileStat:     "fstat",
 	opFileClose:    "fclose",
 	opPing:         "ping",
+	opSearch:       "search",
+	opSync:         "sync",
+	opSearchStream: "searchstream",
 }
 
 // rpcMetrics instruments one protocol op: call count, transport latency

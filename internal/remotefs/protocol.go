@@ -53,11 +53,21 @@ const (
 	// N = page limit). Only file systems that implement Searcher — a HAC
 	// volume — answer it; others reply Unsupported.
 	opSearch
+	// opSync restores scope consistency for the semantic directory at
+	// Path (the paper's ssync, over the wire). Only file systems that
+	// implement PathSyncer — a HAC volume — answer it.
+	opSync
+	// opSearchStream is opSearch in streaming form, binary framing only:
+	// the server walks the cursor itself and returns every page as its
+	// own response frame, the last one flagged final. N = page size,
+	// Size = max pages (0 = all).
+	opSearchStream
 )
 
 // request is one marshalled operation.
 type request struct {
 	Op     opCode
+	Tenant string // addressed volume; "" = the server's default
 	Path   string
 	Path2  string // rename destination / symlink target
 	Data   []byte
@@ -105,9 +115,12 @@ var sentinelByName = map[string]error{
 	"Closed":      vfs.ErrClosed,
 	"ReadOnly":    vfs.ErrReadOnly,
 	"WriteOnly":   vfs.ErrWriteOnly,
-	"Busy":        vfs.ErrBusy,
-	"Unsupported": vfs.ErrUnsupported,
-	"EOF":         errEOFSentinel,
+	"Busy":          vfs.ErrBusy,
+	"Unsupported":   vfs.ErrUnsupported,
+	"QuotaExceeded": vfs.ErrQuotaExceeded,
+	"Backpressure":  vfs.ErrBackpressure,
+	"ShuttingDown":  vfs.ErrShuttingDown,
+	"EOF":           errEOFSentinel,
 }
 
 // errEOFSentinel marks io.EOF on the wire (handled specially).

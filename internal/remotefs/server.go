@@ -1,21 +1,55 @@
 package remotefs
 
 import (
+	"bufio"
 	"encoding/gob"
+	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"hacfs/internal/vfs"
+	"hacfs/internal/wire"
 )
 
-// Server exports one file system to any number of clients. Each client
-// connection is served by its own goroutine with its own open-handle
-// table; the wrapped file system provides whatever concurrency safety
-// it has (MemFS and hac.FS are both safe).
+// Volumes resolves tenant names to exported file systems and admits
+// requests — the seam between the protocol layer and the multi-tenant
+// serving layer (internal/serve implements it with quotas, admission
+// control and fair scheduling). A single-volume server wraps its one
+// file system in soloVolumes.
+type Volumes interface {
+	// Volume returns the file system serving the named tenant ("" is
+	// the default volume).
+	Volume(tenant string) (vfs.FileSystem, error)
+	// Admit asks to run one operation for the tenant. It may block
+	// until a fair-scheduling slot is free; the returned release must
+	// be called when the operation finishes. A backpressure or
+	// shutdown rejection comes back as a *vfs.PathError so it travels
+	// the wire typed.
+	Admit(tenant, op string) (release func(), err error)
+}
+
+// soloVolumes exports one file system as the default tenant, with no
+// admission control — the pre-multi-tenant behavior.
+type soloVolumes struct{ fsys vfs.FileSystem }
+
+func (s soloVolumes) Volume(tenant string) (vfs.FileSystem, error) {
+	if tenant != "" {
+		return nil, &vfs.PathError{Op: "volume", Path: "/" + tenant, Err: vfs.ErrNotExist}
+	}
+	return s.fsys, nil
+}
+
+func (s soloVolumes) Admit(tenant, op string) (func(), error) { return func() {}, nil }
+
+// Server exports file systems to any number of clients, speaking both
+// the legacy one-request-at-a-time gob protocol and the multiplexed
+// binary framing; the first bytes of each connection select the
+// protocol, so old clients keep working unchanged.
 type Server struct {
-	fsys   vfs.FileSystem
+	vols   Volumes
 	logger *log.Logger
 
 	mu       sync.Mutex
@@ -25,9 +59,16 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer returns a server exporting fsys. logger may be nil.
+// NewServer returns a server exporting fsys as its only volume. logger
+// may be nil.
 func NewServer(fsys vfs.FileSystem, logger *log.Logger) *Server {
-	return &Server{fsys: fsys, logger: logger, conns: make(map[net.Conn]struct{})}
+	return NewHostServer(soloVolumes{fsys}, logger)
+}
+
+// NewHostServer returns a server routing requests through vols — the
+// multi-tenant form (see internal/serve.Host).
+func NewHostServer(vols Volumes, logger *log.Logger) *Server {
+	return &Server{vols: vols, logger: logger, conns: make(map[net.Conn]struct{})}
 }
 
 // Serve accepts connections until Close.
@@ -72,6 +113,17 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
+// CloseListener stops accepting new connections but leaves the live
+// ones serving — the first step of a graceful shutdown (drain the
+// volumes, checkpoint, then Close).
+func (s *Server) CloseListener() {
+	s.mu.Lock()
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.mu.Unlock()
+}
+
 // Close stops the server and all connections.
 func (s *Server) Close() {
 	s.mu.Lock()
@@ -100,18 +152,82 @@ type Searcher interface {
 	SearchPage(query, scope string, after uint64, limit int) ([]string, uint64, error)
 }
 
-// session is one client connection's state.
+// PathSyncer is the optional scope-consistency surface; hac.FS
+// implements it (the paper's ssync command, served over the wire).
+type PathSyncer interface {
+	SyncPath(path string) error
+}
+
+// handleState is one open file handle plus the lock that serializes
+// multiplexed operations on it (vfs.File is not concurrency-safe).
+type handleState struct {
+	mu     sync.Mutex
+	f      vfs.File
+	tenant string
+}
+
+// session is one client connection's state, shared by both protocol
+// decoders. The handle table is locked because binary-framing requests
+// execute concurrently.
 type session struct {
-	fsys       vfs.FileSystem
-	handles    map[uint64]vfs.File
+	vols Volumes
+
+	mu         sync.Mutex
+	handles    map[uint64]*handleState
 	nextHandle uint64
 }
 
+func newSession(vols Volumes) *session {
+	return &session{vols: vols, handles: make(map[uint64]*handleState)}
+}
+
+func (sess *session) closeAll() {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	for _, h := range sess.handles {
+		h.f.Close()
+	}
+	sess.handles = map[uint64]*handleState{}
+}
+
+func (sess *session) addHandle(f vfs.File, tenant string) uint64 {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.nextHandle++
+	sess.handles[sess.nextHandle] = &handleState{f: f, tenant: tenant}
+	return sess.nextHandle
+}
+
+func (sess *session) handle(id uint64) (*handleState, bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	h, ok := sess.handles[id]
+	return h, ok
+}
+
+func (sess *session) dropHandle(id uint64) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	delete(sess.handles, id)
+}
+
+// serveConn sniffs the protocol and dispatches. Binary connections
+// open with the wire magic; everything else is the legacy gob stream.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	sess := &session{fsys: s.fsys, handles: make(map[uint64]vfs.File)}
+	r := bufio.NewReader(conn)
+	if prefix, err := r.Peek(len(wire.Magic)); err == nil && wire.IsMagic(prefix) {
+		s.serveMux(conn, r)
+		return
+	}
+	s.serveGob(conn, r)
+}
+
+// serveGob answers the legacy one-request-at-a-time protocol.
+func (s *Server) serveGob(conn net.Conn, r *bufio.Reader) {
+	sess := newSession(s.vols)
 	defer sess.closeAll()
-	dec := gob.NewDecoder(conn)
+	dec := gob.NewDecoder(r)
 	enc := gob.NewEncoder(conn)
 	for {
 		var req request
@@ -121,7 +237,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		resp := sess.handle(&req)
+		resp := sess.dispatch(&req)
 		if err := enc.Encode(resp); err != nil {
 			s.logf("remotefs: encode: %v", err)
 			return
@@ -129,58 +245,237 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (sess *session) closeAll() {
-	for _, f := range sess.handles {
-		f.Close()
+// Binary frame types.
+const (
+	rfReq  uint8 = 1 // client → server, payload = encoded request
+	rfResp uint8 = 2 // server → client, payload = encoded response
+	rfErr  uint8 = 3 // protocol-level error, payload = message
+)
+
+// maxConnInflight bounds concurrently executing requests per
+// connection, protecting the server from one hostile client.
+const maxConnInflight = 256
+
+// muxWriter serializes response frames. Frames accumulate in a
+// buffered writer and only the last sender in a pack flushes, so one
+// syscall carries a whole batch of responses under load while an idle
+// connection still sees every frame immediately.
+type muxWriter struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	writers atomic.Int64
+}
+
+func newMuxWriter(conn net.Conn) *muxWriter {
+	return &muxWriter{bw: bufio.NewWriterSize(conn, 64<<10)}
+}
+
+func (w *muxWriter) send(f wire.Frame) error {
+	w.writers.Add(1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := wire.WriteFrame(w.bw, f)
+	if w.writers.Add(-1) == 0 && err == nil {
+		err = w.bw.Flush()
+	}
+	return err
+}
+
+func (w *muxWriter) sendResp(id uint64, flags uint8, resp *response) error {
+	return w.send(wire.Frame{Type: rfResp, Flags: flags, ID: id, Payload: appendResponse(nil, resp)})
+}
+
+// serveMux answers the multiplexed binary framing: every request frame
+// runs on its own goroutine (bounded), responses interleave by ID, and
+// streamed searches emit one frame per page.
+func (s *Server) serveMux(conn net.Conn, r *bufio.Reader) {
+	ver, err := wire.ReadHello(r)
+	if err != nil {
+		return
+	}
+	// Always answer with the server's own hello: a client speaking a
+	// different framing version reads it and reports a clean versioned
+	// error instead of misparsing a frame.
+	if err := wire.WriteHello(conn, wire.Version); err != nil {
+		return
+	}
+	w := newMuxWriter(conn)
+	if ver != wire.Version {
+		w.send(wire.Frame{Type: rfErr, Flags: wire.FlagFinal,
+			Payload: []byte(fmt.Sprintf("unsupported protocol version %d (server speaks %d)", ver, wire.Version))})
+		return
+	}
+	sess := newSession(s.vols)
+	defer sess.closeAll()
+	sem := make(chan struct{}, maxConnInflight)
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		f, err := wire.ReadFrame(r, maxFrameBuf)
+		if err != nil {
+			return
+		}
+		if f.Type != rfReq {
+			w.send(wire.Frame{Type: rfErr, Flags: wire.FlagFinal, ID: f.ID,
+				Payload: []byte(fmt.Sprintf("unexpected frame type %d", f.Type))})
+			continue
+		}
+		sem <- struct{}{}
+		reqWG.Add(1)
+		go func(f wire.Frame) {
+			defer reqWG.Done()
+			defer func() { <-sem }()
+			var req request
+			if err := decodeRequest(f.Payload, &req); err != nil {
+				w.send(wire.Frame{Type: rfErr, Flags: wire.FlagFinal, ID: f.ID, Payload: []byte(err.Error())})
+				return
+			}
+			if req.Op == opSearchStream {
+				sess.streamSearch(w, f.ID, &req)
+				return
+			}
+			resp := sess.dispatch(&req)
+			if err := w.sendResp(f.ID, wire.FlagFinal, resp); err != nil {
+				s.logf("remotefs: send: %v", err)
+			}
+		}(f)
 	}
 }
 
-// maxIO bounds one read/write payload.
-const maxIO = 16 << 20
+// streamSearch walks the whole cursor server-side, emitting one
+// response frame per page; the last page carries FlagFinal. Page size
+// comes from req.N, an optional page budget from req.Size.
+func (sess *session) streamSearch(w *muxWriter, id uint64, req *request) {
+	fail := func(we *wireError) { w.sendResp(id, wire.FlagFinal, &response{Err: we}) }
+	fsys, release, we := sess.admit(req)
+	if we != nil {
+		fail(we)
+		return
+	}
+	defer release()
+	sr, ok := fsys.(Searcher)
+	if !ok {
+		fail(&wireError{Kind: "Unsupported", Msg: "remotefs: file system is not searchable"})
+		return
+	}
+	if req.Offset < 0 {
+		fail(&wireError{Kind: "Invalid", Msg: "remotefs: negative search cursor"})
+		return
+	}
+	pageSize := req.N
+	if pageSize <= 0 {
+		pageSize = 512
+	}
+	cursor := uint64(req.Offset)
+	for page := 0; ; page++ {
+		paths, next, err := sr.SearchPage(req.Path2, req.Path, cursor, pageSize)
+		if err != nil {
+			fail(encodeErr(err))
+			return
+		}
+		if next > (1<<63 - 1) {
+			fail(&wireError{Kind: "Invalid", Msg: "remotefs: search cursor overflow"})
+			return
+		}
+		final := next == 0 || (req.Size > 0 && int64(page+1) >= req.Size)
+		var flags uint8
+		if final {
+			flags = wire.FlagFinal
+		}
+		if err := w.sendResp(id, flags, &response{Strs: paths, Off: int64(next)}); err != nil {
+			return
+		}
+		if final {
+			return
+		}
+		cursor = next
+	}
+}
 
-func (sess *session) handle(req *request) *response {
-	switch req.Op {
-	case opPing:
+// admit resolves the request's tenant volume and passes admission
+// control. Handle-bound operations charge the tenant the handle was
+// opened for.
+func (sess *session) admit(req *request) (vfs.FileSystem, func(), *wireError) {
+	tenant := req.Tenant
+	if req.Op >= opFileRead && req.Op <= opFileClose {
+		if h, ok := sess.handle(req.Handle); ok {
+			tenant = h.tenant
+		}
+	}
+	fsys, err := sess.vols.Volume(tenant)
+	if err != nil {
+		return nil, nil, encodeErr(err)
+	}
+	release, err := sess.vols.Admit(tenant, opNames[req.Op])
+	if err != nil {
+		return nil, nil, encodeErr(err)
+	}
+	return fsys, release, nil
+}
+
+// dispatch admits and executes one request.
+func (sess *session) dispatch(req *request) *response {
+	if req.Op == opPing {
 		return &response{}
+	}
+	fsys, release, we := sess.admit(req)
+	if we != nil {
+		return &response{Err: we}
+	}
+	defer release()
+	return sess.exec(fsys, req)
+}
+
+// exec performs one operation against the resolved volume.
+func (sess *session) exec(fsys vfs.FileSystem, req *request) *response {
+	switch req.Op {
 	case opMkdir:
-		return &response{Err: encodeErr(sess.fsys.Mkdir(req.Path))}
+		return &response{Err: encodeErr(fsys.Mkdir(req.Path))}
 	case opMkdirAll:
-		return &response{Err: encodeErr(sess.fsys.MkdirAll(req.Path))}
+		return &response{Err: encodeErr(fsys.MkdirAll(req.Path))}
 	case opOpenFile:
-		f, err := sess.fsys.OpenFile(req.Path, req.Flag)
+		f, err := fsys.OpenFile(req.Path, req.Flag)
 		if err != nil {
 			return &response{Err: encodeErr(err)}
 		}
-		sess.nextHandle++
-		sess.handles[sess.nextHandle] = f
-		return &response{Handle: sess.nextHandle}
+		return &response{Handle: sess.addHandle(f, req.Tenant)}
 	case opReadFile:
-		data, err := sess.fsys.ReadFile(req.Path)
+		data, err := fsys.ReadFile(req.Path)
 		return &response{Data: data, Err: encodeErr(err)}
 	case opWriteFile:
-		return &response{Err: encodeErr(sess.fsys.WriteFile(req.Path, req.Data))}
+		return &response{Err: encodeErr(fsys.WriteFile(req.Path, req.Data))}
 	case opSymlink:
-		return &response{Err: encodeErr(sess.fsys.Symlink(req.Path2, req.Path))}
+		return &response{Err: encodeErr(fsys.Symlink(req.Path2, req.Path))}
 	case opReadlink:
-		str, err := sess.fsys.Readlink(req.Path)
+		str, err := fsys.Readlink(req.Path)
 		return &response{Str: str, Err: encodeErr(err)}
 	case opRemove:
-		return &response{Err: encodeErr(sess.fsys.Remove(req.Path))}
+		return &response{Err: encodeErr(fsys.Remove(req.Path))}
 	case opRemoveAll:
-		return &response{Err: encodeErr(sess.fsys.RemoveAll(req.Path))}
+		return &response{Err: encodeErr(fsys.RemoveAll(req.Path))}
 	case opRename:
-		return &response{Err: encodeErr(sess.fsys.Rename(req.Path, req.Path2))}
+		return &response{Err: encodeErr(fsys.Rename(req.Path, req.Path2))}
 	case opStat:
-		info, err := sess.fsys.Stat(req.Path)
+		info, err := fsys.Stat(req.Path)
 		return &response{Info: info, Err: encodeErr(err)}
 	case opLstat:
-		info, err := sess.fsys.Lstat(req.Path)
+		info, err := fsys.Lstat(req.Path)
 		return &response{Info: info, Err: encodeErr(err)}
 	case opReadDir:
-		entries, err := sess.fsys.ReadDir(req.Path)
+		entries, err := fsys.ReadDir(req.Path)
 		return &response{Entries: entries, Err: encodeErr(err)}
+	case opSearchStream:
+		// Streaming needs the framing's multi-frame responses; the
+		// legacy protocol pages with opSearch instead.
+		return &response{Err: &wireError{Kind: "Unsupported", Msg: "remotefs: streamed search requires the binary protocol"}}
+	case opSync:
+		ps, ok := fsys.(PathSyncer)
+		if !ok {
+			return &response{Err: &wireError{Kind: "Unsupported", Msg: "remotefs: file system has no semantic layer"}}
+		}
+		return &response{Err: encodeErr(ps.SyncPath(req.Path))}
 	case opSearch:
-		sr, ok := sess.fsys.(Searcher)
+		sr, ok := fsys.(Searcher)
 		if !ok {
 			return &response{Err: &wireError{Kind: "Unsupported", Msg: "remotefs: file system is not searchable"}}
 		}
@@ -198,10 +493,13 @@ func (sess *session) handle(req *request) *response {
 	}
 
 	// Handle-based operations.
-	f, ok := sess.handles[req.Handle]
+	h, ok := sess.handle(req.Handle)
 	if !ok {
 		return &response{Err: &wireError{Kind: "Closed", Msg: "remotefs: unknown handle"}}
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f := h.f
 	switch req.Op {
 	case opFileRead:
 		n := req.N
@@ -246,7 +544,7 @@ func (sess *session) handle(req *request) *response {
 		info, err := f.Stat()
 		return &response{Info: info, Err: encodeErr(err)}
 	case opFileClose:
-		delete(sess.handles, req.Handle)
+		sess.dropHandle(req.Handle)
 		return &response{Err: encodeErr(f.Close())}
 	default:
 		return &response{Err: &wireError{Kind: "Unsupported", Msg: "remotefs: unknown op"}}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"sync"
+
+	"hacfs/internal/vfs"
+)
+
+// Quota bounds one tenant's footprint. Zero fields are unlimited.
+type Quota struct {
+	MaxBytes    int64 // total regular-file bytes on the volume
+	MaxDocs     int64 // total regular files on the volume
+	MaxInflight int64 // concurrently executing requests
+}
+
+// usage tracks one tenant's accounted footprint. Mutating operations
+// hold mu across their check-and-apply window, so concurrent writers
+// cannot race past the quota together.
+type usage struct {
+	mu    sync.Mutex
+	bytes int64
+	docs  int64
+}
+
+// quotaFS enforces byte and document quotas on every mutating path of
+// a wrapped file system. Over-quota operations fail with a typed
+// *vfs.PathError wrapping vfs.ErrQuotaExceeded before touching the
+// volume; accepted ones adjust the tenant's accounted usage by their
+// actual effect, so the /metrics gauges track real occupancy.
+type quotaFS struct {
+	inner vfs.FileSystem
+	q     Quota
+	u     *usage
+	met   *tenantMetrics // reject counter; nil in tests
+}
+
+var _ vfs.FileSystem = (*quotaFS)(nil)
+
+func (f *quotaFS) overQuota(op, path string) error {
+	if f.met != nil {
+		f.met.rejectQuota.Inc()
+	}
+	return &vfs.PathError{Op: op, Path: path, Err: vfs.ErrQuotaExceeded}
+}
+
+// fileFootprint returns the accounted size of path if it is an
+// existing regular file (0, false otherwise).
+func (f *quotaFS) fileFootprint(path string) (int64, bool) {
+	info, err := f.inner.Stat(path)
+	if err != nil || info.Type != vfs.TypeFile {
+		return 0, false
+	}
+	return info.Size, true
+}
+
+// charge validates a projected change of (db bytes, dd docs) against
+// the quota and applies it. Shrinking changes always pass.
+func (f *quotaFS) charge(op, path string, db, dd int64) error {
+	f.u.mu.Lock()
+	defer f.u.mu.Unlock()
+	if db > 0 && f.q.MaxBytes > 0 && f.u.bytes+db > f.q.MaxBytes {
+		return f.overQuota(op, path)
+	}
+	if dd > 0 && f.q.MaxDocs > 0 && f.u.docs+dd > f.q.MaxDocs {
+		return f.overQuota(op, path)
+	}
+	f.u.bytes += db
+	f.u.docs += dd
+	return nil
+}
+
+// refund reverses a charge whose operation failed.
+func (f *quotaFS) refund(db, dd int64) {
+	f.u.mu.Lock()
+	f.u.bytes -= db
+	f.u.docs -= dd
+	f.u.mu.Unlock()
+}
+
+func (f *quotaFS) WriteFile(path string, data []byte) error {
+	old, existed := f.fileFootprint(path)
+	db := int64(len(data)) - old
+	var dd int64
+	if !existed {
+		dd = 1
+	}
+	if err := f.charge("write", path, db, dd); err != nil {
+		return err
+	}
+	if err := f.inner.WriteFile(path, data); err != nil {
+		f.refund(db, dd)
+		return err
+	}
+	return nil
+}
+
+func (f *quotaFS) Create(path string) (vfs.File, error) {
+	return f.OpenFile(path, vfs.ORead|vfs.OWrite|vfs.OCreate|vfs.OTrunc)
+}
+
+func (f *quotaFS) Open(path string) (vfs.File, error) {
+	return f.OpenFile(path, vfs.ORead)
+}
+
+func (f *quotaFS) OpenFile(path string, flag int) (vfs.File, error) {
+	var db, dd int64
+	old, existed := f.fileFootprint(path)
+	if !existed && flag&vfs.OCreate != 0 {
+		dd = 1
+	}
+	if existed && flag&vfs.OTrunc != 0 {
+		db = -old
+	}
+	if err := f.charge("open", path, db, dd); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(path, flag)
+	if err != nil {
+		f.refund(db, dd)
+		return nil, err
+	}
+	return &quotaFile{File: file, fs: f}, nil
+}
+
+func (f *quotaFS) Remove(path string) error {
+	size, isFile := f.fileFootprint(path)
+	if err := f.inner.Remove(path); err != nil {
+		return err
+	}
+	if isFile {
+		f.refund(size, 1)
+	}
+	return nil
+}
+
+func (f *quotaFS) RemoveAll(path string) error {
+	// Account the subtree before it goes; symlinked content outside the
+	// subtree is not followed, matching Walk semantics.
+	var db, dd int64
+	vfs.Walk(f.inner, path, func(p string, info vfs.Info) error {
+		if info.Type == vfs.TypeFile {
+			db += info.Size
+			dd++
+		}
+		return nil
+	})
+	if err := f.inner.RemoveAll(path); err != nil {
+		return err
+	}
+	f.refund(db, dd)
+	return nil
+}
+
+// Pass-throughs: metadata and namespace operations carry no quota
+// weight (renames move footprint, they do not change it).
+func (f *quotaFS) Mkdir(path string) error                  { return f.inner.Mkdir(path) }
+func (f *quotaFS) MkdirAll(path string) error               { return f.inner.MkdirAll(path) }
+func (f *quotaFS) Symlink(target, link string) error        { return f.inner.Symlink(target, link) }
+func (f *quotaFS) Readlink(path string) (string, error)     { return f.inner.Readlink(path) }
+func (f *quotaFS) Rename(o, n string) error                 { return f.inner.Rename(o, n) }
+func (f *quotaFS) ReadFile(path string) ([]byte, error)     { return f.inner.ReadFile(path) }
+func (f *quotaFS) Stat(path string) (vfs.Info, error)       { return f.inner.Stat(path) }
+func (f *quotaFS) Lstat(path string) (vfs.Info, error)      { return f.inner.Lstat(path) }
+func (f *quotaFS) ReadDir(path string) ([]vfs.DirEntry, error) { return f.inner.ReadDir(path) }
+
+// Optional surfaces the serving layer forwards (remotefs type-asserts
+// the volume it gets from Volumes).
+
+func (f *quotaFS) SearchPage(query, scope string, after uint64, limit int) ([]string, uint64, error) {
+	type searcher interface {
+		SearchPage(query, scope string, after uint64, limit int) ([]string, uint64, error)
+	}
+	sr, ok := f.inner.(searcher)
+	if !ok {
+		return nil, 0, &vfs.PathError{Op: "search", Path: scope, Err: vfs.ErrUnsupported}
+	}
+	return sr.SearchPage(query, scope, after, limit)
+}
+
+func (f *quotaFS) SyncPath(path string) error {
+	type syncer interface{ SyncPath(path string) error }
+	ps, ok := f.inner.(syncer)
+	if !ok {
+		return &vfs.PathError{Op: "ssync", Path: path, Err: vfs.ErrUnsupported}
+	}
+	return ps.SyncPath(path)
+}
+
+// quotaFile charges handle writes by their measured growth: sizes are
+// read under the usage lock around the inner operation, so concurrent
+// handle writers serialize their check-and-apply windows.
+type quotaFile struct {
+	vfs.File
+	fs *quotaFS
+}
+
+// grow runs op, charging the file's size change. The pessimistic
+// pre-check bounds the worst-case growth (computed from the size at
+// entry); the final charge is the measured delta.
+func (qf *quotaFile) grow(worstOf func(cur int64) int64, op func() (int, error)) (int, error) {
+	qf.fs.u.mu.Lock()
+	defer qf.fs.u.mu.Unlock()
+	before, _ := qf.File.Stat()
+	if worst := worstOf(before.Size); worst > 0 && qf.fs.q.MaxBytes > 0 && qf.fs.u.bytes+worst > qf.fs.q.MaxBytes {
+		return 0, qf.fs.overQuota("write", qf.Name())
+	}
+	n, err := op()
+	after, _ := qf.File.Stat()
+	qf.fs.u.bytes += after.Size - before.Size
+	return n, err
+}
+
+func (qf *quotaFile) Write(p []byte) (int, error) {
+	return qf.grow(func(int64) int64 { return int64(len(p)) },
+		func() (int, error) { return qf.File.Write(p) })
+}
+
+func (qf *quotaFile) WriteAt(p []byte, off int64) (int, error) {
+	return qf.grow(func(int64) int64 { return int64(len(p)) },
+		func() (int, error) { return qf.File.WriteAt(p, off) })
+}
+
+func (qf *quotaFile) Truncate(size int64) error {
+	_, err := qf.grow(func(cur int64) int64 { return size - cur },
+		func() (int, error) { return 0, qf.File.Truncate(size) })
+	return err
+}

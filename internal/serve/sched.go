@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+)
+
+// scheduler is the fair admission gate: a fixed pool of execution
+// slots, granted round-robin across tenants. Each tenant has its own
+// FIFO wait queue; when a slot frees, the grant goes to the next
+// tenant in rotation that has a waiter, so a tenant flooding the
+// server with requests queues behind its own backlog instead of
+// starving the others — the same cooperative-sharing idea the
+// compaction engine uses for index merges, applied to request
+// admission.
+type scheduler struct {
+	mu      sync.Mutex
+	cap     int
+	running int
+	queues  map[string][]chan struct{} // per-tenant FIFO of waiters
+	order   []string                   // rotation of tenants with waiters
+	next    int                        // rotation cursor
+}
+
+func newScheduler(cap int) *scheduler {
+	if cap <= 0 {
+		cap = 4 * runtime.GOMAXPROCS(0)
+	}
+	return &scheduler{cap: cap, queues: make(map[string][]chan struct{})}
+}
+
+// acquire blocks until the tenant is granted an execution slot.
+func (s *scheduler) acquire(tenant string) {
+	s.mu.Lock()
+	// Jump the queue only when there is truly no one waiting; otherwise
+	// a fast-arriving tenant would starve the rotation.
+	if s.running < s.cap && len(s.order) == 0 {
+		s.running++
+		s.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	if _, ok := s.queues[tenant]; !ok {
+		s.order = append(s.order, tenant)
+	}
+	s.queues[tenant] = append(s.queues[tenant], ch)
+	s.mu.Unlock()
+	<-ch
+}
+
+// release returns a slot, handing it to the next waiting tenant in
+// rotation if any, and yields the processor so the woken request gets
+// to run promptly.
+func (s *scheduler) release() {
+	s.mu.Lock()
+	if len(s.order) == 0 {
+		s.running--
+		s.mu.Unlock()
+		return
+	}
+	// Round-robin: grant to the next tenant with a waiter. The slot
+	// transfers directly, so running stays constant.
+	s.next %= len(s.order)
+	tenant := s.order[s.next]
+	q := s.queues[tenant]
+	ch := q[0]
+	if len(q) == 1 {
+		delete(s.queues, tenant)
+		s.order = append(s.order[:s.next], s.order[s.next+1:]...)
+		// next now points at the following tenant already.
+	} else {
+		s.queues[tenant] = q[1:]
+		s.next++
+	}
+	s.mu.Unlock()
+	close(ch)
+	runtime.Gosched()
+}

@@ -60,6 +60,17 @@ var (
 	ErrWriteOnly   = errors.New("file handle not open for reading")
 	ErrBusy        = errors.New("resource busy")
 	ErrUnsupported = errors.New("operation not supported")
+	// ErrQuotaExceeded rejects a write that would push a tenant's volume
+	// past its configured byte or document quota (DESIGN.md §12). The
+	// serving layer wraps it in a *PathError naming the write.
+	ErrQuotaExceeded = errors.New("tenant quota exceeded")
+	// ErrBackpressure rejects a request at admission because the tenant
+	// already has its configured maximum of requests in flight; clients
+	// should back off and retry.
+	ErrBackpressure = errors.New("tenant over in-flight limit, retry later")
+	// ErrShuttingDown rejects a request admitted while the server drains
+	// for shutdown.
+	ErrShuttingDown = errors.New("server shutting down")
 	// ErrCorruptVolume marks a persisted image — a volume, an index, or
 	// one index segment block — that is truncated, bit-flipped,
 	// version-skewed or otherwise undecodable. It lives here so both the

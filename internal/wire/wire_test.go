@@ -1,0 +1,266 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: 1, ID: 1},
+		{Type: 7, Flags: FlagFinal, ID: 1<<63 + 9, Payload: []byte("hello")},
+		{Type: 255, ID: 0, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(&buf, 1<<20)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Flags != want.Flags || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestReadFrameBounds(t *testing.T) {
+	// Declared length below the header.
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(3))
+	buf.WriteString("abc")
+	if _, err := ReadFrame(&buf, 1<<20); err == nil {
+		t.Fatal("undersized length accepted")
+	}
+	// Declared length above the payload budget: must error before
+	// consuming (or allocating) the oversized payload.
+	buf.Reset()
+	binary.Write(&buf, binary.BigEndian, uint32(10+101))
+	if _, err := ReadFrame(&buf, 100); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+	// Truncated payload.
+	buf.Reset()
+	binary.Write(&buf, binary.BigEndian, uint32(10+5))
+	buf.Write(make([]byte, 10+2))
+	if _, err := ReadFrame(&buf, 1<<20); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestHello(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !IsMagic(buf.Bytes()) {
+		t.Fatal("hello does not carry the magic")
+	}
+	v, err := ReadHello(&buf)
+	if err != nil || v != 3 {
+		t.Fatalf("ReadHello = %d, %v", v, err)
+	}
+	if _, err := ReadHello(strings.NewReader("PING\n")); !errors.Is(err, ErrNotBinary) {
+		t.Fatalf("line-protocol preamble: err = %v, want ErrNotBinary", err)
+	}
+	if IsMagic([]byte("PING")) || IsMagic([]byte("HA")) {
+		t.Fatal("IsMagic false positive")
+	}
+}
+
+func TestDecBounded(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 42)
+	b = AppendVarint(b, -7)
+	b = AppendString(b, "path")
+	b = AppendStrings(b, []string{"a", "bb"})
+	b = AppendBool(b, true)
+
+	d := NewDec(b)
+	if v := d.Uvarint(); v != 42 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := d.Varint(); v != -7 {
+		t.Fatalf("varint = %d", v)
+	}
+	if s := d.String(64); s != "path" {
+		t.Fatalf("string = %q", s)
+	}
+	if ss := d.Strings(64, 16); len(ss) != 2 || ss[1] != "bb" {
+		t.Fatalf("strings = %v", ss)
+	}
+	if !d.Bool() {
+		t.Fatal("bool = false")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A huge declared string length must be rejected without
+	// allocating.
+	d = NewDec(AppendUvarint(nil, 1<<40))
+	if d.Bytes(1<<20) != nil || d.Err() == nil {
+		t.Fatal("oversized field accepted")
+	}
+	// A count larger than the remaining payload must be rejected.
+	d = NewDec(AppendUvarint(nil, 1<<30))
+	if d.Strings(64, 1<<31) != nil || d.Err() == nil {
+		t.Fatal("oversized list accepted")
+	}
+	// Trailing bytes are an error.
+	d = NewDec([]byte{0, 1})
+	d.Uvarint()
+	if err := d.Close(); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// echoServer speaks the framing: hello exchange, then echoes every
+// request payload back on its ID, optionally split into two frames.
+func echoServer(t *testing.T, split bool) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				if _, err := ReadHello(conn); err != nil {
+					return
+				}
+				if err := WriteHello(conn, Version); err != nil {
+					return
+				}
+				for {
+					f, err := ReadFrame(conn, 1<<20)
+					if err != nil {
+						return
+					}
+					if split && len(f.Payload) > 1 {
+						WriteFrame(conn, Frame{Type: f.Type, ID: f.ID, Payload: f.Payload[:1]})
+						WriteFrame(conn, Frame{Type: f.Type, ID: f.ID, Flags: FlagFinal, Payload: f.Payload[1:]})
+						continue
+					}
+					WriteFrame(conn, Frame{Type: f.Type, ID: f.ID, Flags: FlagFinal, Payload: f.Payload})
+				}
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+func TestMuxConcurrentCalls(t *testing.T) {
+	addr := echoServer(t, false)
+	m := NewMux(addr, 5*time.Second, 1<<20)
+	defer m.Close()
+	ctx := context.Background()
+	const n = 64
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			payload := []byte{byte(i), byte(i >> 8)}
+			f, err := m.CallOne(ctx, 9, payload)
+			if err == nil && !bytes.Equal(f.Payload, payload) {
+				err = errors.New("payload mismatch across IDs")
+			}
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMuxStreamedResponse(t *testing.T) {
+	addr := echoServer(t, true)
+	m := NewMux(addr, 5*time.Second, 1<<20)
+	defer m.Close()
+	ctx := context.Background()
+	st, err := m.Call(ctx, 3, []byte("xyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for {
+		f, err := st.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, f.Payload...)
+	}
+	if string(got) != "xyz" {
+		t.Fatalf("reassembled stream = %q", got)
+	}
+}
+
+func TestMuxVersionMismatch(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		ReadHello(conn)
+		WriteHello(conn, 99) // wrong version
+		buf := make([]byte, 1)
+		conn.Read(buf) // hold until client gives up
+	}()
+	m := NewMux(l.Addr().String(), 2*time.Second, 1<<20)
+	defer m.Close()
+	if _, err := m.CallOne(context.Background(), 1, nil); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestMuxConnectionLossFailsPending(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		ReadHello(conn)
+		WriteHello(conn, Version)
+		ReadFrame(conn, 1<<20)
+		conn.Close() // die without answering
+	}()
+	m := NewMux(l.Addr().String(), 2*time.Second, 1<<20)
+	defer m.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := m.CallOne(ctx, 1, nil); err == nil {
+		t.Fatal("call on dead connection succeeded")
+	}
+}
