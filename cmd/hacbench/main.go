@@ -98,6 +98,8 @@ func main() {
 			err = planner(cspec)
 		case "serve":
 			err = serveBench()
+		case "trace":
+			err = traceDemo()
 		case "ablate-order":
 			err = ablateOrder()
 		case "ablate-sets":
@@ -132,6 +134,7 @@ Experiments (default: all):
   compaction    Search latency under concurrent merge  (EXPERIMENTS.md)
   planner       cost-based planner vs naive pipeline   (EXPERIMENTS.md)
   serve         multi-tenant serving, line vs mux      (EXPERIMENTS.md)
+  trace         issue one traced search, render the distributed trace
   ablate-order  targeted vs full consistency updates   (DESIGN.md A1)
   ablate-sets   bitmap vs sparse result sets           (DESIGN.md A2)
   ablate-scope  scope-direction design comparison      (DESIGN.md A3)
@@ -330,6 +333,8 @@ func obsOverhead(spec corpus.Spec) error {
 	fmt.Fprintf(w, "overhead\t%.1f%%\t%.1f%%\n", res.ReindexOverheadPct(), res.SyncAllOverheadPct())
 	w.Flush()
 	fmt.Printf("enabled run registered %d metric series, retained %d spans\n", res.Series, res.Spans)
+	fmt.Printf("wire: %d mux searches, untraced %s vs traced end-to-end %s (overhead %.1f%%)\n",
+		res.WireOps, ms(res.WireOff), ms(res.WireOn), res.WireOverheadPct())
 	if *obsJSON != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

@@ -19,13 +19,15 @@ import (
 )
 
 var (
-	addr      = flag.String("addr", "127.0.0.1:7679", "listen address")
-	debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/spans on this address")
+	addr       = flag.String("addr", "127.0.0.1:7679", "listen address")
+	debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/spans, /debug/slow and /debug/trace on this address")
+	slowThresh = flag.Duration("slow-threshold", obs.DefSlowThreshold, "record ops slower than this in /debug/slow (0 disables)")
 )
 
 func main() {
 	flag.Parse()
 	logger := log.New(os.Stderr, "haccatd: ", log.LstdFlags)
+	obs.Default().Slow().SetThreshold(*slowThresh)
 	if *debugAddr != "" {
 		dl, err := obs.Serve(*debugAddr, obs.Default())
 		if err != nil {

@@ -27,9 +27,10 @@ import (
 )
 
 var (
-	addr      = flag.String("addr", "127.0.0.1:7677", "listen address")
-	debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/spans on this address")
-	nfiles    = flag.Int("files", 500, "synthetic corpus size (when -dir is not given)")
+	addr       = flag.String("addr", "127.0.0.1:7677", "listen address")
+	debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/spans, /debug/slow and /debug/trace on this address")
+	slowThresh = flag.Duration("slow-threshold", obs.DefSlowThreshold, "record ops slower than this in /debug/slow (0 disables)")
+	nfiles     = flag.Int("files", 500, "synthetic corpus size (when -dir is not given)")
 	seed      = flag.Int64("seed", 7, "synthetic corpus seed")
 	hostDir   = flag.String("dir", "", "serve a snapshot of this host directory instead of a synthetic corpus")
 	maxBytes  = flag.Int64("max-file-bytes", 1<<20, "skip host files larger than this (with -dir)")
@@ -63,6 +64,7 @@ func main() {
 		logger.Fatalf("indexing: %v", err)
 	}
 	backend.Index().SetObserver(obs.Default())
+	obs.Default().Slow().SetThreshold(*slowThresh)
 	if *debugAddr != "" {
 		dl, err := obs.Serve(*debugAddr, obs.Default())
 		if err != nil {

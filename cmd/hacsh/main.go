@@ -19,6 +19,7 @@ import (
 
 	"hacfs/internal/corpus"
 	"hacfs/internal/hac"
+	"hacfs/internal/obs"
 	"hacfs/internal/shell"
 	"hacfs/internal/vfs"
 )
@@ -27,10 +28,12 @@ var (
 	demo       = flag.Bool("demo", false, "seed the volume with a demo corpus under /docs and index it")
 	demoFiles  = flag.Int("files", 200, "demo corpus size (with -demo)")
 	scriptPath = flag.String("script", "", "read commands from this file instead of stdin")
+	slowThresh = flag.Duration("slow-threshold", obs.DefSlowThreshold, "record ops slower than this for the slow command (0 disables)")
 )
 
 func main() {
 	flag.Parse()
+	obs.Default().Slow().SetThreshold(*slowThresh)
 
 	fs := hac.New(vfs.New(), hac.Options{})
 	if *demo {

@@ -63,7 +63,7 @@ func (t *tenantFlags) Set(v string) error {
 
 var (
 	addr          = flag.String("addr", "127.0.0.1:7678", "listen address")
-	debugAddr     = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/spans on this address")
+	debugAddr     = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/spans, /debug/slow and /debug/trace on this address")
 	volume        = flag.String("volume", "", "serve a volume saved by hacsh's save command")
 	savePath      = flag.String("save", "", "checkpoint the volume to this file (atomic replace)")
 	saveDir       = flag.String("save-dir", "", "checkpoint each tenant to <dir>/<name>.hac")
@@ -74,6 +74,9 @@ var (
 	quotaBytes    = flag.Int64("quota-bytes", 0, "per-tenant byte quota (0 = unlimited)")
 	quotaDocs     = flag.Int64("quota-docs", 0, "per-tenant document quota (0 = unlimited)")
 	quotaInflight = flag.Int64("quota-inflight", 0, "per-tenant in-flight request limit (0 = unlimited)")
+	slowThresh    = flag.Duration("slow-threshold", obs.DefSlowThreshold, "record ops slower than this in /debug/slow (0 disables)")
+	sloLatency    = flag.Duration("slo-latency", 0, "per-tenant latency objective; enables SLO burn-rate gauges (0 = no SLO)")
+	sloTarget     = flag.Float64("slo-target", 0.99, "fraction of requests that should meet -slo-latency")
 	demo          = flag.Bool("demo", false, "serve a volume seeded with a demo corpus")
 	nfiles        = flag.Int("files", 200, "demo corpus size")
 	seedVal       = flag.Int64("seed", 42, "demo corpus seed")
@@ -88,6 +91,7 @@ func main() {
 
 	quota := serve.Quota{MaxBytes: *quotaBytes, MaxDocs: *quotaDocs, MaxInflight: *quotaInflight}
 	host := serve.NewHost(*workers, obs.Default())
+	obs.Default().Slow().SetThreshold(*slowThresh)
 
 	// Resolve the tenant set: explicit -tenant flags, or one default
 	// volume from the legacy flags.
@@ -112,6 +116,11 @@ func main() {
 		}
 		if err := host.AddTenant(tc.name, fs, quota, save); err != nil {
 			logger.Fatal(err)
+		}
+		if *sloLatency > 0 {
+			if err := host.SetSLO(tc.name, serve.SLO{Latency: *sloLatency, Target: *sloTarget}); err != nil {
+				logger.Fatal(err)
+			}
 		}
 		if i == 0 {
 			host.SetDefault(tc.name)

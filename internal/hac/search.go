@@ -9,6 +9,7 @@ import (
 
 	"hacfs/internal/bitset"
 	"hacfs/internal/index"
+	"hacfs/internal/obs"
 	"hacfs/internal/query"
 	"hacfs/internal/query/plan"
 	"hacfs/internal/vfs"
@@ -150,7 +151,7 @@ func (r *SearchResult) Stats() SearchStats { return r.stats }
 // the snapshot is pinned and semantic scopes are resolved to document
 // sets; plan evaluation and path materialization run without it, so a
 // long search no longer blocks mutations.
-func (fs *FS) Search(ctx context.Context, queryStr string, opts ...SearchOption) (*SearchResult, error) {
+func (fs *FS) Search(ctx context.Context, queryStr string, opts ...SearchOption) (out *SearchResult, err error) {
 	searchStart := time.Now()
 	defer fs.met.searchSeconds.ObserveSince(searchStart)
 	cfg := searchConfig{scope: "/", pageSize: DefaultPageSize}
@@ -160,6 +161,38 @@ func (fs *FS) Search(ctx context.Context, queryStr string, opts ...SearchOption)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// StartFrom, not StartCtx: nothing below Search starts spans of its
+	// own, so re-wrapping the span into ctx would be pure overhead on
+	// the serving hot path.
+	var sp *obs.Span
+	if cfg.scope != "/" {
+		sp = fs.obsv.Tracer().StartFrom(ctx, "hac.Search", "query", queryStr, "scope", cfg.scope)
+	} else {
+		sp = fs.obsv.Tracer().StartFrom(ctx, "hac.Search", "query", queryStr)
+	}
+	defer func() {
+		sp.FinishErr(err)
+		// Over-threshold searches land in the slow-op log with the plan
+		// that ran, so /debug/slow answers "which plan was that" after
+		// the fact (capture cost is paid only once already slow).
+		dur := time.Since(searchStart)
+		if slow := fs.obsv.Slow(); slow.Over(dur) {
+			op := obs.SlowOp{
+				Op:     "hac.Search",
+				Tenant: obs.TenantFromContext(ctx),
+				Arg:    queryStr,
+				Dur:    dur,
+				Trace:  sp.Context().Trace,
+			}
+			if err != nil {
+				op.Err = err.Error()
+			}
+			if out != nil && out.plan != nil {
+				op.Detail = out.Explain()
+			}
+			slow.Record(op)
+		}
+	}()
 	clean, err := vfs.Clean(cfg.scope)
 	if err != nil {
 		return nil, &vfs.PathError{Op: "search", Path: cfg.scope, Err: err}
@@ -317,13 +350,21 @@ func (fs *FS) SearchPaths(queryStr, scopePath string) ([]string, error) {
 // the cursor for the next page — 0 when no pages remain. It exists for
 // the remote protocol layers, which forward cursors across the wire.
 func (fs *FS) SearchPage(queryStr, scopePath string, after uint64, limit int) ([]string, uint64, error) {
+	return fs.SearchPageContext(context.Background(), queryStr, scopePath, after, limit)
+}
+
+// SearchPageContext is SearchPage with the request context threaded
+// through (remotefs.ContextSearcher), so a trace propagated from a
+// remote client links into the planner's spans and the tenant baggage
+// reaches the slow-op log.
+func (fs *FS) SearchPageContext(ctx context.Context, queryStr, scopePath string, after uint64, limit int) ([]string, uint64, error) {
 	opts := []SearchOption{WithScope(scopePath), WithAfter(after), WithPageSize(limit)}
 	if limit > 0 {
 		// One extra match beyond the page, so More() can tell whether a
 		// next page exists without fetching it.
 		opts = append(opts, WithLimit(limit+1))
 	}
-	res, err := fs.Search(context.Background(), queryStr, opts...)
+	res, err := fs.Search(ctx, queryStr, opts...)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -37,7 +37,7 @@ func (fs *FS) Sync(path string, opts ...Option) error {
 	}
 	cfg := fs.evalCfg(opts)
 	start := time.Now()
-	cfg.span = fs.obsv.Tracer().Start("hac.Sync")
+	cfg.span, cfg.ctx = fs.obsv.Tracer().StartCtx(cfg.ctx, "hac.Sync")
 	cfg.span.Annotate("path", clean)
 	fs.mu.Lock()
 	info, err := fs.under.Stat(clean)
@@ -67,12 +67,19 @@ func (fs *FS) Sync(path string, opts ...Option) error {
 // ssync requests through.
 func (fs *FS) SyncPath(path string) error { return fs.Sync(path) }
 
+// SyncPathContext is SyncPath with the request context threaded
+// through (remotefs.ContextSyncer), so a trace propagated from a
+// remote client links into the pass's spans.
+func (fs *FS) SyncPathContext(ctx context.Context, path string) error {
+	return fs.Sync(path, WithContext(ctx))
+}
+
 // SyncAll restores scope consistency for the whole volume, level by
 // level (see Sync).
 func (fs *FS) SyncAll(opts ...Option) error {
 	cfg := fs.evalCfg(opts)
 	start := time.Now()
-	cfg.span = fs.obsv.Tracer().Start("hac.SyncAll")
+	cfg.span, cfg.ctx = fs.obsv.Tracer().StartCtx(cfg.ctx, "hac.SyncAll")
 	err := fs.syncLevels(fs.graph.TopoLevels(), cfg)
 	fs.met.syncTotal.Add(1)
 	fs.met.syncSeconds.ObserveSince(start)
@@ -437,7 +444,7 @@ type IndexReport struct {
 func (fs *FS) Reindex(root string, opts ...Option) (IndexReport, error) {
 	cfg := fs.evalCfg(opts)
 	reindexStart := time.Now()
-	sp := fs.obsv.Tracer().Start("hac.Reindex")
+	sp, ctx := fs.obsv.Tracer().StartCtx(cfg.ctx, "hac.Reindex")
 	sp.Annotate("root", root)
 	defer func() {
 		fs.met.reindexTotal.Add(1)
@@ -473,7 +480,9 @@ func (fs *FS) Reindex(root string, opts ...Option) (IndexReport, error) {
 	sp.Annotate("added", strconv.Itoa(added))
 	sp.Annotate("updated", strconv.Itoa(updated))
 	sp.Annotate("removed", strconv.Itoa(removed))
-	err = fs.SyncAll(opts...)
+	// Thread the reindex span's context into the consistency pass, so
+	// its hac.SyncAll root nests in the same trace.
+	err = fs.SyncAll(append(opts[:len(opts):len(opts)], WithContext(ctx))...)
 	sp.FinishErr(err)
 	return rep, err
 }

@@ -14,7 +14,11 @@ import (
 //	/debug/vars   expvar JSON (includes the registry snapshot when the
 //	              registry is expvar-published, as Default()'s is)
 //	/debug/pprof  the standard pprof index, profiles and traces
-//	/debug/spans  JSON array of the tracer's retained spans, oldest first
+//	/debug/spans  JSON array of the tracer's retained spans, sorted by
+//	              start time
+//	/debug/slow   JSON array of over-threshold operations, oldest first
+//	/debug/trace  ?id=<32 hex digits>: JSON array of the retained spans
+//	              belonging to one trace, sorted by start time
 func Handler(o *Observer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -30,6 +34,23 @@ func Handler(o *Observer) http.Handler {
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = o.Tracer().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Slow().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		id, err := ParseTraceID(r.URL.Query().Get("id"))
+		if err != nil {
+			http.Error(w, "bad or missing trace id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		spans := o.Tracer().ByTrace(id)
+		if spans == nil {
+			spans = []*Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = writeSpanJSON(w, spans)
 	})
 	return mux
 }

@@ -13,12 +13,14 @@ import "sync"
 type Observer struct {
 	reg    *Registry
 	tracer *Tracer
+	slow   *SlowLog
 }
 
-// NewObserver returns an observer with a fresh registry and a tracer
-// retaining DefSpanRing spans.
+// NewObserver returns an observer with a fresh registry, a tracer
+// retaining DefSpanRing spans, and a slow-op log retaining DefSlowRing
+// entries.
 func NewObserver() *Observer {
-	return &Observer{reg: NewRegistry(), tracer: NewTracer(0)}
+	return &Observer{reg: NewRegistry(), tracer: NewTracer(0), slow: NewSlowLog(0)}
 }
 
 // Registry returns the metrics registry (nil for a no-op observer).
@@ -35,6 +37,14 @@ func (o *Observer) Tracer() *Tracer {
 		return nil
 	}
 	return o.tracer
+}
+
+// Slow returns the slow-op log (nil for a no-op observer).
+func (o *Observer) Slow() *SlowLog {
+	if o == nil {
+		return nil
+	}
+	return o.slow
 }
 
 var (

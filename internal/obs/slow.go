@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefSlowRing is the default number of slow operations a SlowLog
+// retains.
+const DefSlowRing = 64
+
+// DefSlowThreshold is the default latency above which an operation is
+// recorded as slow.
+const DefSlowThreshold = 250 * time.Millisecond
+
+// SlowOp is one over-threshold operation: what ran, for whom, how
+// long it took, the trace it belongs to, and — for searches — the
+// planner's Explain output captured at evaluation time.
+type SlowOp struct {
+	Time   time.Time     `json:"time"`
+	Op     string        `json:"op"`
+	Tenant string        `json:"tenant,omitempty"`
+	Arg    string        `json:"arg,omitempty"` // query / path, op-specific
+	Dur    time.Duration `json:"dur_ns"`
+	Trace  TraceID       `json:"trace"`
+	Err    string        `json:"err,omitempty"`
+	Detail string        `json:"detail,omitempty"` // captured Explain plan
+}
+
+// SlowLog is a bounded ring of over-threshold operations, newest
+// evicting oldest — the payload behind /debug/slow and the hacsh
+// `slow` builtin. It is safe for concurrent use; a nil *SlowLog is a
+// no-op, so instrumented paths never branch on whether it is enabled.
+//
+// The intended pattern keeps capture cost off the fast path: callers
+// check Over(dur) first and only then assemble the SlowOp (rendering
+// an Explain plan is not free), so sub-threshold operations pay one
+// atomic load.
+type SlowLog struct {
+	threshold atomic.Int64 // nanoseconds; <= 0 disables recording
+
+	mu    sync.Mutex
+	ring  []SlowOp
+	next  int
+	total uint64
+}
+
+// NewSlowLog returns a slow-op log retaining up to capacity entries
+// (capacity <= 0 selects DefSlowRing) with DefSlowThreshold.
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = DefSlowRing
+	}
+	l := &SlowLog{ring: make([]SlowOp, 0, capacity)}
+	l.threshold.Store(int64(DefSlowThreshold))
+	return l
+}
+
+// SetThreshold changes the latency above which operations are
+// recorded. d <= 0 disables recording entirely.
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.threshold.Store(int64(d))
+}
+
+// Threshold returns the current recording threshold (0 = disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	if t := l.threshold.Load(); t > 0 {
+		return time.Duration(t)
+	}
+	return 0
+}
+
+// Over reports whether an operation of duration d should be recorded —
+// the cheap fast-path check callers make before assembling a SlowOp.
+func (l *SlowLog) Over(d time.Duration) bool {
+	if l == nil {
+		return false
+	}
+	t := l.threshold.Load()
+	return t > 0 && d >= time.Duration(t)
+}
+
+// Record retains op, evicting the oldest entry when the ring is full.
+// The entry's Time is stamped here when zero.
+func (l *SlowLog) Record(op SlowOp) {
+	if l == nil {
+		return
+	}
+	if op.Time.IsZero() {
+		op.Time = time.Now()
+	}
+	l.mu.Lock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, op)
+	} else {
+		l.ring[l.next] = op
+		l.next = (l.next + 1) % cap(l.ring)
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// Recent returns the retained slow operations, oldest first.
+func (l *SlowLog) Recent() []SlowOp {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowOp, 0, len(l.ring))
+	if len(l.ring) < cap(l.ring) {
+		out = append(out, l.ring...)
+		return out
+	}
+	for i := 0; i < len(l.ring); i++ {
+		out = append(out, l.ring[(l.next+i)%len(l.ring)])
+	}
+	return out
+}
+
+// Total returns how many slow operations have been recorded over the
+// log's lifetime (including evicted ones).
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// WriteJSON renders the retained slow operations (oldest first) as a
+// JSON array, the payload behind /debug/slow.
+func (l *SlowLog) WriteJSON(w io.Writer) error {
+	ops := l.Recent()
+	if ops == nil {
+		ops = []SlowOp{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ops)
+}

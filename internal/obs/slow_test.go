@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThresholdAndRing(t *testing.T) {
+	sl := NewSlowLog(4)
+	if got := sl.Threshold(); got != DefSlowThreshold {
+		t.Fatalf("default threshold = %v, want %v", got, DefSlowThreshold)
+	}
+	sl.SetThreshold(10 * time.Millisecond)
+	if sl.Over(9 * time.Millisecond) {
+		t.Fatal("9ms should be under a 10ms threshold")
+	}
+	if !sl.Over(11 * time.Millisecond) {
+		t.Fatal("11ms should be over a 10ms threshold")
+	}
+	for i := 1; i <= 6; i++ {
+		sl.Record(SlowOp{Op: fmt.Sprintf("op%d", i), Dur: time.Second})
+	}
+	recent := sl.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring retained %d ops, want 4", len(recent))
+	}
+	for i, want := range []string{"op3", "op4", "op5", "op6"} {
+		if recent[i].Op != want {
+			t.Errorf("recent[%d] = %s, want %s (oldest first)", i, recent[i].Op, want)
+		}
+	}
+	if got := sl.Total(); got != 6 {
+		t.Fatalf("total = %d, want 6", got)
+	}
+	if recent[0].Time.IsZero() {
+		t.Fatal("Record should stamp a zero Time")
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	sl := NewSlowLog(4)
+	sl.SetThreshold(0)
+	if sl.Over(time.Hour) {
+		t.Fatal("threshold 0 disables the log")
+	}
+}
+
+func TestSlowLogNil(t *testing.T) {
+	var sl *SlowLog
+	if sl.Over(time.Hour) {
+		t.Fatal("nil log is never over")
+	}
+	sl.Record(SlowOp{Op: "x"})
+	sl.SetThreshold(time.Second)
+	if sl.Recent() != nil || sl.Total() != 0 {
+		t.Fatal("nil log should report nothing")
+	}
+	var buf bytes.Buffer
+	if err := sl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ops []SlowOp
+	if err := json.Unmarshal(buf.Bytes(), &ops); err != nil {
+		t.Fatalf("nil log JSON does not parse: %v\n%s", err, buf.String())
+	}
+}
+
+func TestSlowLogWriteJSON(t *testing.T) {
+	sl := NewSlowLog(4)
+	sl.Record(SlowOp{Op: "hac.Search", Tenant: "alice", Arg: "q", Dur: time.Second, Detail: "plan"})
+	var buf bytes.Buffer
+	if err := sl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ops []SlowOp
+	if err := json.Unmarshal(buf.Bytes(), &ops); err != nil {
+		t.Fatalf("slow-op JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(ops) != 1 || ops[0].Op != "hac.Search" || ops[0].Tenant != "alice" || ops[0].Dur != time.Second {
+		t.Fatalf("ops = %+v, want the recorded op", ops)
+	}
+}

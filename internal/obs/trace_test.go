@@ -2,11 +2,13 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestSpanRingWraparound finishes more spans than the ring holds and
@@ -104,6 +106,134 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if len(spans) != 1 || spans[0].Name != "op" || len(spans[0].Attrs) != 1 {
 		t.Fatalf("spans = %+v, want one annotated op", spans)
+	}
+}
+
+// TestStartCtxMintsAndAdopts: a StartCtx with a bare context mints a
+// fresh trace; one whose context already carries a span context joins
+// it as a child.
+func TestStartCtxMintsAndAdopts(t *testing.T) {
+	tr := NewTracer(8)
+	root, ctx := tr.StartCtx(context.Background(), "root")
+	if root.Trace.IsZero() {
+		t.Fatal("root span should mint a trace id")
+	}
+	child, _ := tr.StartCtx(ctx, "child")
+	if child.Trace != root.Trace {
+		t.Fatalf("child trace %s, want parent's %s", child.Trace, root.Trace)
+	}
+	if child.Parent != root.ID {
+		t.Fatalf("child.Parent = %d, want %d", child.Parent, root.ID)
+	}
+
+	// A remote context (ContextWith) is adopted the same way.
+	remote := SpanContext{Trace: NewTraceID(), Span: 77}
+	adopted, _ := tr.StartCtx(ContextWith(context.Background(), remote), "server")
+	if adopted.Trace != remote.Trace || adopted.Parent != remote.Span {
+		t.Fatalf("adopted = {%s %d}, want remote context {%s %d}",
+			adopted.Trace, adopted.Parent, remote.Trace, remote.Span)
+	}
+
+	// Nil tracer still forwards the inbound trace through the context.
+	var nilTr *Tracer
+	sp, ctx2 := nilTr.StartCtx(ContextWith(context.Background(), remote), "x")
+	if sp != nil {
+		t.Fatal("nil tracer should hand out nil spans")
+	}
+	if sc, ok := FromContext(ctx2); !ok || sc != remote {
+		t.Fatal("nil tracer must not drop the propagated context")
+	}
+}
+
+func TestByTrace(t *testing.T) {
+	tr := NewTracer(16)
+	a, ctx := tr.StartCtx(context.Background(), "a")
+	b, _ := tr.StartCtx(ctx, "b")
+	b.Finish()
+	a.Finish()
+	other := tr.Start("other")
+	other.Finish()
+
+	got := tr.ByTrace(a.Trace)
+	if len(got) != 2 {
+		t.Fatalf("ByTrace retained %d spans, want 2", len(got))
+	}
+	if got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("ByTrace order = [%s %s], want start order [a b]", got[0].Name, got[1].Name)
+	}
+	if tr.ByTrace(TraceID{}) != nil {
+		t.Fatal("zero trace id should match nothing")
+	}
+}
+
+func TestAnnotateCap(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Start("op")
+	for i := 0; i < MaxSpanAttrs+5; i++ {
+		sp.Annotate(fmt.Sprintf("k%d", i), "v")
+	}
+	sp.Finish()
+	if len(sp.Attrs) != MaxSpanAttrs {
+		t.Fatalf("attrs = %d, want cap %d", len(sp.Attrs), MaxSpanAttrs)
+	}
+	if sp.AttrsDropped != 5 {
+		t.Fatalf("dropped = %d, want 5", sp.AttrsDropped)
+	}
+}
+
+func TestSpanIDNonSequentialAcrossTracers(t *testing.T) {
+	// Span IDs are salted per tracer so merged cross-process traces do
+	// not collide; two fresh tracers must not hand out the same first ID.
+	a := NewTracer(2).Start("a")
+	b := NewTracer(2).Start("b")
+	if a.ID == b.ID {
+		t.Fatalf("two tracers minted the same span id %d", a.ID)
+	}
+	if a.ID == 0 || b.ID == 0 {
+		t.Fatal("span id 0 is reserved for \"no parent\"")
+	}
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	parsed, err := ParseTraceID(id.String())
+	if err != nil || parsed != id {
+		t.Fatalf("ParseTraceID(%s) = %v, %v", id, parsed, err)
+	}
+	hi, lo := id.Words()
+	if TraceIDFromWords(hi, lo) != id {
+		t.Fatal("Words/FromWords round trip failed")
+	}
+	if _, err := ParseTraceID("nope"); err == nil {
+		t.Fatal("short id should not parse")
+	}
+}
+
+// TestWriteJSONSorted: the debug dump is ordered by start time even
+// when spans finish out of order, and includes error strings.
+func TestWriteJSONSorted(t *testing.T) {
+	tr := NewTracer(8)
+	first := tr.Start("first")
+	time.Sleep(time.Millisecond)
+	second := tr.Start("second")
+	second.FinishErr(errors.New("late failure"))
+	first.Finish() // finishes after second: retention order reversed
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var spans []struct {
+		Name string `json:"name"`
+		Err  string `json:"err"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &spans); err != nil {
+		t.Fatalf("span JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(spans) != 2 || spans[0].Name != "first" || spans[1].Name != "second" {
+		t.Fatalf("spans = %+v, want start order [first second]", spans)
+	}
+	if spans[1].Err != "late failure" {
+		t.Fatalf("err = %q, want the FinishErr string", spans[1].Err)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 // bare NOT is the scope's document set, not the whole universe.
 func (p *Plan) Exec() (*bitset.Segmented, error) {
 	p.stats = Stats{}
+	p.executed = true
 	return p.exec(p.root)
 }
 

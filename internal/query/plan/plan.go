@@ -116,6 +116,7 @@ type Plan struct {
 	env      Env
 	scopeSet *bitset.Segmented // memoized scope document set (exec.go)
 	stats    Stats
+	executed bool // Exec ran at least once; Explain shows its stats
 }
 
 // Stats describes what one Exec did.
@@ -275,6 +276,13 @@ func (p *Plan) Explain() string {
 	}
 	sb.WriteByte('\n')
 	p.root.explain(&sb, 0)
+	// Estimates above, reality below: once the plan has run, append what
+	// the execution actually did, so a captured slow-query plan shows
+	// both sides (a cache-served search never ran, and shows none).
+	if p.executed {
+		fmt.Fprintf(&sb, "exec: leaves=%d postings_skipped=%d\n",
+			p.stats.Leaves, p.stats.PostingsSkipped)
+	}
 	return sb.String()
 }
 

@@ -155,6 +155,12 @@ func (w *frameWriter) sendErr(id uint64, err error) error {
 }
 
 func (s *Server) handleFrame(w *frameWriter, f wire.Frame) {
+	// A traced frame carries the caller's span context in its header;
+	// joining it links the server's spans into the client's trace.
+	ctx := context.Background()
+	if sc := (obs.SpanContext{Trace: f.Trace, Span: f.Span}); sc.Valid() {
+		ctx = obs.ContextWith(ctx, sc)
+	}
 	switch f.Type {
 	case fPing:
 		w.send(wire.Frame{Type: fPong, Flags: wire.FlagFinal, ID: f.ID})
@@ -167,10 +173,13 @@ func (s *Server) handleFrame(w *frameWriter, f wire.Frame) {
 		if pageSize <= 0 {
 			pageSize = 512
 		}
+		sp, _ := s.startOp(ctx, "remote.Search", q)
+		start := time.Now()
 		pb, paged := s.backend.(PagedBackend)
 		if !paged {
 			// Unpaged backend: the whole result as a single final page.
 			paths, err := s.backend.Search(q)
+			s.finishOp(sp, "remote.Search", q, start, err)
 			if err != nil {
 				w.sendErr(f.ID, err)
 				return
@@ -184,6 +193,7 @@ func (s *Server) handleFrame(w *frameWriter, f wire.Frame) {
 		for page := 0; ; page++ {
 			paths, next, err := pb.SearchPage(q, cursor, pageSize)
 			if err != nil {
+				s.finishOp(sp, "remote.Search", q, start, err)
 				w.sendErr(f.ID, err)
 				return
 			}
@@ -193,9 +203,11 @@ func (s *Server) handleFrame(w *frameWriter, f wire.Frame) {
 				fr.Flags = wire.FlagFinal
 			}
 			if err := w.send(fr); err != nil {
+				s.finishOp(sp, "remote.Search", q, start, err)
 				return
 			}
 			if final {
+				s.finishOp(sp, "remote.Search", q, start, nil)
 				return
 			}
 			cursor = next
@@ -230,6 +242,7 @@ type BinClient struct {
 	name string
 	mux  *wire.Mux
 	met  clientMetrics
+	obsv *obs.Observer
 }
 
 // DialBin creates a binary-protocol client for the server at addr.
@@ -240,7 +253,26 @@ func DialBin(name, addr string) *BinClient {
 		name: name,
 		mux:  wire.NewMux(addr, 10*time.Second, maxFramePayload),
 		met:  newClientMetrics(obs.Default()),
+		obsv: obs.Default(),
 	}
+}
+
+// SetObserver redirects the client's metrics and spans.
+func (c *BinClient) SetObserver(o *obs.Observer) {
+	if o == nil {
+		o = obs.Discard()
+	}
+	c.met = newClientMetrics(o)
+	c.obsv = o
+}
+
+// startRPC opens a client span for one search call. The returned
+// context carries the span, so the mux stamps its trace header onto
+// the request frame and the server joins the same trace.
+func (c *BinClient) startRPC(ctx context.Context, name, q string) (*obs.Span, context.Context) {
+	sp, ctx := c.obsv.Tracer().StartCtx(ctx, name)
+	sp.Annotate("query", q)
+	return sp, ctx
 }
 
 // SetTimeout changes the dial/request deadline.
@@ -284,6 +316,8 @@ func (c *BinClient) Search(q string) ([]string, error) {
 // SearchContext is Search bounded by ctx.
 func (c *BinClient) SearchContext(ctx context.Context, q string) (_ []string, err error) {
 	defer c.met.search.done(time.Now(), &err)
+	sp, ctx := c.startRPC(ctx, "rpc.remote.Search", q)
+	defer func() { sp.FinishErr(err) }()
 	var out []string
 	err = c.searchPages(ctx, q, 0, 0, 0, func(paths []string, next uint64) {
 		out = append(out, paths...)
@@ -299,6 +333,8 @@ func (c *BinClient) SearchContext(ctx context.Context, q string) (_ []string, er
 // bounds the stream to one frame.
 func (c *BinClient) SearchPage(ctx context.Context, q string, after uint64, limit int) (_ []string, _ uint64, err error) {
 	defer c.met.search.done(time.Now(), &err)
+	sp, ctx := c.startRPC(ctx, "rpc.remote.SearchPage", q)
+	defer func() { sp.FinishErr(err) }()
 	var out []string
 	var nextOut uint64
 	err = c.searchPages(ctx, q, after, limit, 1, func(paths []string, next uint64) {

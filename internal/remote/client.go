@@ -23,11 +23,13 @@ type Client struct {
 	addr    string
 	timeout time.Duration
 
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-	met  clientMetrics
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	noTrace bool // this connection's server rejected TRACE; stop sending it
+	met     clientMetrics
+	obsv    *obs.Observer
 }
 
 // Dial creates a client for the server at addr. name becomes the
@@ -39,6 +41,7 @@ func Dial(name, addr string) *Client {
 		addr:    addr,
 		timeout: 10 * time.Second,
 		met:     newClientMetrics(obs.Default()),
+		obsv:    obs.Default(),
 	}
 }
 
@@ -81,7 +84,44 @@ func (c *Client) ensureLocked(ctx context.Context) error {
 	c.conn = conn
 	c.r = bufio.NewReader(conn)
 	c.w = bufio.NewWriter(conn)
+	// A fresh connection may be to an upgraded server: probe TRACE again.
+	c.noTrace = false
 	return nil
+}
+
+// sendTraceLocked arms the server with the caller's trace context, so
+// the next command's server span joins the distributed trace. Best
+// effort: a pre-TRACE server answers ERR "unknown verb" and keeps the
+// connection alive — remember its refusal and never send TRACE on this
+// connection again. Transport errors surface on the command that
+// follows, not here.
+func (c *Client) sendTraceLocked(ctx context.Context) {
+	sc, ok := obs.FromContext(ctx)
+	if !ok || c.noTrace {
+		return
+	}
+	// Send on the current connection only — no retry/redial, so the
+	// armed state cannot outlive the connection it was sent on.
+	if err := c.ensureLocked(ctx); err != nil {
+		return
+	}
+	if dl := c.deadlineLocked(ctx); !dl.IsZero() {
+		c.conn.SetDeadline(dl)
+	}
+	if err := writeLine(c.w, verbTrace, sc.Trace.String(), strconv.FormatUint(uint64(sc.Span), 10)); err != nil {
+		return
+	}
+	if err := c.w.Flush(); err != nil {
+		return
+	}
+	line, err := readLine(c.r)
+	if err != nil {
+		c.dropLocked()
+		return
+	}
+	if verb, _ := splitVerb(line); verb != replyOK {
+		c.noTrace = true
+	}
 }
 
 // deadlineLocked computes the connection deadline for one request: the
@@ -163,6 +203,11 @@ func (c *Client) SearchContext(ctx context.Context, q string) (_ []string, err e
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	defer c.met.search.done(time.Now(), &err)
+	var sp *obs.Span
+	sp, ctx = c.obsv.Tracer().StartCtx(ctx, "rpc.remote.Search")
+	sp.Annotate("query", q)
+	defer func() { sp.FinishErr(err) }()
+	c.sendTraceLocked(ctx)
 	line, err := c.roundTrip(ctx, verbSearch, quote(q))
 	if err != nil {
 		return nil, err
@@ -206,6 +251,11 @@ func (c *Client) SearchPage(ctx context.Context, q string, after uint64, limit i
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	defer c.met.search.done(time.Now(), &err)
+	var sp *obs.Span
+	sp, ctx = c.obsv.Tracer().StartCtx(ctx, "rpc.remote.SearchPage")
+	sp.Annotate("query", q)
+	defer func() { sp.FinishErr(err) }()
+	c.sendTraceLocked(ctx)
 	line, err := c.roundTrip(ctx, verbSearchPage,
 		strconv.FormatUint(after, 10), strconv.Itoa(limit), quote(q))
 	if err != nil {

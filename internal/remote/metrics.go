@@ -52,10 +52,14 @@ func newClientMetrics(o *obs.Observer) clientMetrics {
 	}
 }
 
-// SetObserver redirects the client's metrics to o (they default to the
-// process-wide obs.Default()).
+// SetObserver redirects the client's metrics and spans to o (they
+// default to the process-wide obs.Default()).
 func (c *Client) SetObserver(o *obs.Observer) {
+	if o == nil {
+		o = obs.Discard()
+	}
 	c.mu.Lock()
 	c.met = newClientMetrics(o)
+	c.obsv = o
 	c.mu.Unlock()
 }

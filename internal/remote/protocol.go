@@ -11,7 +11,14 @@
 //	                                  (<next> = cursor of the next page, 0 = done)
 //	C: FETCH <quoted-path>\n          S: DATA <len>\n then len bytes
 //	C: PING\n                         S: PONG\n
+//	C: TRACE <trace-id> <span-id>\n   S: OK\n
 //	any error                         S: ERR <quoted-message>\n
+//
+// TRACE arms the connection with a trace context (32-hex-digit trace
+// ID, decimal parent span ID) applied to the next command, which joins
+// the caller's distributed trace. Servers that predate the verb answer
+// ERR "unknown verb" and keep the connection alive; clients treat that
+// as "tracing unsupported" and stop sending it.
 //
 // Strings are Go-quoted (strconv.Quote) so queries and paths may
 // contain spaces safely.
@@ -31,6 +38,7 @@ const (
 	verbSearchPage = "SEARCHP"
 	verbFetch      = "FETCH"
 	verbPing       = "PING"
+	verbTrace      = "TRACE"
 
 	replyOK   = "OK"
 	replyData = "DATA"

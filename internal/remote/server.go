@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -10,8 +11,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"hacfs/internal/index"
+	"hacfs/internal/obs"
 	"hacfs/internal/query"
 	"hacfs/internal/query/plan"
 	"hacfs/internal/vfs"
@@ -108,6 +111,7 @@ func (b *IndexBackend) Fetch(path string) ([]byte, error) {
 type Server struct {
 	backend Backend
 	logger  *log.Logger
+	obsv    *obs.Observer
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -122,7 +126,43 @@ func NewServer(backend Backend, logger *log.Logger) *Server {
 	return &Server{
 		backend: backend,
 		logger:  logger,
+		obsv:    obs.Default(),
 		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// SetObserver redirects the server's spans and slow-op records, e.g.
+// to a private observer in tests.
+func (s *Server) SetObserver(o *obs.Observer) {
+	if o == nil {
+		o = obs.Discard()
+	}
+	s.obsv = o
+}
+
+// startOp opens a server span for one search operation. A trace armed
+// by the client (TRACE verb or binary frame header) is joined;
+// untraced requests still get a root span, so the server's span ring
+// sees every remote search. The companion finishOp closes the span and
+// records the op in the slow log when it crossed the threshold.
+func (s *Server) startOp(ctx context.Context, name, arg string) (*obs.Span, context.Context) {
+	sp, ctx := s.obsv.Tracer().StartCtx(ctx, name)
+	sp.Annotate("query", arg)
+	return sp, ctx
+}
+
+func (s *Server) finishOp(sp *obs.Span, name, arg string, start time.Time, err error) {
+	sp.FinishErr(err)
+	dur := time.Since(start)
+	if slow := s.obsv.Slow(); slow.Over(dur) {
+		op := obs.SlowOp{Op: name, Arg: arg, Dur: dur}
+		if sp != nil {
+			op.Trace = sp.Context().Trace
+		}
+		if err != nil {
+			op.Err = err.Error()
+		}
+		slow.Record(op)
 	}
 }
 
@@ -203,12 +243,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	w := bufio.NewWriter(conn)
+	// The connection's armed trace context: set by TRACE, consumed by
+	// the next command. One goroutine serves the whole line loop, so no
+	// locking is needed.
+	var pending obs.SpanContext
 	for {
 		line, err := readLine(r)
 		if err != nil {
 			return
 		}
-		if err := s.handle(w, line); err != nil {
+		if err := s.handle(w, line, &pending); err != nil {
 			s.logf("remote: %v", err)
 			return
 		}
@@ -218,17 +262,35 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) handle(w *bufio.Writer, line string) error {
+func (s *Server) handle(w *bufio.Writer, line string, pending *obs.SpanContext) error {
 	verb, arg := splitVerb(line)
+	// Consume the armed trace (TRACE applies to the next command only).
+	ctx := context.Background()
+	if pending.Valid() {
+		ctx = obs.ContextWith(ctx, *pending)
+		*pending = obs.SpanContext{}
+	}
 	switch verb {
 	case verbPing:
 		return writeLine(w, replyPong)
+	case verbTrace:
+		idStr, spanStr := splitVerb(arg)
+		id, err := obs.ParseTraceID(idStr)
+		span, serr := strconv.ParseUint(spanStr, 10, 64)
+		if err != nil || serr != nil {
+			return writeLine(w, replyErr, quote("malformed trace arguments"))
+		}
+		*pending = obs.SpanContext{Trace: id, Span: obs.SpanID(span)}
+		return writeLine(w, replyOK)
 	case verbSearch:
 		q, err := unquote(arg)
 		if err != nil {
 			return writeLine(w, replyErr, quote("malformed query argument"))
 		}
+		sp, _ := s.startOp(ctx, "remote.Search", q)
+		start := time.Now()
 		results, err := s.backend.Search(q)
+		s.finishOp(sp, "remote.Search", q, start, err)
 		if err != nil {
 			return writeLine(w, replyErr, quote(err.Error()))
 		}
@@ -255,12 +317,15 @@ func (s *Server) handle(w *bufio.Writer, line string) error {
 		var results []string
 		var next uint64
 		var err error
+		sp, _ := s.startOp(ctx, "remote.SearchPage", q)
+		start := time.Now()
 		if pb, ok := s.backend.(PagedBackend); ok {
 			results, next, err = pb.SearchPage(q, after, limit)
 		} else if after == 0 {
 			// Unpaged backend: everything as one page.
 			results, err = s.backend.Search(q)
 		}
+		s.finishOp(sp, "remote.SearchPage", q, start, err)
 		if err != nil {
 			return writeLine(w, replyErr, quote(err.Error()))
 		}

@@ -120,6 +120,10 @@ func (c *Client) callCtx(ctx context.Context, req *request) (_ *response, err er
 		defer m.done(time.Now(), &err)
 	}
 	req.Tenant = c.tenant
+	if sc, ok := obs.FromContext(ctx); ok {
+		req.TraceHi, req.TraceLo = sc.Trace.Words()
+		req.TraceSpan = uint64(sc.Span)
+	}
 	attempts := 2
 	if req.Handle != 0 {
 		attempts = 1

@@ -36,6 +36,19 @@ var opNames = map[opCode]string{
 	opSearchStream: "searchstream",
 }
 
+// rpcSpanNames and rfsSpanNames are the client- and server-side span
+// names per op, built once so the per-request hot path doesn't
+// re-concatenate them.
+var rpcSpanNames, rfsSpanNames = func() (map[opCode]string, map[opCode]string) {
+	rpc := make(map[opCode]string, len(opNames))
+	rfs := make(map[opCode]string, len(opNames))
+	for op, name := range opNames {
+		rpc[op] = "rpc." + name
+		rfs[op] = "rfs." + name
+	}
+	return rpc, rfs
+}()
+
 // rpcMetrics instruments one protocol op: call count, transport latency
 // and transport-error count (server-side errors travel inside the
 // response and are not counted here).

@@ -20,6 +20,7 @@ type MuxClient struct {
 	tenant string
 	mux    *wire.Mux
 	met    clientMetrics
+	obsv   *obs.Observer
 }
 
 var _ vfs.FileSystem = (*MuxClient)(nil)
@@ -29,8 +30,9 @@ var _ vfs.FileSystem = (*MuxClient)(nil)
 // established lazily.
 func DialMux(addr string) *MuxClient {
 	return &MuxClient{
-		mux: wire.NewMux(addr, 10*time.Second, maxFrameBuf),
-		met: newClientMetrics(obs.Default()),
+		mux:  wire.NewMux(addr, 10*time.Second, maxFrameBuf),
+		met:  newClientMetrics(obs.Default()),
+		obsv: obs.Default(),
 	}
 }
 
@@ -45,8 +47,44 @@ func (c *MuxClient) Tenant(name string) *MuxClient {
 // SetTimeout changes the dial / per-request deadline.
 func (c *MuxClient) SetTimeout(d time.Duration) { c.mux.SetTimeout(d) }
 
-// SetObserver redirects the client's metrics to o.
-func (c *MuxClient) SetObserver(o *obs.Observer) { c.met = newClientMetrics(o) }
+// SetObserver redirects the client's metrics, spans and slow-op log
+// to o.
+func (c *MuxClient) SetObserver(o *obs.Observer) {
+	c.met = newClientMetrics(o)
+	c.obsv = o
+}
+
+// startRPC opens the client-side span for one remote operation: the
+// local fragment of the distributed trace, parent of the server's
+// span (the span's context is handed straight to the mux for frame
+// injection — the client never needs it back out of a context, so
+// nothing is re-wrapped). Only the semantic ops — search, streamed
+// search, sync — mint a trace of their own; everything else joins a
+// trace only when the caller's ctx already carries one (a span started
+// with no trace in ctx would orphan otherwise-untraced cheap ops into
+// single-span traces).
+func (c *MuxClient) startRPC(ctx context.Context, op opCode) (*obs.Span, obs.SpanContext) {
+	sc, traced := obs.FromContext(ctx)
+	if !traced {
+		switch op {
+		case opSearch, opSearchStream, opSync:
+		default:
+			return nil, sc
+		}
+	}
+	var sp *obs.Span
+	if c.tenant != "" {
+		sp = c.obsv.Tracer().StartRemote(sc, rpcSpanNames[op], "addr", c.mux.Addr(), "tenant", c.tenant)
+	} else {
+		sp = c.obsv.Tracer().StartRemote(sc, rpcSpanNames[op], "addr", c.mux.Addr())
+	}
+	if sp == nil {
+		// Tracing disabled here; still forward the caller's trace so the
+		// server can join it.
+		return nil, sc
+	}
+	return sp, sp.Context()
+}
 
 // Close drops the connection (shared by all tenant views); later
 // requests re-dial.
@@ -61,8 +99,10 @@ func (c *MuxClient) callCtx(ctx context.Context, req *request) (_ *response, err
 	if m, ok := c.met.ops[req.Op]; ok {
 		defer m.done(time.Now(), &err)
 	}
+	sp, sc := c.startRPC(ctx, req.Op)
+	defer func() { sp.FinishErr(err) }()
 	req.Tenant = c.tenant
-	f, err := c.mux.CallOne(ctx, rfReq, appendRequest(nil, req))
+	f, err := c.mux.CallOneSC(ctx, sc, rfReq, appendRequest(nil, req))
 	if err != nil {
 		return nil, fmt.Errorf("remotefs: %w", err)
 	}
@@ -144,8 +184,10 @@ func (c *MuxClient) SearchStream(ctx context.Context, query, scope string, pageS
 	if m, ok := c.met.ops[opSearchStream]; ok {
 		defer m.done(time.Now(), &err)
 	}
+	sp, sc := c.startRPC(ctx, opSearchStream)
+	defer func() { sp.FinishErr(err) }()
 	req := &request{Op: opSearchStream, Tenant: c.tenant, Path: scope, Path2: query, N: pageSize}
-	st, err := c.mux.Call(ctx, rfReq, appendRequest(nil, req))
+	st, err := c.mux.CallSC(ctx, sc, rfReq, appendRequest(nil, req))
 	if err != nil {
 		return fmt.Errorf("remotefs: %w", err)
 	}

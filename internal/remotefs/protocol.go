@@ -77,6 +77,15 @@ type request struct {
 	Whence int
 	Size   int64
 	N      int // read length
+
+	// Propagated trace context (DESIGN.md §13), legacy gob protocol
+	// only — the binary framing ships it as the wire trace header
+	// instead, so the strict binary codec is unchanged. Gob omits
+	// zero-valued fields, so an untraced request from a new client is
+	// byte-identical to a legacy client's, and old servers decoding a
+	// traced request silently drop the unknown fields.
+	TraceHi, TraceLo uint64 // 128-bit trace ID halves (0,0 = untraced)
+	TraceSpan        uint64 // caller's span ID, the server span's parent
 }
 
 // response is one marshalled result.

@@ -2,14 +2,18 @@ package remotefs
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"hacfs/internal/obs"
 	"hacfs/internal/vfs"
 	"hacfs/internal/wire"
 )
@@ -51,6 +55,7 @@ func (s soloVolumes) Admit(tenant, op string) (func(), error) { return func() {}
 type Server struct {
 	vols   Volumes
 	logger *log.Logger
+	obsv   *obs.Observer
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -68,8 +73,12 @@ func NewServer(fsys vfs.FileSystem, logger *log.Logger) *Server {
 // NewHostServer returns a server routing requests through vols — the
 // multi-tenant form (see internal/serve.Host).
 func NewHostServer(vols Volumes, logger *log.Logger) *Server {
-	return &Server{vols: vols, logger: logger, conns: make(map[net.Conn]struct{})}
+	return &Server{vols: vols, logger: logger, obsv: obs.Default(), conns: make(map[net.Conn]struct{})}
 }
+
+// SetObserver redirects the server's spans and slow-op log to o (they
+// default to the process-wide obs.Default()). Call before Serve.
+func (s *Server) SetObserver(o *obs.Observer) { s.obsv = o }
 
 // Serve accepts connections until Close.
 func (s *Server) Serve(l net.Listener) error {
@@ -152,10 +161,24 @@ type Searcher interface {
 	SearchPage(query, scope string, after uint64, limit int) ([]string, uint64, error)
 }
 
+// ContextSearcher is Searcher with the request context threaded
+// through, so a propagated trace (and tenant baggage) reaches the
+// engine's spans; hac.FS implements it. The server prefers it when
+// present.
+type ContextSearcher interface {
+	SearchPageContext(ctx context.Context, query, scope string, after uint64, limit int) ([]string, uint64, error)
+}
+
 // PathSyncer is the optional scope-consistency surface; hac.FS
 // implements it (the paper's ssync command, served over the wire).
 type PathSyncer interface {
 	SyncPath(path string) error
+}
+
+// ContextSyncer is PathSyncer with the request context threaded
+// through (see ContextSearcher); hac.FS implements it.
+type ContextSyncer interface {
+	SyncPathContext(ctx context.Context, path string) error
 }
 
 // handleState is one open file handle plus the lock that serializes
@@ -171,14 +194,15 @@ type handleState struct {
 // execute concurrently.
 type session struct {
 	vols Volumes
+	obsv *obs.Observer
 
 	mu         sync.Mutex
 	handles    map[uint64]*handleState
 	nextHandle uint64
 }
 
-func newSession(vols Volumes) *session {
-	return &session{vols: vols, handles: make(map[uint64]*handleState)}
+func newSession(vols Volumes, obsv *obs.Observer) *session {
+	return &session{vols: vols, obsv: obsv, handles: make(map[uint64]*handleState)}
 }
 
 func (sess *session) closeAll() {
@@ -225,7 +249,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // serveGob answers the legacy one-request-at-a-time protocol.
 func (s *Server) serveGob(conn net.Conn, r *bufio.Reader) {
-	sess := newSession(s.vols)
+	sess := newSession(s.vols, s.obsv)
 	defer sess.closeAll()
 	dec := gob.NewDecoder(r)
 	enc := gob.NewEncoder(conn)
@@ -237,7 +261,14 @@ func (s *Server) serveGob(conn net.Conn, r *bufio.Reader) {
 			}
 			return
 		}
-		resp := sess.dispatch(&req)
+		var parent obs.SpanContext
+		if req.TraceHi != 0 || req.TraceLo != 0 {
+			parent = obs.SpanContext{
+				Trace: obs.TraceIDFromWords(req.TraceHi, req.TraceLo),
+				Span:  obs.SpanID(req.TraceSpan),
+			}
+		}
+		resp := sess.dispatch(context.Background(), &req, parent)
 		if err := enc.Encode(resp); err != nil {
 			s.logf("remotefs: encode: %v", err)
 			return
@@ -305,7 +336,7 @@ func (s *Server) serveMux(conn net.Conn, r *bufio.Reader) {
 			Payload: []byte(fmt.Sprintf("unsupported protocol version %d (server speaks %d)", ver, wire.Version))})
 		return
 	}
-	sess := newSession(s.vols)
+	sess := newSession(s.vols, s.obsv)
 	defer sess.closeAll()
 	sem := make(chan struct{}, maxConnInflight)
 	var reqWG sync.WaitGroup
@@ -330,11 +361,12 @@ func (s *Server) serveMux(conn net.Conn, r *bufio.Reader) {
 				w.send(wire.Frame{Type: rfErr, Flags: wire.FlagFinal, ID: f.ID, Payload: []byte(err.Error())})
 				return
 			}
+			parent := obs.SpanContext{Trace: f.Trace, Span: f.Span}
 			if req.Op == opSearchStream {
-				sess.streamSearch(w, f.ID, &req)
+				sess.streamSearch(context.Background(), w, f.ID, &req, parent)
 				return
 			}
-			resp := sess.dispatch(&req)
+			resp := sess.dispatch(context.Background(), &req, parent)
 			if err := w.sendResp(f.ID, wire.FlagFinal, resp); err != nil {
 				s.logf("remotefs: send: %v", err)
 			}
@@ -345,15 +377,20 @@ func (s *Server) serveMux(conn net.Conn, r *bufio.Reader) {
 // streamSearch walks the whole cursor server-side, emitting one
 // response frame per page; the last page carries FlagFinal. Page size
 // comes from req.N, an optional page budget from req.Size.
-func (sess *session) streamSearch(w *muxWriter, id uint64, req *request) {
+func (sess *session) streamSearch(ctx context.Context, w *muxWriter, id uint64, req *request, parent obs.SpanContext) {
 	fail := func(we *wireError) { w.sendResp(id, wire.FlagFinal, &response{Err: we}) }
-	fsys, release, we := sess.admit(req)
+	fsys, tenant, release, we := sess.admit(req)
 	if we != nil {
 		fail(we)
 		return
 	}
 	defer release()
-	sr, ok := fsys.(Searcher)
+	ctx = obs.WithTenant(ctx, tenant)
+	sp, ctx := sess.startOp(ctx, req, tenant, parent)
+	start := time.Now()
+	var opErr error
+	defer func() { sess.finishOp(ctx, sp, req, start, opErr) }()
+	search, ok := searchFunc(ctx, fsys)
 	if !ok {
 		fail(&wireError{Kind: "Unsupported", Msg: "remotefs: file system is not searchable"})
 		return
@@ -368,8 +405,9 @@ func (sess *session) streamSearch(w *muxWriter, id uint64, req *request) {
 	}
 	cursor := uint64(req.Offset)
 	for page := 0; ; page++ {
-		paths, next, err := sr.SearchPage(req.Path2, req.Path, cursor, pageSize)
+		paths, next, err := search(req.Path2, req.Path, cursor, pageSize)
 		if err != nil {
+			opErr = err
 			fail(encodeErr(err))
 			return
 		}
@@ -395,7 +433,7 @@ func (sess *session) streamSearch(w *muxWriter, id uint64, req *request) {
 // admit resolves the request's tenant volume and passes admission
 // control. Handle-bound operations charge the tenant the handle was
 // opened for.
-func (sess *session) admit(req *request) (vfs.FileSystem, func(), *wireError) {
+func (sess *session) admit(req *request) (vfs.FileSystem, string, func(), *wireError) {
 	tenant := req.Tenant
 	if req.Op >= opFileRead && req.Op <= opFileClose {
 		if h, ok := sess.handle(req.Handle); ok {
@@ -404,30 +442,108 @@ func (sess *session) admit(req *request) (vfs.FileSystem, func(), *wireError) {
 	}
 	fsys, err := sess.vols.Volume(tenant)
 	if err != nil {
-		return nil, nil, encodeErr(err)
+		return nil, tenant, nil, encodeErr(err)
 	}
 	release, err := sess.vols.Admit(tenant, opNames[req.Op])
 	if err != nil {
-		return nil, nil, encodeErr(err)
+		return nil, tenant, nil, encodeErr(err)
 	}
-	return fsys, release, nil
+	return fsys, tenant, release, nil
+}
+
+// startOp opens the server-side span for one request, parented to the
+// span context the client shipped on the wire (zero parent = the
+// request arrived untraced). Cheap ops only get a span when the client
+// propagated a trace (so an untraced fread storm costs nothing); the
+// semantic ops worth tracing standalone — search, streamed search,
+// sync — always do.
+func (sess *session) startOp(ctx context.Context, req *request, tenant string, parent obs.SpanContext) (*obs.Span, context.Context) {
+	if !parent.Valid() {
+		switch req.Op {
+		case opSearch, opSearchStream, opSync:
+		default:
+			return nil, ctx
+		}
+	}
+	var sp *obs.Span
+	if tenant != "" {
+		sp = sess.obsv.Tracer().StartRemote(parent, rfsSpanNames[req.Op], "tenant", tenant)
+	} else {
+		sp = sess.obsv.Tracer().StartRemote(parent, rfsSpanNames[req.Op])
+	}
+	if sp == nil {
+		// Tracing disabled here; still forward the inbound trace so an
+		// engine with its own observer can join it.
+		return nil, obs.ContextWith(ctx, parent)
+	}
+	return sp, obs.ContextWithSpan(ctx, sp)
+}
+
+// finishOp closes the request's span and records it in the slow-op log
+// when over threshold.
+func (sess *session) finishOp(ctx context.Context, sp *obs.Span, req *request, start time.Time, err error) {
+	sp.FinishErr(err)
+	dur := time.Since(start)
+	if slow := sess.obsv.Slow(); slow.Over(dur) {
+		op := obs.SlowOp{
+			Op:     rfsSpanNames[req.Op],
+			Tenant: obs.TenantFromContext(ctx),
+			Dur:    dur,
+		}
+		if sc, ok := obs.FromContext(ctx); ok {
+			op.Trace = sc.Trace
+		}
+		switch req.Op {
+		case opSearch, opSearchStream:
+			op.Arg = req.Path2
+		default:
+			op.Arg = req.Path
+		}
+		if err != nil {
+			op.Err = err.Error()
+		}
+		slow.Record(op)
+	}
+}
+
+// searchFunc resolves the volume's search surface, preferring the
+// context-threading form so the trace reaches the engine.
+func searchFunc(ctx context.Context, fsys vfs.FileSystem) (func(query, scope string, after uint64, limit int) ([]string, uint64, error), bool) {
+	if cs, ok := fsys.(ContextSearcher); ok {
+		return func(query, scope string, after uint64, limit int) ([]string, uint64, error) {
+			return cs.SearchPageContext(ctx, query, scope, after, limit)
+		}, true
+	}
+	if sr, ok := fsys.(Searcher); ok {
+		return sr.SearchPage, true
+	}
+	return nil, false
 }
 
 // dispatch admits and executes one request.
-func (sess *session) dispatch(req *request) *response {
+func (sess *session) dispatch(ctx context.Context, req *request, parent obs.SpanContext) *response {
 	if req.Op == opPing {
 		return &response{}
 	}
-	fsys, release, we := sess.admit(req)
+	fsys, tenant, release, we := sess.admit(req)
 	if we != nil {
 		return &response{Err: we}
 	}
 	defer release()
-	return sess.exec(fsys, req)
+	ctx = obs.WithTenant(ctx, tenant)
+	sp, ctx := sess.startOp(ctx, req, tenant, parent)
+	start := time.Now()
+	resp := sess.exec(ctx, fsys, req)
+	var err error
+	if resp.Err != nil {
+		err = errors.New(resp.Err.Msg)
+	}
+	sess.finishOp(ctx, sp, req, start, err)
+	return resp
 }
 
 // exec performs one operation against the resolved volume.
-func (sess *session) exec(fsys vfs.FileSystem, req *request) *response {
+func (sess *session) exec(ctx context.Context, fsys vfs.FileSystem, req *request) *response {
 	switch req.Op {
 	case opMkdir:
 		return &response{Err: encodeErr(fsys.Mkdir(req.Path))}
@@ -469,20 +585,23 @@ func (sess *session) exec(fsys vfs.FileSystem, req *request) *response {
 		// legacy protocol pages with opSearch instead.
 		return &response{Err: &wireError{Kind: "Unsupported", Msg: "remotefs: streamed search requires the binary protocol"}}
 	case opSync:
+		if cs, ok := fsys.(ContextSyncer); ok {
+			return &response{Err: encodeErr(cs.SyncPathContext(ctx, req.Path))}
+		}
 		ps, ok := fsys.(PathSyncer)
 		if !ok {
 			return &response{Err: &wireError{Kind: "Unsupported", Msg: "remotefs: file system has no semantic layer"}}
 		}
 		return &response{Err: encodeErr(ps.SyncPath(req.Path))}
 	case opSearch:
-		sr, ok := fsys.(Searcher)
+		search, ok := searchFunc(ctx, fsys)
 		if !ok {
 			return &response{Err: &wireError{Kind: "Unsupported", Msg: "remotefs: file system is not searchable"}}
 		}
 		if req.Offset < 0 {
 			return &response{Err: &wireError{Kind: "Invalid", Msg: "remotefs: negative search cursor"}}
 		}
-		paths, next, err := sr.SearchPage(req.Path2, req.Path, uint64(req.Offset), req.N)
+		paths, next, err := search(req.Path2, req.Path, uint64(req.Offset), req.N)
 		if err != nil {
 			return &response{Err: encodeErr(err)}
 		}

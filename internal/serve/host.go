@@ -39,7 +39,8 @@ type tenant struct {
 	savePath string // checkpoint target; "" = not persisted
 
 	u        usage
-	inflight int64 // guarded by Host.mu
+	inflight int64       // guarded by Host.mu
+	slo      *sloTracker // guarded by Host.mu; nil = no objective
 	met      tenantMetrics
 }
 
@@ -213,6 +214,7 @@ func (h *Host) Admit(name, op string) (func(), error) {
 	}
 	t.inflight++
 	h.total++
+	slo := t.slo
 	h.mu.Unlock()
 	t.met.inflight.Add(1)
 
@@ -221,9 +223,14 @@ func (h *Host) Admit(name, op string) (func(), error) {
 	t.met.admitSeconds.ObserveSince(start)
 	t.met.requests.Inc()
 
+	// SLO latency runs admission to release: scheduler wait is already
+	// behind us (it has its own histogram), execution time is what the
+	// release closure sees.
+	opStart := time.Now()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
+			slo.record(time.Since(opStart))
 			h.sched.release()
 			t.met.inflight.Add(-1)
 			h.mu.Lock()

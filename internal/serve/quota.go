@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 
 	"hacfs/internal/vfs"
@@ -184,6 +185,31 @@ func (f *quotaFS) SyncPath(path string) error {
 		return &vfs.PathError{Op: "ssync", Path: path, Err: vfs.ErrUnsupported}
 	}
 	return ps.SyncPath(path)
+}
+
+// Context-threading forms (remotefs.ContextSearcher / ContextSyncer):
+// forwarded so a propagated trace passes through the quota wrapper to
+// the engine; fall back to the plain forms for inner file systems that
+// predate them.
+
+func (f *quotaFS) SearchPageContext(ctx context.Context, query, scope string, after uint64, limit int) ([]string, uint64, error) {
+	type searcher interface {
+		SearchPageContext(ctx context.Context, query, scope string, after uint64, limit int) ([]string, uint64, error)
+	}
+	if sr, ok := f.inner.(searcher); ok {
+		return sr.SearchPageContext(ctx, query, scope, after, limit)
+	}
+	return f.SearchPage(query, scope, after, limit)
+}
+
+func (f *quotaFS) SyncPathContext(ctx context.Context, path string) error {
+	type syncer interface {
+		SyncPathContext(ctx context.Context, path string) error
+	}
+	if ps, ok := f.inner.(syncer); ok {
+		return ps.SyncPathContext(ctx, path)
+	}
+	return f.SyncPath(path)
 }
 
 // quotaFile charges handle writes by their measured growth: sizes are

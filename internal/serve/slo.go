@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"hacfs/internal/obs"
+	"hacfs/internal/vfs"
+)
+
+// SLO is one tenant's latency objective: at least Target of requests
+// should finish within Latency, measured from admission to release
+// (scheduler wait included — that is what the tenant experiences).
+type SLO struct {
+	Latency time.Duration // per-request latency threshold
+	Target  float64       // objective fraction of good requests, e.g. 0.99
+}
+
+// sloWindowSecs is how much per-second history a tracker retains — it
+// bounds the longest burn-rate window (1h).
+const sloWindowSecs = 3600
+
+// sloBucket accumulates one second's requests. Buckets live in a ring
+// indexed by sec % sloWindowSecs and are lazily reset when their slot
+// is reused for a new second, so recording stays O(1) with no ticker
+// goroutine.
+type sloBucket struct {
+	sec         int64 // unix second this bucket currently holds
+	good, total uint64
+}
+
+// sloTracker measures one tenant against its SLO: lifetime good/total
+// counters (the serve_slo_*_total series) plus a ring of per-second
+// buckets that burn-rate gauges aggregate at scrape time. A nil
+// tracker is a no-op, so tenants without an SLO pay nothing.
+type sloTracker struct {
+	slo       SLO
+	goodTotal *obs.Counter // serve_slo_good_total{tenant}
+	reqTotal  *obs.Counter // serve_slo_requests_total{tenant}
+
+	mu      sync.Mutex
+	buckets [sloWindowSecs]sloBucket
+}
+
+// record classifies one finished request against the objective.
+func (s *sloTracker) record(dur time.Duration) {
+	if s == nil {
+		return
+	}
+	ok := dur <= s.slo.Latency
+	now := time.Now().Unix()
+	s.mu.Lock()
+	b := &s.buckets[now%sloWindowSecs]
+	if b.sec != now {
+		b.sec, b.good, b.total = now, 0, 0
+	}
+	b.total++
+	if ok {
+		b.good++
+	}
+	s.mu.Unlock()
+	s.reqTotal.Inc()
+	if ok {
+		s.goodTotal.Inc()
+	}
+}
+
+// burn returns the burn rate over the trailing window: the observed
+// error rate divided by the error budget (1 - Target). 1.0 means the
+// budget is being spent exactly as fast as the objective allows; a
+// multi-window alert pages when both a short and a long window burn
+// hot (DESIGN.md §13). No traffic in the window reads as 0.
+func (s *sloTracker) burn(window time.Duration) float64 {
+	if s == nil {
+		return 0
+	}
+	secs := int64(window / time.Second)
+	if secs > sloWindowSecs {
+		secs = sloWindowSecs
+	}
+	now := time.Now().Unix()
+	var good, total uint64
+	s.mu.Lock()
+	for i := int64(0); i < secs; i++ {
+		sec := now - i
+		if b := &s.buckets[((sec%sloWindowSecs)+sloWindowSecs)%sloWindowSecs]; b.sec == sec {
+			good += b.good
+			total += b.total
+		}
+	}
+	s.mu.Unlock()
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - s.slo.Target
+	if budget <= 0 {
+		// A 100% target has no budget; surface any error as a very hot
+		// burn instead of dividing by zero.
+		budget = 1e-9
+	}
+	return (1 - float64(good)/float64(total)) / budget
+}
+
+// sloWindows are the burn-rate windows exported per tenant.
+var sloWindows = []struct {
+	label string
+	d     time.Duration
+}{
+	{"5m", 5 * time.Minute},
+	{"1h", time.Hour},
+}
+
+// SetSLO attaches a latency objective to the named tenant and registers
+// its series: serve_slo_requests_total / serve_slo_good_total counters
+// and a serve_slo_burn_rate{tenant,window} gauge per window, computed
+// at scrape time from the per-second ring. Calling it again replaces
+// the objective (the lifetime counters continue; a second call with
+// the same tenant reuses the registered series).
+func (h *Host) SetSLO(name string, slo SLO) error {
+	h.mu.Lock()
+	t, ok := h.tenants[name]
+	h.mu.Unlock()
+	if !ok {
+		return &vfs.PathError{Op: "slo", Path: "/" + name, Err: vfs.ErrNotExist}
+	}
+	tr := &sloTracker{slo: slo}
+	r := h.obsv.Registry()
+	tr.goodTotal = r.Counter("serve_slo_good_total", "tenant", name)
+	tr.reqTotal = r.Counter("serve_slo_requests_total", "tenant", name)
+	h.mu.Lock()
+	first := t.slo == nil
+	t.slo = tr
+	h.mu.Unlock()
+	if first {
+		for _, w := range sloWindows {
+			w := w
+			r.GaugeFunc("serve_slo_burn_rate", func() float64 {
+				h.mu.Lock()
+				cur := t.slo
+				h.mu.Unlock()
+				return cur.burn(w.d)
+			}, "tenant", name, "window", w.label)
+		}
+	}
+	return nil
+}

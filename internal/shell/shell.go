@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"hacfs/internal/catalog"
 	"hacfs/internal/hac"
@@ -128,6 +129,7 @@ func (sh *Shell) commands() map[string]command {
 		"explain":  sh.cmdExplain,
 		"sstat":    sh.cmdSstat,
 		"stats":    sh.cmdStats,
+		"slow":     sh.cmdSlow,
 		"save":     sh.cmdSave,
 		"load":     sh.cmdLoad,
 		"mount":    sh.cmdMount,
@@ -280,6 +282,7 @@ semantic commands (the paper's extensions):
   explain <scope> <query...>  show the cost-based evaluation plan
   sstat                       show HAC layer statistics
   stats [prefix]              dump live observability metrics
+  slow                        show recent over-threshold operations
 
   spublish <user> <addr>      publish semantic dirs to a catalog (haccatd)
   scatalog <addr> <query...>  search the central catalog
@@ -660,5 +663,42 @@ func (sh *Shell) cmdStats(args []string) error {
 		sh.printf("%-56s %g\n", name, snap[name])
 	}
 	sh.printf("%d series\n", len(names))
+	return nil
+}
+
+// cmdSlow lists the observer's slow-op ring: operations that crossed
+// the slow threshold, oldest first, with the captured query plan for
+// slow searches.
+func (sh *Shell) cmdSlow(args []string) error {
+	slow := sh.fs.Observer().Slow()
+	ops := slow.Recent()
+	if len(ops) == 0 {
+		sh.printf("no slow operations recorded (threshold %s, %d total)\n",
+			slow.Threshold(), slow.Total())
+		return nil
+	}
+	for _, op := range ops {
+		line := fmt.Sprintf("%s  %-12s %8.1fms", op.Time.Format("15:04:05"), op.Op,
+			float64(op.Dur)/float64(time.Millisecond))
+		if op.Tenant != "" {
+			line += "  tenant=" + op.Tenant
+		}
+		if !op.Trace.IsZero() {
+			line += "  trace=" + op.Trace.String()
+		}
+		if op.Arg != "" {
+			line += "  " + op.Arg
+		}
+		if op.Err != "" {
+			line += "  err=" + op.Err
+		}
+		sh.printf("%s\n", line)
+		if op.Detail != "" {
+			for _, dl := range strings.Split(strings.TrimRight(op.Detail, "\n"), "\n") {
+				sh.printf("    %s\n", dl)
+			}
+		}
+	}
+	sh.printf("%d of %d slow op%s retained\n", len(ops), slow.Total(), plural(int(slow.Total()), "", "s"))
 	return nil
 }

@@ -19,9 +19,14 @@
 //
 //	length  uint32, big-endian — byte count of everything after itself
 //	type    uint8              — protocol-specific frame type
-//	flags   uint8              — FlagFinal ends a response stream
+//	flags   uint8              — FlagFinal ends a response stream,
+//	                             FlagTrace precedes the payload with a
+//	                             trace header
 //	id      uint64, big-endian — request ID, chosen by the client
-//	payload length-10 bytes    — protocol-specific body
+//	trace   24 bytes, only when FlagTrace is set — 128-bit trace ID
+//	        followed by the sender's span ID (uint64, big-endian), the
+//	        cross-process trace context of DESIGN.md §13
+//	payload remaining bytes    — protocol-specific body
 //
 // Many requests may be in flight on one connection; responses carry
 // the ID of the request they answer and may span several frames, the
@@ -29,6 +34,13 @@
 // is bounded: a frame whose declared length is shorter than the fixed
 // header or longer than the caller's payload budget is rejected before
 // any allocation, so a hostile length can never over-allocate.
+//
+// The trace header is optional and additive within version 1: a
+// receiver that predates it would reject the unknown flag only if it
+// validated flags (none do — flags are a bitfield by design), and the
+// legacy peers that matter (line-protocol and gob clients) never see
+// binary frames at all, because the magic-sniffing server routes them
+// to the legacy decoders.
 package wire
 
 import (
@@ -42,6 +54,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hacfs/internal/obs"
 )
 
 // Magic opens every binary connection, followed by a version byte.
@@ -60,6 +74,14 @@ const headerLen = 10
 // FlagFinal marks the last frame of a response stream.
 const FlagFinal = 0x01
 
+// FlagTrace marks a frame whose header is followed by a trace header:
+// 16-byte trace ID + 8-byte sender span ID. WriteFrame sets it
+// automatically when the frame carries a trace.
+const FlagTrace = 0x02
+
+// traceHeaderLen is the size of the optional trace header.
+const traceHeaderLen = 16 + 8
+
 // ErrNotBinary reports a connection preamble that is not the binary
 // magic — the peer is speaking a legacy protocol.
 var ErrNotBinary = errors.New("wire: not a binary-protocol connection")
@@ -68,11 +90,16 @@ var ErrNotBinary = errors.New("wire: not a binary-protocol connection")
 // version.
 var ErrVersion = errors.New("wire: unsupported protocol version")
 
-// Frame is one decoded protocol frame.
+// Frame is one decoded protocol frame. Trace and Span, when non-zero,
+// are the propagated trace context (sent as the optional FlagTrace
+// header): the trace the request belongs to and the sender's span, the
+// parent of whatever span the receiver starts.
 type Frame struct {
 	Type    uint8
 	Flags   uint8
 	ID      uint64
+	Trace   obs.TraceID
+	Span    obs.SpanID
 	Payload []byte
 }
 
@@ -109,15 +136,25 @@ func IsMagic(prefix []byte) bool {
 	return len(prefix) >= len(Magic) && string(prefix[:len(Magic)]) == Magic
 }
 
-// WriteFrame encodes one frame. The caller serializes concurrent
-// writers (frames must not interleave mid-frame).
+// WriteFrame encodes one frame, emitting the trace header (and setting
+// FlagTrace) when the frame carries a trace. The caller serializes
+// concurrent writers (frames must not interleave mid-frame).
 func WriteFrame(w io.Writer, f Frame) error {
-	var hdr [4 + headerLen]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(headerLen+len(f.Payload)))
+	var hdr [4 + headerLen + traceHeaderLen]byte
+	n := 4 + headerLen
+	if !f.Trace.IsZero() {
+		f.Flags |= FlagTrace
+		copy(hdr[n:], f.Trace[:])
+		binary.BigEndian.PutUint64(hdr[n+16:], uint64(f.Span))
+		n += traceHeaderLen
+	} else {
+		f.Flags &^= FlagTrace
+	}
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(n-4+len(f.Payload)))
 	hdr[4] = f.Type
 	hdr[5] = f.Flags
 	binary.BigEndian.PutUint64(hdr[6:14], f.ID)
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
 	if len(f.Payload) > 0 {
@@ -129,7 +166,8 @@ func WriteFrame(w io.Writer, f Frame) error {
 }
 
 // ReadFrame decodes one frame, rejecting any declared length below the
-// fixed header or above maxPayload+header before allocating anything.
+// fixed header (plus trace header when FlagTrace is set) or above
+// maxPayload before allocating anything.
 func ReadFrame(r io.Reader, maxPayload uint32) (Frame, error) {
 	var lenb [4]byte
 	if _, err := io.ReadFull(r, lenb[:]); err != nil {
@@ -139,7 +177,11 @@ func ReadFrame(r io.Reader, maxPayload uint32) (Frame, error) {
 	if n < headerLen {
 		return Frame{}, fmt.Errorf("wire: frame length %d below %d-byte header", n, headerLen)
 	}
-	if n-headerLen > maxPayload {
+	if uint64(n-headerLen) > uint64(maxPayload)+traceHeaderLen {
+		// Early reject of lengths too large under either header shape;
+		// the exact payload bound is re-checked below once the flags say
+		// whether a trace header is present. Nothing is allocated from
+		// the declared length at this point.
 		return Frame{}, fmt.Errorf("wire: frame payload %d exceeds limit %d", n-headerLen, maxPayload)
 	}
 	var hdr [headerLen]byte
@@ -147,7 +189,23 @@ func ReadFrame(r io.Reader, maxPayload uint32) (Frame, error) {
 		return Frame{}, err
 	}
 	f := Frame{Type: hdr[0], Flags: hdr[1], ID: binary.BigEndian.Uint64(hdr[2:10])}
-	if pl := n - headerLen; pl > 0 {
+	fixed := uint32(headerLen)
+	if f.Flags&FlagTrace != 0 {
+		fixed += traceHeaderLen
+		if n < fixed {
+			return Frame{}, fmt.Errorf("wire: frame length %d below %d-byte traced header", n, fixed)
+		}
+		var th [traceHeaderLen]byte
+		if _, err := io.ReadFull(r, th[:]); err != nil {
+			return Frame{}, err
+		}
+		copy(f.Trace[:], th[:16])
+		f.Span = obs.SpanID(binary.BigEndian.Uint64(th[16:]))
+	}
+	if n-fixed > maxPayload {
+		return Frame{}, fmt.Errorf("wire: frame payload %d exceeds limit %d", n-fixed, maxPayload)
+	}
+	if pl := n - fixed; pl > 0 {
 		f.Payload = make([]byte, pl)
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
 			return Frame{}, err
@@ -566,9 +624,20 @@ func (s *Stream) Cancel() {
 }
 
 // Call sends one request frame (the mux assigns its ID) and returns
-// the response stream. Dial errors are returned as-is so callers can
-// retry idempotent requests; write errors drop the connection.
+// the response stream. When ctx carries a span context (obs.ContextWith
+// / Tracer.StartCtx), it rides the frame as the FlagTrace header, so
+// the server joins the caller's trace. Dial errors are returned as-is
+// so callers can retry idempotent requests; write errors drop the
+// connection.
 func (m *Mux) Call(ctx context.Context, typ uint8, payload []byte) (*Stream, error) {
+	sc, _ := obs.FromContext(ctx)
+	return m.CallSC(ctx, sc, typ, payload)
+}
+
+// CallSC is Call with the span context supplied explicitly, for callers
+// that already hold it — re-extracting it from ctx on every RPC is
+// measurable on the hot path. A zero sc sends an untraced frame.
+func (m *Mux) CallSC(ctx context.Context, sc obs.SpanContext, typ uint8, payload []byte) (*Stream, error) {
 	m.mu.Lock()
 	if err := m.ensureLocked(ctx); err != nil {
 		m.mu.Unlock()
@@ -591,7 +660,7 @@ func (m *Mux) Call(ctx context.Context, typ uint8, payload []byte) (*Stream, err
 	} else if m.timeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(m.timeout))
 	}
-	err := WriteFrame(w, Frame{Type: typ, ID: id, Flags: FlagFinal, Payload: payload})
+	err := WriteFrame(w, Frame{Type: typ, ID: id, Flags: FlagFinal, Trace: sc.Trace, Span: sc.Span, Payload: payload})
 	if m.writers.Add(-1) == 0 && err == nil {
 		err = w.Flush()
 	}
@@ -610,7 +679,14 @@ func (m *Mux) Call(ctx context.Context, typ uint8, payload []byte) (*Stream, err
 
 // CallOne performs a single-frame request/response round trip.
 func (m *Mux) CallOne(ctx context.Context, typ uint8, payload []byte) (Frame, error) {
-	st, err := m.Call(ctx, typ, payload)
+	sc, _ := obs.FromContext(ctx)
+	return m.CallOneSC(ctx, sc, typ, payload)
+}
+
+// CallOneSC is CallOne with the span context supplied explicitly (see
+// CallSC).
+func (m *Mux) CallOneSC(ctx context.Context, sc obs.SpanContext, typ uint8, payload []byte) (Frame, error) {
+	st, err := m.CallSC(ctx, sc, typ, payload)
 	if err != nil {
 		return Frame{}, err
 	}

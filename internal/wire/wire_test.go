@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"hacfs/internal/obs"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -32,6 +34,57 @@ func TestFrameRoundTrip(t *testing.T) {
 		if got.Type != want.Type || got.Flags != want.Flags || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
 			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
 		}
+	}
+}
+
+// TestFrameTraceRoundTrip: a frame with a span context grows a trace
+// header and reads back identically; a traceless frame stays at the
+// pre-trace encoding (10-byte header, no flag) so legacy peers parse it.
+func TestFrameTraceRoundTrip(t *testing.T) {
+	trace := obs.NewTraceID()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: 3, ID: 9, Flags: FlagFinal, Trace: trace, Span: 42, Payload: []byte("q")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != trace || got.Span != 42 {
+		t.Fatalf("trace context = {%s %d}, want {%s 42}", got.Trace, got.Span, trace)
+	}
+	if got.Flags&FlagTrace == 0 {
+		t.Fatal("trace flag not set on a traced frame")
+	}
+	if got.Flags&FlagFinal == 0 || !bytes.Equal(got.Payload, []byte("q")) {
+		t.Fatalf("frame fields damaged: %+v", got)
+	}
+
+	// Untraced frame: byte-identical to the pre-trace wire format.
+	buf.Reset()
+	if err := WriteFrame(&buf, Frame{Type: 3, ID: 9, Payload: []byte("q")}); err != nil {
+		t.Fatal(err)
+	}
+	if n := buf.Len(); n != 4+10+1 {
+		t.Fatalf("untraced frame is %d bytes, want %d (no trace header)", n, 4+10+1)
+	}
+	got, err = ReadFrame(&buf, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Trace.IsZero() || got.Span != 0 || got.Flags&FlagTrace != 0 {
+		t.Fatalf("untraced frame read back a trace: %+v", got)
+	}
+
+	// FlagTrace set by a corrupt writer without the header bytes: the
+	// declared length is too short for the fixed part and must error.
+	buf.Reset()
+	binary.Write(&buf, binary.BigEndian, uint32(10))
+	hdr := make([]byte, 10)
+	hdr[1] = FlagTrace
+	buf.Write(hdr)
+	if _, err := ReadFrame(&buf, 1<<20); err == nil {
+		t.Fatal("traced frame without trace header bytes accepted")
 	}
 }
 
