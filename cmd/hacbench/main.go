@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -51,6 +53,19 @@ var (
 	serveNetDelay = flag.Duration("serve-net-delay", 2*time.Millisecond, "serve: emulated network round-trip paid by both protocols (0 = none)")
 	serveAddr     = flag.String("serve-addr", "", "serve: drive this external hacvold instead of an in-process server (tenants t0..tN-1 must exist)")
 	serveJSON     = flag.String("serve-json", "BENCH_serve.json", "serve experiment: write machine-readable results here (empty = skip)")
+
+	clusterShards   = flag.String("cluster-shards", "1,2,4,8", "cluster: comma-separated shard counts to sweep")
+	clusterReplicas = flag.Int("cluster-replicas", 1, "cluster: replicas per shard")
+	clusterClients  = flag.Int("cluster-clients", 24, "cluster: closed-loop client goroutines")
+	clusterDuration = flag.Duration("cluster-duration", 2*time.Second, "cluster: measured window per shard count")
+	clusterDocs     = flag.Int("cluster-docs", 40, "cluster: documents per routed subtree (8 subtrees)")
+	clusterScan     = flag.Duration("cluster-scan-delay", 100*time.Microsecond, "cluster: emulated per-matched-document scan latency at each shard replica (0 = in-memory)")
+	clusterGlobal   = flag.Int("cluster-global-pct", 10, "cluster: percent of queries scattered cluster-wide instead of scoped to one subtree")
+	clusterKill     = flag.Bool("cluster-kill", false, "cluster: kill one replica mid-run at the largest shard count (needs -cluster-replicas >= 2)")
+	clusterAddr     = flag.String("cluster-addr", "", "cluster: drive this external haccluster coordinator instead of in-process fleets")
+	clusterScopes   = flag.String("cluster-scopes", "", "cluster: comma-separated scope subtrees for routed queries (default /t0../t7; set to match the external coordinator's shard map)")
+	clusterQuery    = flag.String("cluster-query", "markermid", "cluster: search term the clients issue")
+	clusterJSON     = flag.String("cluster-json", "BENCH_cluster.json", "cluster experiment: write machine-readable results here (empty = skip)")
 )
 
 func main() {
@@ -98,6 +113,8 @@ func main() {
 			err = planner(cspec)
 		case "serve":
 			err = serveBench()
+		case "cluster":
+			err = clusterBench()
 		case "trace":
 			err = traceDemo()
 		case "ablate-order":
@@ -134,6 +151,7 @@ Experiments (default: all):
   compaction    Search latency under concurrent merge  (EXPERIMENTS.md)
   planner       cost-based planner vs naive pipeline   (EXPERIMENTS.md)
   serve         multi-tenant serving, line vs mux      (EXPERIMENTS.md)
+  cluster       sharded scatter-gather search scaling  (EXPERIMENTS.md)
   trace         issue one traced search, render the distributed trace
   ablate-order  targeted vs full consistency updates   (DESIGN.md A1)
   ablate-sets   bitmap vs sparse result sets           (DESIGN.md A2)
@@ -455,6 +473,117 @@ func serveBench() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *serveJSON)
+	}
+	fmt.Println()
+	return nil
+}
+
+// usageErr reports a nonsensical flag combination and exits with the
+// conventional usage status instead of booting (or hanging) a fleet.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hacbench: cluster: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run 'hacbench -h' for flag usage")
+	os.Exit(2)
+}
+
+func clusterBench() error {
+	var counts []int
+	seen := map[int]bool{}
+	for _, f := range strings.Split(*clusterShards, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			usageErr("-cluster-shards: %q is not a shard count", f)
+		}
+		if n <= 0 {
+			usageErr("-cluster-shards: shard count %d is not positive", n)
+		}
+		if seen[n] {
+			usageErr("-cluster-shards: duplicate shard count %d", n)
+		}
+		seen[n] = true
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 && *clusterAddr == "" {
+		usageErr("-cluster-shards is empty")
+	}
+	if *clusterReplicas < 1 {
+		usageErr("-cluster-replicas must be at least 1, got %d", *clusterReplicas)
+	}
+	if *clusterKill && *clusterReplicas < 2 {
+		usageErr("-cluster-kill needs -cluster-replicas >= 2 (a lone replica has nothing to fail over to)")
+	}
+	if *clusterKill && *clusterAddr != "" {
+		usageErr("-cluster-kill only works on the in-process fleet, not with -cluster-addr")
+	}
+	var scopes []string
+	for _, s := range strings.Split(*clusterScopes, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		if !strings.HasPrefix(s, "/") {
+			usageErr("-cluster-scopes: scope %q is not absolute", s)
+		}
+		scopes = append(scopes, s)
+	}
+
+	spec := bench.ClusterSpec{
+		ShardCounts: counts,
+		Replicas:    *clusterReplicas,
+		Clients:     *clusterClients,
+		Duration:    *clusterDuration,
+		DocsPerTree: *clusterDocs,
+		ScanDelay:   *clusterScan,
+		GlobalPct:   *clusterGlobal,
+		KillReplica: *clusterKill,
+		Query:       *clusterQuery,
+		Seed:        *seed,
+		Addr:        *clusterAddr,
+		Scopes:      scopes,
+	}
+	if spec.ScanDelay == 0 {
+		spec.ScanDelay = -1 // flag 0 means "really none", not "default"
+	}
+	target := "in-process fleets"
+	if spec.Addr != "" {
+		target = spec.Addr
+	}
+	fmt.Printf("== Sharded cluster: scatter-gather search scaling (%s, %d clients, %d replicas/shard, %s per count, %s scan emulation) ==\n",
+		target, *clusterClients, *clusterReplicas, *clusterDuration, *clusterScan)
+	res, err := bench.ClusterLoad(spec)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Shards\tReplicas\tOps\tErrors\tFailovers\tThroughput\tp50\tp99\tscatter p99\t")
+	for _, r := range res.Runs {
+		note := ""
+		if r.Killed {
+			note = "replica killed mid-run"
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.0f op/s\t%s\t%s\t%s\t%s\n",
+			r.Shards, r.Replicas, r.Ops, r.Errors, r.Failovers,
+			r.Throughput, ms(r.P50), ms(r.P99), ms(r.ScatterP99), note)
+	}
+	w.Flush()
+	if res.Speedup4x > 0 {
+		fmt.Printf("Search throughput at 4 shards / 1 shard: %.1fx (target: >= 3x)\n", res.Speedup4x)
+	}
+	if res.SpeedupMax > 0 {
+		fmt.Printf("Search throughput at max shards / 1 shard: %.1fx\n", res.SpeedupMax)
+	}
+	if *clusterJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*clusterJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *clusterJSON)
 	}
 	fmt.Println()
 	return nil

@@ -31,9 +31,10 @@ var (
 	debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/spans, /debug/slow and /debug/trace on this address")
 	slowThresh = flag.Duration("slow-threshold", obs.DefSlowThreshold, "record ops slower than this in /debug/slow (0 disables)")
 	nfiles     = flag.Int("files", 500, "synthetic corpus size (when -dir is not given)")
-	seed      = flag.Int64("seed", 7, "synthetic corpus seed")
-	hostDir   = flag.String("dir", "", "serve a snapshot of this host directory instead of a synthetic corpus")
-	maxBytes  = flag.Int64("max-file-bytes", 1<<20, "skip host files larger than this (with -dir)")
+	seed       = flag.Int64("seed", 7, "synthetic corpus seed")
+	hostDir    = flag.String("dir", "", "serve a snapshot of this host directory instead of a synthetic corpus")
+	maxBytes   = flag.Int64("max-file-bytes", 1<<20, "skip host files larger than this (with -dir)")
+	corpusRoot = flag.String("corpus-root", "/corpus", "root directory of the synthetic corpus; cluster shards serving distinct subtrees each pick their own")
 )
 
 func main() {
@@ -50,9 +51,9 @@ func main() {
 			logger.Printf("snapshotted %d files from %s", n, *hostDir)
 		}
 	default:
-		err = fsys.MkdirAll("/corpus")
+		err = fsys.MkdirAll(*corpusRoot)
 		if err == nil {
-			_, err = corpus.Generate(fsys, "/corpus", corpus.Spec{Files: *nfiles, Seed: *seed})
+			_, err = corpus.Generate(fsys, *corpusRoot, corpus.Spec{Files: *nfiles, Seed: *seed})
 		}
 	}
 	if err != nil {

@@ -224,6 +224,11 @@ var (
 	ErrQuotaExceeded = vfs.ErrQuotaExceeded
 	ErrBackpressure  = vfs.ErrBackpressure
 	ErrShuttingDown  = vfs.ErrShuttingDown
+	// ErrShardUnavailable marks a cluster search that lost a shard: no
+	// replica of it answered (DESIGN.md §14). Delivered as a
+	// *vfs.PathError whose Path names the shard, through both wire
+	// protocols.
+	ErrShardUnavailable = vfs.ErrShardUnavailable
 )
 
 // New layers HAC over a substrate file system, configured by functional

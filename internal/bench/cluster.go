@@ -1,0 +1,469 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"hacfs/internal/cluster"
+	"hacfs/internal/obs"
+	"hacfs/internal/remote"
+	"hacfs/internal/vfs"
+)
+
+// ---------------------------------------------------------------------
+// Sharded cluster — scatter-gather search scaling and replica failover
+// ---------------------------------------------------------------------
+
+// ClusterSpec configures the cluster scaling experiment: for each shard
+// count it boots a fleet of shard servers behind a haccluster-style
+// coordinator, drives closed-loop search clients against the
+// coordinator's public wire protocol, and measures throughput. With
+// Addr set it instead drives an already-running coordinator (the CI
+// smoke uses this against real hacindexd processes).
+type ClusterSpec struct {
+	ShardCounts []int         // shard counts to sweep (default 1,2,4,8)
+	Replicas    int           // replicas per shard (default 1)
+	Clients     int           // closed-loop client goroutines (default 24)
+	Duration    time.Duration // measured window per shard count (default 2s)
+	Trees       int           // routed scope subtrees /t0../tN-1 (default 8)
+	DocsPerTree int           // documents per subtree (default 40)
+	// ScanDelay is the emulated per-matched-document scan latency a
+	// shard pays, serialized per replica. In memory every shard count
+	// finishes at CPU speed and the sweep flatlines; the serial delay
+	// models the disk-backed postings scan that sharding actually
+	// divides, the same way the I/O benchmarks emulate device latency.
+	ScanDelay   time.Duration
+	GlobalPct   int  // percent of queries scattered cluster-wide (default 10)
+	KillReplica bool // kill one replica mid-run at the largest shard count
+	Query       string
+	Seed        int64
+	Addr        string   // external coordinator address; "" = in-process fleets
+	Scopes      []string // scoped-query subtrees (default /t0../tTrees-1)
+}
+
+func (s ClusterSpec) withDefaults() ClusterSpec {
+	if len(s.ShardCounts) == 0 {
+		s.ShardCounts = []int{1, 2, 4, 8}
+	}
+	if s.Replicas <= 0 {
+		s.Replicas = 1
+	}
+	if s.Clients <= 0 {
+		s.Clients = 24
+	}
+	if s.Duration <= 0 {
+		s.Duration = 2 * time.Second
+	}
+	if s.Trees <= 0 {
+		s.Trees = 8
+	}
+	if s.DocsPerTree <= 0 {
+		s.DocsPerTree = 40
+	}
+	if s.ScanDelay == 0 {
+		s.ScanDelay = 100 * time.Microsecond
+	}
+	if s.ScanDelay < 0 {
+		s.ScanDelay = 0
+	}
+	if s.GlobalPct < 0 || s.GlobalPct > 100 {
+		s.GlobalPct = 10
+	}
+	if s.Query == "" {
+		s.Query = "markermid"
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if len(s.Scopes) == 0 {
+		for t := 0; t < s.Trees; t++ {
+			s.Scopes = append(s.Scopes, fmt.Sprintf("/t%d", t))
+		}
+	}
+	return s
+}
+
+// Validate rejects nonsensical combinations up front — a bad spec must
+// fail with an error, never hang a half-booted fleet.
+func (s ClusterSpec) Validate() error {
+	if len(s.ShardCounts) == 0 {
+		return fmt.Errorf("cluster: no shard counts given")
+	}
+	seen := map[int]bool{}
+	for _, n := range s.ShardCounts {
+		if n <= 0 {
+			return fmt.Errorf("cluster: shard count %d is not positive", n)
+		}
+		if seen[n] {
+			return fmt.Errorf("cluster: duplicate shard count %d", n)
+		}
+		seen[n] = true
+		if s.Addr == "" && n > s.Trees {
+			return fmt.Errorf("cluster: %d shards but only %d routed subtrees — some shards would own nothing", n, s.Trees)
+		}
+	}
+	if s.Replicas < 1 {
+		return fmt.Errorf("cluster: replicas must be at least 1, got %d", s.Replicas)
+	}
+	if s.KillReplica && s.Replicas < 2 {
+		return fmt.Errorf("cluster: -cluster-kill needs at least 2 replicas per shard, got %d", s.Replicas)
+	}
+	if s.KillReplica && s.Addr != "" {
+		return fmt.Errorf("cluster: -cluster-kill only works on the in-process fleet, not an external coordinator")
+	}
+	return nil
+}
+
+// ClusterRunStats is one shard count's measurement.
+type ClusterRunStats struct {
+	Shards     int
+	Replicas   int
+	Ops        int64
+	Errors     int64 // client-visible search failures
+	Failovers  int64 // replica failovers absorbed by the coordinator
+	Throughput float64
+	P50        time.Duration
+	P99        time.Duration
+	ScatterP50 time.Duration // cluster-wide (unscoped) queries only
+	ScatterP99 time.Duration
+	Killed     bool // a replica was killed mid-run
+}
+
+// ClusterResult is the whole experiment, written to BENCH_cluster.json.
+type ClusterResult struct {
+	Trees       int
+	DocsPerTree int
+	Clients     int
+	Replicas    int
+	Duration    time.Duration
+	ScanDelay   time.Duration
+	GlobalPct   int
+	Query       string
+	Addr        string // non-empty when driving an external coordinator
+
+	Runs []ClusterRunStats
+
+	// Speedup4x is Search throughput at 4 shards over 1 shard — the
+	// acceptance bar is >= 3x. SpeedupMax is the largest swept shard
+	// count over 1 shard.
+	Speedup4x  float64
+	SpeedupMax float64
+}
+
+// ClusterLoad runs the experiment.
+func ClusterLoad(spec ClusterSpec) (*ClusterResult, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	res := &ClusterResult{
+		Trees:       spec.Trees,
+		DocsPerTree: spec.DocsPerTree,
+		Clients:     spec.Clients,
+		Replicas:    spec.Replicas,
+		Duration:    spec.Duration,
+		ScanDelay:   spec.ScanDelay,
+		GlobalPct:   spec.GlobalPct,
+		Query:       spec.Query,
+		Addr:        spec.Addr,
+	}
+
+	if spec.Addr != "" {
+		st, err := clusterRun(spec, spec.Addr, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Runs = append(res.Runs, *st)
+		return res, nil
+	}
+
+	maxN := 0
+	for _, n := range spec.ShardCounts {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	for _, n := range spec.ShardCounts {
+		fleet, err := bootCluster(spec, n)
+		if err != nil {
+			return nil, fmt.Errorf("booting %d-shard fleet: %w", n, err)
+		}
+		var kill func()
+		if spec.KillReplica && n == maxN {
+			kill = fleet.killOneReplica
+		}
+		st, err := clusterRun(spec, fleet.addr, fleet.obsv, kill)
+		fleet.close()
+		if err != nil {
+			return nil, err
+		}
+		st.Shards = n
+		res.Runs = append(res.Runs, *st)
+	}
+
+	base := 0.0
+	for _, r := range res.Runs {
+		if r.Shards == 1 {
+			base = r.Throughput
+		}
+	}
+	if base > 0 {
+		for _, r := range res.Runs {
+			if r.Shards == 4 {
+				res.Speedup4x = r.Throughput / base
+			}
+			if r.Shards == maxN && maxN > 1 {
+				res.SpeedupMax = r.Throughput / base
+			}
+		}
+	}
+	return res, nil
+}
+
+// delayBackend wraps a shard's index backend with the emulated
+// postings-scan latency: ScanDelay per matched document, held under a
+// per-replica mutex because the modeled resource (one disk arm, one
+// scan thread) is serial. This is what makes the sweep honest — the
+// aggregate scan capacity is exactly what adding shards multiplies.
+type delayBackend struct {
+	*remote.IndexBackend
+	mu     sync.Mutex
+	perDoc time.Duration
+}
+
+func (d *delayBackend) SearchPageUnder(ctx context.Context, q, scope string, after uint64, limit int) ([]string, uint64, uint64, error) {
+	paths, next, epoch, err := d.IndexBackend.SearchPageUnder(ctx, q, scope, after, limit)
+	if err == nil && d.perDoc > 0 && len(paths) > 0 {
+		d.mu.Lock()
+		time.Sleep(time.Duration(len(paths)) * d.perDoc)
+		d.mu.Unlock()
+	}
+	return paths, next, epoch, err
+}
+
+// clusterFleet is one booted in-process cluster: shard replica servers,
+// the coordinator, and the coordinator's public TCP endpoint.
+type clusterFleet struct {
+	addr   string
+	obsv   *obs.Observer
+	coord  *cluster.Coordinator
+	cSrv   *remote.Server
+	shards [][]*remote.Server // [shard][replica]
+}
+
+// bootCluster builds an n-shard fleet: subtree /t{i} is routed to shard
+// i%n, every replica of a shard indexes an identical copy of its
+// subtrees, and a coordinator serves the merged cluster over TCP.
+func bootCluster(spec ClusterSpec, n int) (f *clusterFleet, err error) {
+	f = &clusterFleet{obsv: obs.NewObserver(), shards: make([][]*remote.Server, n)}
+	defer func() {
+		if err != nil {
+			f.close()
+		}
+	}()
+
+	var mapText strings.Builder
+	for id := 0; id < n; id++ {
+		var addrs []string
+		for r := 0; r < spec.Replicas; r++ {
+			fsys, terr := clusterTree(spec, id, n)
+			if terr != nil {
+				return nil, terr
+			}
+			backend, berr := remote.NewIndexBackend(fsys, "/")
+			if berr != nil {
+				return nil, berr
+			}
+			srv := remote.NewServer(&delayBackend{IndexBackend: backend, perDoc: spec.ScanDelay}, nil)
+			srv.SetObserver(obs.Discard())
+			l, lerr := net.Listen("tcp", "127.0.0.1:0")
+			if lerr != nil {
+				return nil, lerr
+			}
+			go srv.Serve(l)
+			addrs = append(addrs, l.Addr().String())
+			f.shards[id] = append(f.shards[id], srv)
+		}
+		fmt.Fprintf(&mapText, "shard %d %s\n", id, strings.Join(addrs, ","))
+	}
+	for t := 0; t < spec.Trees; t++ {
+		fmt.Fprintf(&mapText, "route /t%d %d\n", t, t%n)
+	}
+
+	m, err := cluster.ParseMap(mapText.String())
+	if err != nil {
+		return nil, err
+	}
+	f.coord = cluster.New(m, cluster.Options{
+		Name:     "bench",
+		Timeout:  2 * time.Second,
+		Cooldown: 100 * time.Millisecond,
+		PageSize: 256,
+		Observer: f.obsv,
+	})
+	f.cSrv = remote.NewServer(f.coord, nil)
+	f.cSrv.SetObserver(f.obsv)
+	cl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go f.cSrv.Serve(cl)
+	f.addr = cl.Addr().String()
+	return f, nil
+}
+
+// clusterTree builds the document tree one replica of shard id serves:
+// the subtrees routed to it, a quarter of each tree's documents
+// carrying the planted search term.
+func clusterTree(spec ClusterSpec, id, n int) (*vfs.MemFS, error) {
+	fsys := vfs.New()
+	for t := 0; t < spec.Trees; t++ {
+		if t%n != id {
+			continue
+		}
+		dir := fmt.Sprintf("/t%d", t)
+		if err := fsys.MkdirAll(dir); err != nil {
+			return nil, err
+		}
+		for j := 0; j < spec.DocsPerTree; j++ {
+			term := "fillerterm"
+			if j%4 == 0 {
+				term = spec.Query
+			}
+			body := fmt.Sprintf("%s tree%d doc%03d alpha beta gamma delta", term, t, j)
+			if err := fsys.WriteFile(fmt.Sprintf("%s/doc%03d.txt", dir, j), []byte(body)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fsys, nil
+}
+
+// killOneReplica closes the first replica server of shard 0, connection
+// and listener included — from the coordinator's side the replica dies
+// mid-run and every subsequent read must fail over.
+func (f *clusterFleet) killOneReplica() {
+	if len(f.shards) > 0 && len(f.shards[0]) > 0 {
+		f.shards[0][0].Close()
+	}
+}
+
+func (f *clusterFleet) close() {
+	if f.cSrv != nil {
+		f.cSrv.Close()
+	}
+	if f.coord != nil {
+		f.coord.Close()
+	}
+	for _, reps := range f.shards {
+		for _, srv := range reps {
+			srv.Close()
+		}
+	}
+}
+
+// clusterRun drives the closed-loop client fleet against one
+// coordinator for spec.Duration. GlobalPct percent of queries scatter
+// cluster-wide (scope /); the rest pick a routed subtree. Every query
+// drains its full paged cursor, so latency covers the whole search.
+func clusterRun(spec ClusterSpec, addr string, obsv *obs.Observer, kill func()) (*ClusterRunStats, error) {
+	type clientStats struct {
+		lat  []time.Duration
+		scat []time.Duration
+		errs int64
+	}
+	stats := make([]clientStats, spec.Clients)
+
+	begin := make(chan struct{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < spec.Clients; g++ {
+		cl := remote.DialBin("bench", addr)
+		cl.SetObserver(obs.Discard())
+		cl.SetTimeout(10 * time.Second)
+		defer cl.Close()
+		wg.Add(1)
+		go func(g int, cl *remote.BinClient) {
+			defer wg.Done()
+			st := &stats[g]
+			rng := rand.New(rand.NewSource(spec.Seed + int64(g)))
+			ctx := context.Background()
+			<-begin
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				scope := "/"
+				global := rng.Intn(100) < spec.GlobalPct
+				if !global {
+					scope = spec.Scopes[rng.Intn(len(spec.Scopes))]
+				}
+				t0 := time.Now()
+				var after uint64
+				var err error
+				for {
+					var next uint64
+					_, next, _, err = cl.SearchPageUnder(ctx, spec.Query, scope, after, 512)
+					if err != nil || next == 0 {
+						break
+					}
+					after = next
+				}
+				d := time.Since(t0)
+				if err != nil {
+					st.errs++
+					continue
+				}
+				st.lat = append(st.lat, d)
+				if global {
+					st.scat = append(st.scat, d)
+				}
+			}
+		}(g, cl)
+	}
+
+	var killTimer *time.Timer
+	killed := false
+	if kill != nil {
+		killTimer = time.AfterFunc(spec.Duration/2, kill)
+		killed = true
+	}
+	start := time.Now()
+	close(begin)
+	time.Sleep(spec.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if killTimer != nil {
+		killTimer.Stop()
+	}
+
+	out := &ClusterRunStats{Replicas: spec.Replicas, Killed: killed}
+	var all, scat []time.Duration
+	for g := range stats {
+		all = append(all, stats[g].lat...)
+		scat = append(scat, stats[g].scat...)
+		out.Errors += stats[g].errs
+	}
+	out.Ops = int64(len(all))
+	out.Throughput = float64(len(all)) / elapsed.Seconds()
+	out.P50 = percentile(all, 0.50)
+	out.P99 = percentile(all, 0.99)
+	out.ScatterP50 = percentile(scat, 0.50)
+	out.ScatterP99 = percentile(scat, 0.99)
+	if obsv != nil {
+		for name, v := range obsv.Registry().Snapshot() {
+			if strings.HasPrefix(name, "cluster_replica_failovers_total") {
+				out.Failovers += int64(v)
+			}
+		}
+	}
+	return out, nil
+}

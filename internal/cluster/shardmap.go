@@ -1,0 +1,252 @@
+// Package cluster implements the sharded HAC cluster (DESIGN.md §14):
+// the document tree is partitioned across N index shards, each served
+// by R replica daemons, and a coordinator fans searches out to the
+// shards concurrently, merging their epoch-pinned partial results into
+// one answer. Routing is scope-prefix first — a subtree can be pinned
+// to a shard so scoped queries touch one shard — with a hash fallback
+// over the remaining document space.
+package cluster
+
+import (
+	"fmt"
+	gopath "path"
+	"sort"
+	"strings"
+
+	"hacfs/internal/vfs"
+)
+
+// Shard is one partition of the document space: an ID and the
+// addresses of its replica daemons, each serving the same index.
+type Shard struct {
+	ID       int
+	Replicas []string
+}
+
+// route pins one path prefix to a shard.
+type route struct {
+	prefix string
+	shard  int
+}
+
+// Map is an immutable routing table: which shards exist, which subtree
+// prefixes route where, and which shards back the hash fallback for
+// paths no prefix claims. Reloading produces a new Map; Generation
+// distinguishes them.
+type Map struct {
+	shards map[int]*Shard
+	order  []int   // shard IDs, ascending
+	routes []route // longest prefix first
+	hash   []int   // hash-fallback shard IDs, ascending
+	gen    uint64
+}
+
+// ParseMap parses a shard-map config. The format is line-oriented;
+// '#' starts a comment:
+//
+//	shard <id> <addr>[,<addr>...]   declare a shard and its replicas
+//	route <prefix> <id>             pin a subtree to a shard
+//	hash <id>[,<id>...]             name the hash-fallback shards
+//
+// Without a hash line the fallback defaults to the shards that have no
+// route (they hold "everything else"), or to every shard when all are
+// routed.
+func ParseMap(text string) (*Map, error) {
+	m := &Map{shards: make(map[int]*Shard)}
+	var hashLine []int
+	for i, line := range strings.Split(text, "\n") {
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		lineErr := func(format string, args ...any) error {
+			return fmt.Errorf("shard map line %d: %s", i+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "shard":
+			if len(fields) != 3 {
+				return nil, lineErr("want 'shard <id> <addr>[,<addr>...]'")
+			}
+			id, err := parseShardID(fields[1])
+			if err != nil {
+				return nil, lineErr("%v", err)
+			}
+			if _, dup := m.shards[id]; dup {
+				return nil, lineErr("duplicate shard %d", id)
+			}
+			replicas := strings.Split(fields[2], ",")
+			for _, r := range replicas {
+				if r == "" {
+					return nil, lineErr("shard %d: empty replica address", id)
+				}
+			}
+			m.shards[id] = &Shard{ID: id, Replicas: replicas}
+			m.order = append(m.order, id)
+		case "route":
+			if len(fields) != 3 {
+				return nil, lineErr("want 'route <prefix> <id>'")
+			}
+			prefix := gopath.Clean(fields[1])
+			if !strings.HasPrefix(prefix, "/") {
+				return nil, lineErr("route prefix %q is not absolute", fields[1])
+			}
+			id, err := parseShardID(fields[2])
+			if err != nil {
+				return nil, lineErr("%v", err)
+			}
+			m.routes = append(m.routes, route{prefix: prefix, shard: id})
+		case "hash":
+			if len(fields) != 2 {
+				return nil, lineErr("want 'hash <id>[,<id>...]'")
+			}
+			for _, f := range strings.Split(fields[1], ",") {
+				id, err := parseShardID(f)
+				if err != nil {
+					return nil, lineErr("%v", err)
+				}
+				hashLine = append(hashLine, id)
+			}
+		default:
+			return nil, lineErr("unknown directive %q", fields[0])
+		}
+	}
+	if len(m.shards) == 0 {
+		return nil, fmt.Errorf("shard map: no shards declared")
+	}
+	sort.Ints(m.order)
+	routed := make(map[int]bool)
+	for _, r := range m.routes {
+		if _, ok := m.shards[r.shard]; !ok {
+			return nil, fmt.Errorf("shard map: route %s names undeclared shard %d", r.prefix, r.shard)
+		}
+		routed[r.shard] = true
+	}
+	// Longest prefix first, ties by source order kept stable, so Route's
+	// first match is the most specific.
+	sort.SliceStable(m.routes, func(i, j int) bool {
+		return len(m.routes[i].prefix) > len(m.routes[j].prefix)
+	})
+	switch {
+	case len(hashLine) > 0:
+		for _, id := range hashLine {
+			if _, ok := m.shards[id]; !ok {
+				return nil, fmt.Errorf("shard map: hash names undeclared shard %d", id)
+			}
+		}
+		m.hash = dedupSorted(hashLine)
+	default:
+		for _, id := range m.order {
+			if !routed[id] {
+				m.hash = append(m.hash, id)
+			}
+		}
+		if len(m.hash) == 0 {
+			m.hash = append([]int(nil), m.order...)
+		}
+	}
+	return m, nil
+}
+
+func parseShardID(s string) (int, error) {
+	id := 0
+	if s == "" {
+		return 0, fmt.Errorf("empty shard id")
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad shard id %q", s)
+		}
+		id = id*10 + int(c-'0')
+		if id > 1<<20 {
+			return 0, fmt.Errorf("shard id %q out of range", s)
+		}
+	}
+	return id, nil
+}
+
+func dedupSorted(ids []int) []int {
+	sort.Ints(ids)
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Generation identifies this map revision (set by the coordinator on
+// load/reload).
+func (m *Map) Generation() uint64 { return m.gen }
+
+// Shards returns the shard IDs, ascending.
+func (m *Map) Shards() []int { return append([]int(nil), m.order...) }
+
+// Shard returns one shard's declaration.
+func (m *Map) Shard(id int) (*Shard, bool) {
+	s, ok := m.shards[id]
+	return s, ok
+}
+
+// Route returns the shard that owns path: the longest matching route
+// prefix, or the hash fallback over the DocID-bearing path bytes.
+func (m *Map) Route(p string) int {
+	p = gopath.Clean(p)
+	for _, r := range m.routes {
+		if vfs.HasPrefix(p, r.prefix) {
+			return r.shard
+		}
+	}
+	return m.hash[fnv64(p)%uint64(len(m.hash))]
+}
+
+// RouteScope returns the shards that may hold documents under scope,
+// ascending, plus whether routing was structure-aware (every document
+// under scope provably routes inside the returned set without the hash
+// fallback). A scope lying under a route prefix narrows the scatter to
+// that route's shard and any more-specific routes beneath the scope.
+func (m *Map) RouteScope(scope string) (ids []int, routed bool) {
+	scope = gopath.Clean(scope)
+	if scope == "/" || scope == "" {
+		return m.Shards(), false
+	}
+	set := make(map[int]bool)
+	covered := false
+	for _, r := range m.routes {
+		if vfs.HasPrefix(scope, r.prefix) && !covered {
+			// Longest-first order: the first containing prefix is the
+			// owner of scope itself; shorter containing prefixes are
+			// shadowed by it for every path under scope.
+			covered = true
+			set[r.shard] = true
+		}
+		if vfs.HasPrefix(r.prefix, scope) {
+			// A more specific route inside the scope claims part of it.
+			set[r.shard] = true
+		}
+	}
+	if !covered {
+		// Some paths under scope may fall through to the hash set.
+		for _, id := range m.hash {
+			set[id] = true
+		}
+	}
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, covered
+}
+
+// fnv64 is FNV-1a, the hash fallback's path hash.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

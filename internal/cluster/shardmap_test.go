@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const testMap = `
+# two routed shards, one hash catch-all
+shard 0 127.0.0.1:7001,127.0.0.1:7002
+shard 1 127.0.0.1:7003
+shard 2 127.0.0.1:7004
+route /a 0
+route /a/deep 1
+route /b 1
+`
+
+func TestParseMap(t *testing.T) {
+	m, err := ParseMap(testMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Shards(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("shards = %v", got)
+	}
+	sh, ok := m.Shard(0)
+	if !ok || len(sh.Replicas) != 2 {
+		t.Fatalf("shard 0 = %+v, %v", sh, ok)
+	}
+	// Shard 2 has no route, so it alone backs the hash fallback.
+	if !reflect.DeepEqual(m.hash, []int{2}) {
+		t.Fatalf("hash set = %v", m.hash)
+	}
+}
+
+func TestParseMapErrors(t *testing.T) {
+	cases := []struct{ text, want string }{
+		{"", "no shards"},
+		{"shard 0 a:1\nshard 0 b:2", "duplicate shard"},
+		{"shard 0 a:1\nroute /x 5", "undeclared shard"},
+		{"shard x a:1", "bad shard id"},
+		{"shard 0 a:1\nhash 9", "undeclared shard"},
+		{"shard 0 a:1\nroute relative 0", "not absolute"},
+		{"bogus 1 2", "unknown directive"},
+	}
+	for _, c := range cases {
+		if _, err := ParseMap(c.text); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseMap(%q) err = %v, want containing %q", c.text, err, c.want)
+		}
+	}
+}
+
+func TestRouteLongestPrefix(t *testing.T) {
+	m, err := ParseMap(testMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]int{
+		"/a/f.txt":      0,
+		"/a/deep/f.txt": 1, // more specific route wins
+		"/b/sub/g.txt":  1,
+		"/a":            0,
+	}
+	for p, want := range cases {
+		if got := m.Route(p); got != want {
+			t.Errorf("Route(%s) = %d, want %d", p, got, want)
+		}
+	}
+	// Unrouted paths land on the hash set (only shard 2 here).
+	if got := m.Route("/elsewhere/x"); got != 2 {
+		t.Errorf("Route(/elsewhere/x) = %d, want 2", got)
+	}
+}
+
+func TestRouteScope(t *testing.T) {
+	m, err := ParseMap(testMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		scope  string
+		want   []int
+		routed bool
+	}{
+		{"/", []int{0, 1, 2}, false},
+		{"/a", []int{0, 1}, true},       // /a itself plus the /a/deep carve-out
+		{"/a/deep", []int{1}, true},     // fully pinned
+		{"/a/shallow", []int{0}, true},  // under /a, clear of /a/deep
+		{"/b", []int{1}, true},          // single shard
+		{"/elsewhere", []int{2}, false}, // hash fallback only
+	}
+	for _, c := range cases {
+		got, routed := m.RouteScope(c.scope)
+		if !reflect.DeepEqual(got, c.want) || routed != c.routed {
+			t.Errorf("RouteScope(%s) = %v routed=%v, want %v routed=%v",
+				c.scope, got, routed, c.want, c.routed)
+		}
+	}
+}
+
+func TestRouteScopeHashLine(t *testing.T) {
+	m, err := ParseMap("shard 0 a:1\nshard 1 b:1\nroute /x 0\nhash 0,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.hash, []int{0, 1}) {
+		t.Fatalf("hash set = %v", m.hash)
+	}
+	// All shards routed + no hash line → hash over all.
+	m2, err := ParseMap("shard 0 a:1\nshard 1 b:1\nroute /x 0\nroute /y 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m2.hash, []int{0, 1}) {
+		t.Fatalf("all-routed hash set = %v", m2.hash)
+	}
+}

@@ -1,0 +1,119 @@
+package index
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// termDict is a lazily built read-only view of a sealed segment's term
+// vocabulary, backing the planner's prefix and fuzzy selectivity
+// estimates (PrefixCost, FuzzyCost). Sealed segments never change
+// their postings, so the dictionary is built at most once per segment,
+// on first use, under a sync.Once — safe while holders of the index
+// read lock race to trigger it. The active segment is mutable and gets
+// no dictionary; cost queries scan its postings map directly, which is
+// fine because the active segment is bounded by the seal threshold.
+type termDict struct {
+	once   sync.Once
+	sorted []string         // all terms, lexicographic — prefix range scans
+	byLen  map[int][]string // byte length → terms — edit-distance candidates
+}
+
+// dict returns the segment's term dictionary, building it on first
+// use. Only call on sealed segments.
+func (s *segment) dictionary() *termDict {
+	d := &s.dict
+	d.once.Do(func() {
+		d.sorted = make([]string, 0, len(s.postings))
+		d.byLen = make(map[int][]string)
+		for term := range s.postings {
+			d.sorted = append(d.sorted, term)
+			d.byLen[len(term)] = append(d.byLen[len(term)], term)
+		}
+		sort.Strings(d.sorted)
+	})
+	return d
+}
+
+// prefixRange visits every term with the given prefix, in order.
+func (d *termDict) prefixRange(prefix string, fn func(term string)) {
+	i := sort.SearchStrings(d.sorted, prefix)
+	for ; i < len(d.sorted); i++ {
+		if !strings.HasPrefix(d.sorted[i], prefix) {
+			return
+		}
+		fn(d.sorted[i])
+	}
+}
+
+// fuzzyCandidates visits every term within edit distance 1 of term:
+// only the three length buckets |term|-1 .. |term|+1 can hold one, so
+// the scan skips the rest of the vocabulary entirely.
+func (d *termDict) fuzzyCandidates(term string, fn func(candidate string)) {
+	for l := len(term) - 1; l <= len(term)+1; l++ {
+		for _, candidate := range d.byLen[l] {
+			if withinOneEdit(term, candidate) {
+				fn(candidate)
+			}
+		}
+	}
+}
+
+// PrefixCost returns the total posting cardinality of every term with
+// the given prefix across the pinned segments — the planner's
+// selectivity estimate for a prefix leaf. Like TermCost, dead slots
+// are counted; sealed segments answer from their sorted term
+// dictionary (a binary search plus the matching range), the active
+// segment by a bounded scan.
+func (sn *Snapshot) PrefixCost(prefix string) int {
+	prefix = normalizeTerm(prefix)
+	n := 0
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	for _, s := range sn.segs {
+		if s.sealed {
+			d := s.dictionary()
+			d.prefixRange(prefix, func(term string) {
+				n += s.postings[term].Len()
+			})
+			continue
+		}
+		for term, bm := range s.postings {
+			if strings.HasPrefix(term, prefix) {
+				n += bm.Len()
+			}
+		}
+	}
+	return n
+}
+
+// FuzzyCost returns the total posting cardinality of every term within
+// edit distance 1 of term across the pinned segments — the planner's
+// selectivity estimate for a fuzzy leaf. Sealed segments answer from
+// their length-bucketed dictionary (candidates can only differ in
+// length by one); the active segment scans.
+func (sn *Snapshot) FuzzyCost(term string) int {
+	term = normalizeTerm(term)
+	if term == "" {
+		return 0
+	}
+	n := 0
+	sn.ix.mu.RLock()
+	defer sn.ix.mu.RUnlock()
+	for _, s := range sn.segs {
+		if s.sealed {
+			d := s.dictionary()
+			d.fuzzyCandidates(term, func(candidate string) {
+				n += s.postings[candidate].Len()
+			})
+			continue
+		}
+		for candidate, bm := range s.postings {
+			if withinOneEdit(term, candidate) {
+				n += bm.Len()
+			}
+		}
+	}
+	return n
+}

@@ -69,12 +69,13 @@ type docEntry struct {
 type segment struct {
 	id        uint32
 	docs      []docEntry
-	postings  map[string]*bitset.Bitmap // term → local-slot bitmap
+	postings  map[string]*bitset.Bitmap    // term → local-slot bitmap
 	dirs      map[string]*bitset.Container // ancestor dir → local slots beneath it (dirs.go)
-	dead      *bitset.Bitmap            // tombstoned local slots
+	dead      *bitset.Bitmap               // tombstoned local slots
 	deadCount int
 	sealed    bool
-	prev      []DocID // merge provenance: local → pre-merge DocID (nil unless merged)
+	prev      []DocID  // merge provenance: local → pre-merge DocID (nil unless merged)
+	dict      termDict // lazy sorted/length-bucketed vocabulary (dict.go); sealed only
 }
 
 func newSegment(id uint32) *segment {

@@ -98,12 +98,19 @@ func (sn *Snapshot) LookupPrefix(prefix string) *bitset.Segmented {
 	defer sn.ix.mu.RUnlock()
 	for _, s := range sn.segs {
 		var acc *bitset.Bitmap
-		for term, bm := range s.postings {
-			if len(term) >= len(prefix) && term[:len(prefix)] == prefix {
-				if acc == nil {
-					acc = bm.Clone()
-				} else {
-					acc.Or(bm)
+		or := func(bm *bitset.Bitmap) {
+			if acc == nil {
+				acc = bm.Clone()
+			} else {
+				acc.Or(bm)
+			}
+		}
+		if s.sealed {
+			s.dictionary().prefixRange(prefix, func(term string) { or(s.postings[term]) })
+		} else {
+			for term, bm := range s.postings {
+				if len(term) >= len(prefix) && term[:len(prefix)] == prefix {
+					or(bm)
 				}
 			}
 		}
@@ -127,12 +134,19 @@ func (sn *Snapshot) LookupFuzzy(term string) *bitset.Segmented {
 	defer sn.ix.mu.RUnlock()
 	for _, s := range sn.segs {
 		var acc *bitset.Bitmap
-		for candidate, bm := range s.postings {
-			if withinOneEdit(term, candidate) {
-				if acc == nil {
-					acc = bm.Clone()
-				} else {
-					acc.Or(bm)
+		or := func(bm *bitset.Bitmap) {
+			if acc == nil {
+				acc = bm.Clone()
+			} else {
+				acc.Or(bm)
+			}
+		}
+		if s.sealed {
+			s.dictionary().fuzzyCandidates(term, func(c string) { or(s.postings[c]) })
+		} else {
+			for candidate, bm := range s.postings {
+				if withinOneEdit(term, candidate) {
+					or(bm)
 				}
 			}
 		}

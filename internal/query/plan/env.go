@@ -40,6 +40,10 @@ func (e *SnapEnv) TermUnder(w, root string) (*bitset.Segmented, int, error) {
 
 func (e *SnapEnv) TermCost(w string) int { return e.Snap.TermCost(w) }
 
+func (e *SnapEnv) PrefixCost(p string) int { return e.Snap.PrefixCost(p) }
+
+func (e *SnapEnv) FuzzyCost(w string) int { return e.Snap.FuzzyCost(w) }
+
 func (e *SnapEnv) DocsUnder(root string) (*bitset.Segmented, error) {
 	return e.Snap.DocsUnder(root), nil
 }

@@ -77,6 +77,12 @@ type Env interface {
 	TermUnder(word, root string) (*bitset.Segmented, int, error)
 	// TermCost estimates the posting cardinality of word.
 	TermCost(word string) int
+	// PrefixCost estimates the total posting cardinality of terms with
+	// the given prefix.
+	PrefixCost(prefix string) int
+	// FuzzyCost estimates the total posting cardinality of terms within
+	// edit distance 1 of word.
+	FuzzyCost(word string) int
 	// DocsUnder returns the live documents under root.
 	DocsUnder(root string) (*bitset.Segmented, error)
 	// ScopeCost estimates how many documents lie under root.
@@ -85,9 +91,9 @@ type Env interface {
 	RefCost(ref *query.DirRef) int
 }
 
-// costExpensive marks leaves with no cheap selectivity estimate
-// (prefix and fuzzy matches scan the term dictionary); they sort last
-// in an AND chain so the accumulator is already small when they run.
+// costExpensive marks operators with no cheap selectivity estimate
+// (negations, saturated OR chains); they sort last in an AND chain so
+// the accumulator is already small when they run.
 const costExpensive = 1 << 30
 
 // node ops.
@@ -250,13 +256,22 @@ func naryCost(op int, kids []*node) int {
 	}
 }
 
+// leafCost prices a leaf by its estimated result cardinality. Prefix
+// and fuzzy leaves get real estimates from the per-segment term
+// dictionaries (index/dict.go) — summed posting cardinalities over the
+// matching vocabulary range — so a selective prefix ("zyg*") now sorts
+// before a common bare term in an AND chain instead of always last.
 func leafCost(leaf query.Node, env Env) int {
 	switch x := leaf.(type) {
 	case *query.Term:
 		return env.TermCost(x.Text)
+	case *query.Prefix:
+		return env.PrefixCost(x.Text)
+	case *query.Fuzzy:
+		return env.FuzzyCost(x.Text)
 	case *query.DirRef:
 		return env.RefCost(x)
-	default: // Prefix, Fuzzy: dictionary scans, no cheap estimate
+	default:
 		return costExpensive
 	}
 }

@@ -202,6 +202,69 @@ func TestPlannerOrdersAndCheapestFirst(t *testing.T) {
 	}
 }
 
+// TestPlannerPrefixFuzzySelectivity pins the cost model for prefix and
+// fuzzy leaves: they get real estimates from the per-segment term
+// dictionaries, so a selective prefix or fuzzy leaf now runs before a
+// common bare term in an AND chain instead of always sorting last.
+func TestPlannerPrefixFuzzySelectivity(t *testing.T) {
+	for _, seal := range []int{4, 1 << 20} { // sealed dictionaries and active-only scan
+		ix := index.New()
+		ix.SetSealThreshold(seal)
+		for i := 0; i < 100; i++ {
+			content := "common"
+			if i < 2 {
+				content += " zygote"
+			}
+			if i < 3 {
+				content += " alpka"
+			}
+			ix.Add(fmt.Sprintf("/f%d.txt", i), []byte(content))
+		}
+		env := &SnapEnv{Snap: ix.Snapshot()}
+
+		if got := env.PrefixCost("zy"); got != 2 {
+			t.Errorf("seal=%d: PrefixCost(zy) = %d, want 2", seal, got)
+		}
+		if got := env.PrefixCost("common"); got != 100 {
+			t.Errorf("seal=%d: PrefixCost(common) = %d, want 100", seal, got)
+		}
+		if got := env.FuzzyCost("alpha"); got != 3 { // "alpka" is one edit away
+			t.Errorf("seal=%d: FuzzyCost(alpha) = %d, want 3", seal, got)
+		}
+		if got := env.FuzzyCost("zzzzzzz"); got != 0 {
+			t.Errorf("seal=%d: FuzzyCost(zzzzzzz) = %d, want 0", seal, got)
+		}
+
+		// The selective prefix leaf must be ordered before the common term.
+		ast := &query.And{L: &query.Term{Text: "common"}, R: &query.Prefix{Text: "zy"}}
+		p, err := Build(ast, Scope{}, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := p.Explain()
+		if pi, ci := strings.Index(ex, "zy"), strings.Index(ex, "common"); pi < 0 || ci < 0 || pi > ci {
+			t.Fatalf("seal=%d: prefix leaf not ordered before common term:\n%s", seal, ex)
+		}
+		if strings.Contains(ex, "cost=scan") {
+			t.Fatalf("seal=%d: prefix leaf still priced as scan:\n%s", seal, ex)
+		}
+		if res, err := p.Exec(); err != nil || res.Len() != 2 {
+			t.Fatalf("seal=%d: exec: %v, len %d", seal, err, res.Len())
+		}
+
+		// Same for a selective fuzzy leaf.
+		ast2 := &query.And{L: &query.Term{Text: "common"}, R: &query.Fuzzy{Text: "alpha"}}
+		p2, err := Build(ast2, Scope{}, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex2 := p2.Explain()
+		if fi, ci := strings.Index(ex2, "alpha"), strings.Index(ex2, "common"); fi < 0 || ci < 0 || fi > ci {
+			t.Fatalf("seal=%d: fuzzy leaf not ordered before common term:\n%s", seal, ex2)
+		}
+	}
+}
+
 func TestCacheVersionInvalidation(t *testing.T) {
 	c := NewCache(8)
 	res := bitset.SegmentedOf(1, 2, 3)

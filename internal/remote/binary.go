@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hacfs/internal/obs"
+	"hacfs/internal/vfs"
 	"hacfs/internal/wire"
 )
 
@@ -24,8 +25,13 @@ import (
 //	           machinery and streams one fPage frame per page; the last
 //	           carries FlagFinal. Payload: after(u64) pageSize(varint)
 //	           limitPages(varint, 0 = all) query(string).
+//	fSearch2 → fPage2* — the scoped form: the request payload adds a
+//	           scope string after limitPages, each response page leads
+//	           with the index epoch it was served from (DESIGN.md §14).
 //	fFetch   → fData
-//	fErr     ends any request with a message.
+//	fResync  → fOK — rebuild the served index from its document tree.
+//	fStatus  → fStatV — epoch(uvarint) version(uvarint) docs(uvarint).
+//	fErr     ends any request with a message (typed via errors.go).
 //
 // Many requests may be in flight per connection; responses interleave
 // by request ID.
@@ -37,6 +43,12 @@ const (
 	fFetch
 	fData
 	fErr
+	fSearch2
+	fPage2
+	fResync
+	fOK
+	fStatus
+	fStatV
 )
 
 // maxFramePayload bounds one binary frame's payload: a fetched
@@ -79,6 +91,46 @@ func decodePage(payload []byte) (paths []string, next uint64, err error) {
 	next = d.Uvarint()
 	paths = d.Strings(maxLine, maxPageEntries)
 	return paths, next, d.Close()
+}
+
+// appendSearchReq2 encodes an fSearch2 payload: the fSearch fields plus
+// the scope root.
+func appendSearchReq2(b []byte, q, scope string, after uint64, pageSize, limitPages int) []byte {
+	b = wire.AppendUvarint(b, after)
+	b = wire.AppendVarint(b, int64(pageSize))
+	b = wire.AppendVarint(b, int64(limitPages))
+	b = wire.AppendString(b, scope)
+	b = wire.AppendString(b, q)
+	return b
+}
+
+// decodeSearchReq2 decodes an fSearch2 payload.
+func decodeSearchReq2(payload []byte) (q, scope string, after uint64, pageSize, limitPages int, err error) {
+	d := wire.NewDec(payload)
+	after = d.Uvarint()
+	pageSize = d.Int()
+	limitPages = d.Int()
+	scope = d.String(maxLine)
+	q = d.String(maxLine)
+	return q, scope, after, pageSize, limitPages, d.Close()
+}
+
+// appendPage2 encodes an fPage2 payload: the serving epoch, the next
+// cursor and one page of paths.
+func appendPage2(b []byte, epoch, next uint64, paths []string) []byte {
+	b = wire.AppendUvarint(b, epoch)
+	b = wire.AppendUvarint(b, next)
+	b = wire.AppendStrings(b, paths)
+	return b
+}
+
+// decodePage2 decodes an fPage2 payload.
+func decodePage2(payload []byte) (paths []string, next, epoch uint64, err error) {
+	d := wire.NewDec(payload)
+	epoch = d.Uvarint()
+	next = d.Uvarint()
+	paths = d.Strings(maxLine, maxPageEntries)
+	return paths, next, epoch, d.Close()
 }
 
 // serveBinary answers framed requests on conn until it dies. Each
@@ -151,7 +203,7 @@ func (w *frameWriter) send(f wire.Frame) error {
 }
 
 func (w *frameWriter) sendErr(id uint64, err error) error {
-	return w.send(wire.Frame{Type: fErr, Flags: wire.FlagFinal, ID: id, Payload: []byte(err.Error())})
+	return w.send(wire.Frame{Type: fErr, Flags: wire.FlagFinal, ID: id, Payload: []byte(encodeWireError(err))})
 }
 
 func (s *Server) handleFrame(w *frameWriter, f wire.Frame) {
@@ -170,48 +222,41 @@ func (s *Server) handleFrame(w *frameWriter, f wire.Frame) {
 			w.sendErr(f.ID, err)
 			return
 		}
-		if pageSize <= 0 {
-			pageSize = 512
-		}
-		sp, _ := s.startOp(ctx, "remote.Search", q)
-		start := time.Now()
-		pb, paged := s.backend.(PagedBackend)
-		if !paged {
-			// Unpaged backend: the whole result as a single final page.
-			paths, err := s.backend.Search(q)
-			s.finishOp(sp, "remote.Search", q, start, err)
-			if err != nil {
-				w.sendErr(f.ID, err)
-				return
-			}
-			w.send(wire.Frame{Type: fPage, Flags: wire.FlagFinal, ID: f.ID, Payload: appendPage(nil, 0, paths)})
+		s.streamSearch(ctx, w, f.ID, fPage, q, "", after, pageSize, limitPages)
+	case fSearch2:
+		q, scope, after, pageSize, limitPages, err := decodeSearchReq2(f.Payload)
+		if err != nil {
+			w.sendErr(f.ID, err)
 			return
 		}
-		// Stream pages through the cursor machinery until the cursor
-		// runs out or the client's page budget is spent.
-		cursor := after
-		for page := 0; ; page++ {
-			paths, next, err := pb.SearchPage(q, cursor, pageSize)
-			if err != nil {
-				s.finishOp(sp, "remote.Search", q, start, err)
-				w.sendErr(f.ID, err)
-				return
-			}
-			final := next == 0 || (limitPages > 0 && page+1 >= limitPages)
-			fr := wire.Frame{Type: fPage, ID: f.ID, Payload: appendPage(nil, next, paths)}
-			if final {
-				fr.Flags = wire.FlagFinal
-			}
-			if err := w.send(fr); err != nil {
-				s.finishOp(sp, "remote.Search", q, start, err)
-				return
-			}
-			if final {
-				s.finishOp(sp, "remote.Search", q, start, nil)
-				return
-			}
-			cursor = next
+		s.streamSearch(ctx, w, f.ID, fPage2, q, scope, after, pageSize, limitPages)
+	case fResync:
+		rs, ok := s.backend.(Resyncer)
+		if !ok {
+			w.sendErr(f.ID, &vfs.PathError{Op: "resync", Path: "/", Err: vfs.ErrUnsupported})
+			return
 		}
+		sp, opCtx := s.startOp(ctx, "remote.Resync", "")
+		start := time.Now()
+		err := rs.Resync(opCtx)
+		s.finishOp(sp, "remote.Resync", "", start, err)
+		if err != nil {
+			w.sendErr(f.ID, err)
+			return
+		}
+		w.send(wire.Frame{Type: fOK, Flags: wire.FlagFinal, ID: f.ID})
+	case fStatus:
+		sb, ok := s.backend.(StatusBackend)
+		if !ok {
+			w.sendErr(f.ID, &vfs.PathError{Op: "status", Path: "/", Err: vfs.ErrUnsupported})
+			return
+		}
+		epoch, version, docs := sb.Status()
+		var b []byte
+		b = wire.AppendUvarint(b, epoch)
+		b = wire.AppendUvarint(b, version)
+		b = wire.AppendUvarint(b, uint64(docs))
+		w.send(wire.Frame{Type: fStatV, Flags: wire.FlagFinal, ID: f.ID, Payload: b})
 	case fFetch:
 		d := wire.NewDec(f.Payload)
 		path := d.String(maxLine)
@@ -232,6 +277,82 @@ func (s *Server) handleFrame(w *frameWriter, f wire.Frame) {
 	default:
 		w.sendErr(f.ID, fmt.Errorf("unknown frame type %d", f.Type))
 	}
+}
+
+// streamSearch answers one fSearch/fSearch2 request: it pages the
+// result through the cursor machinery and streams one reply frame per
+// page, the last carrying FlagFinal. replyType selects the page
+// encoding (fPage, or fPage2 with the serving epoch).
+func (s *Server) streamSearch(ctx context.Context, w *frameWriter, id uint64, replyType uint8, q, scope string, after uint64, pageSize, limitPages int) {
+	if pageSize <= 0 {
+		pageSize = 512
+	}
+	opName := "remote.Search"
+	if replyType == fPage2 {
+		opName = "remote.SearchUnder"
+	}
+	sp, opCtx := s.startOp(ctx, opName, q)
+	start := time.Now()
+
+	var fetchPage func(cursor uint64) ([]string, uint64, uint64, error)
+	if sb, ok := s.backend.(ScopedBackend); ok {
+		fetchPage = func(cur uint64) ([]string, uint64, uint64, error) {
+			return sb.SearchPageUnder(opCtx, q, scope, cur, pageSize)
+		}
+	} else if scope != "" && scope != "/" {
+		err := &vfs.PathError{Op: "searchu", Path: scope, Err: vfs.ErrUnsupported}
+		s.finishOp(sp, opName, q, start, err)
+		w.sendErr(id, err)
+		return
+	} else if pb, ok := s.backend.(PagedBackend); ok {
+		fetchPage = func(cur uint64) ([]string, uint64, uint64, error) {
+			paths, next, err := pb.SearchPage(q, cur, pageSize)
+			return paths, next, 0, err
+		}
+	} else {
+		// Unpaged backend: the whole result as a single final page.
+		paths, err := s.backend.Search(q)
+		s.finishOp(sp, opName, q, start, err)
+		if err != nil {
+			w.sendErr(id, err)
+			return
+		}
+		w.send(wire.Frame{Type: replyType, Flags: wire.FlagFinal, ID: id, Payload: s.encodePage(replyType, 0, 0, paths)})
+		return
+	}
+
+	// Stream pages until the cursor runs out or the client's page
+	// budget is spent.
+	cursor := after
+	for page := 0; ; page++ {
+		paths, next, epoch, err := fetchPage(cursor)
+		if err != nil {
+			s.finishOp(sp, opName, q, start, err)
+			w.sendErr(id, err)
+			return
+		}
+		final := next == 0 || (limitPages > 0 && page+1 >= limitPages)
+		fr := wire.Frame{Type: replyType, ID: id, Payload: s.encodePage(replyType, epoch, next, paths)}
+		if final {
+			fr.Flags = wire.FlagFinal
+		}
+		if err := w.send(fr); err != nil {
+			s.finishOp(sp, opName, q, start, err)
+			return
+		}
+		if final {
+			s.finishOp(sp, opName, q, start, nil)
+			return
+		}
+		cursor = next
+	}
+}
+
+func (s *Server) encodePage(replyType uint8, epoch, next uint64, paths []string) []byte {
+	if replyType == fPage2 {
+		return appendPage2(nil, epoch, next, paths)
+	}
+	return appendPage(nil, next, paths)
 }
 
 // BinClient speaks the multiplexed binary protocol and implements
@@ -302,7 +423,7 @@ func (c *BinClient) PingContext(ctx context.Context) (err error) {
 
 func (c *BinClient) unexpected(f wire.Frame) error {
 	if f.Type == fErr {
-		return errors.New("remote: server: " + string(f.Payload))
+		return decodeWireError(string(f.Payload))
 	}
 	return fmt.Errorf("remote: unexpected frame type %d", f.Type)
 }
@@ -372,6 +493,99 @@ func (c *BinClient) searchPages(ctx context.Context, q string, after uint64, pag
 			return nil
 		}
 	}
+}
+
+// SearchPageUnder fetches one scope-restricted cursor page, plus the
+// index epoch the server pinned it against — the shard-facing call a
+// cluster coordinator fans out (DESIGN.md §14).
+func (c *BinClient) SearchPageUnder(ctx context.Context, q, scope string, after uint64, limit int) (_ []string, _ uint64, _ uint64, err error) {
+	defer c.met.search.done(time.Now(), &err)
+	sp, ctx := c.startRPC(ctx, "rpc.remote.SearchUnder", q)
+	defer func() { sp.FinishErr(err) }()
+	var out []string
+	var nextOut, epochOut uint64
+	err = c.searchPagesScoped(ctx, q, scope, after, limit, 1, func(paths []string, next, epoch uint64) {
+		out = append(out, paths...)
+		nextOut, epochOut = next, epoch
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return out, nextOut, epochOut, nil
+}
+
+// SearchUnderContext streams every result page of a scope-restricted
+// query and returns all matching paths.
+func (c *BinClient) SearchUnderContext(ctx context.Context, q, scope string) (_ []string, err error) {
+	defer c.met.search.done(time.Now(), &err)
+	sp, ctx := c.startRPC(ctx, "rpc.remote.SearchUnder", q)
+	defer func() { sp.FinishErr(err) }()
+	var out []string
+	err = c.searchPagesScoped(ctx, q, scope, 0, 0, 0, func(paths []string, _, _ uint64) {
+		out = append(out, paths...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// searchPagesScoped issues one scoped search call and invokes fn for
+// every streamed page frame.
+func (c *BinClient) searchPagesScoped(ctx context.Context, q, scope string, after uint64, pageSize, limitPages int, fn func([]string, uint64, uint64)) error {
+	st, err := c.mux.Call(ctx, fSearch2, appendSearchReq2(nil, q, scope, after, pageSize, limitPages))
+	if err != nil {
+		return err
+	}
+	defer st.Cancel()
+	for {
+		f, err := st.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if f.Type != fPage2 {
+			return c.unexpected(f)
+		}
+		paths, next, epoch, err := decodePage2(f.Payload)
+		if err != nil {
+			return err
+		}
+		fn(paths, next, epoch)
+		if f.Final() {
+			return nil
+		}
+	}
+}
+
+// Resync asks the server to rebuild its index from the document tree.
+func (c *BinClient) Resync(ctx context.Context) (err error) {
+	sp, ctx := c.startRPC(ctx, "rpc.remote.Resync", "")
+	defer func() { sp.FinishErr(err) }()
+	f, err := c.mux.CallOne(ctx, fResync, nil)
+	if err != nil {
+		return err
+	}
+	if f.Type != fOK {
+		return c.unexpected(f)
+	}
+	return nil
+}
+
+// Status reports the server's index epoch, mutation version and live
+// document count.
+func (c *BinClient) Status(ctx context.Context) (epoch, version uint64, docs int, err error) {
+	f, err := c.mux.CallOne(ctx, fStatus, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if f.Type != fStatV {
+		return 0, 0, 0, c.unexpected(f)
+	}
+	d := wire.NewDec(f.Payload)
+	epoch = d.Uvarint()
+	version = d.Uvarint()
+	docs = int(d.Uvarint())
+	return epoch, version, docs, d.Close()
 }
 
 // Fetch retrieves one remote document.

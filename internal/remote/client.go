@@ -3,7 +3,6 @@ package remote
 import (
 	"bufio"
 	"context"
-	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -237,7 +236,7 @@ func (c *Client) SearchContext(ctx context.Context, q string) (_ []string, err e
 		return out, nil
 	case replyErr:
 		msg, _ := unquote(arg)
-		return nil, errors.New("remote: server: " + msg)
+		return nil, decodeWireError(msg)
 	default:
 		c.dropLocked()
 		return nil, fmt.Errorf("remote: unexpected reply %q", line)
@@ -288,10 +287,84 @@ func (c *Client) SearchPage(ctx context.Context, q string, after uint64, limit i
 		return out, next, nil
 	case replyErr:
 		msg, _ := unquote(arg)
-		return nil, 0, errors.New("remote: server: " + msg)
+		return nil, 0, decodeWireError(msg)
 	default:
 		c.dropLocked()
 		return nil, 0, fmt.Errorf("remote: unexpected reply %q", line)
+	}
+}
+
+// SearchPageUnder fetches one scope-restricted cursor page plus the
+// index epoch it was served from, via the SEARCHU verb. An empty scope
+// means the whole tree.
+func (c *Client) SearchPageUnder(ctx context.Context, q, scope string, after uint64, limit int) (_ []string, _ uint64, _ uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.met.search.done(time.Now(), &err)
+	var sp *obs.Span
+	sp, ctx = c.obsv.Tracer().StartCtx(ctx, "rpc.remote.SearchUnder")
+	sp.Annotate("query", q)
+	defer func() { sp.FinishErr(err) }()
+	c.sendTraceLocked(ctx)
+	line, err := c.roundTrip(ctx, verbSearchUnder,
+		strconv.FormatUint(after, 10), strconv.Itoa(limit), quote(scope), quote(q))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	verb, arg := splitVerb(line)
+	switch verb {
+	case replyOK:
+		cnt, rest := splitVerb(arg)
+		nextStr, epochStr := splitVerb(rest)
+		n, cerr := strconv.Atoi(cnt)
+		next, nerr := strconv.ParseUint(nextStr, 10, 64)
+		epoch, eerr := strconv.ParseUint(epochStr, 10, 64)
+		if cerr != nil || nerr != nil || eerr != nil || n < 0 {
+			c.dropLocked()
+			return nil, 0, 0, fmt.Errorf("remote: malformed page header %q", arg)
+		}
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			pl, err := readLine(c.r)
+			if err != nil {
+				c.dropLocked()
+				return nil, 0, 0, err
+			}
+			p, err := unquote(pl)
+			if err != nil {
+				c.dropLocked()
+				return nil, 0, 0, fmt.Errorf("remote: malformed result line %q", pl)
+			}
+			out = append(out, p)
+		}
+		return out, next, epoch, nil
+	case replyErr:
+		msg, _ := unquote(arg)
+		return nil, 0, 0, decodeWireError(msg)
+	default:
+		c.dropLocked()
+		return nil, 0, 0, fmt.Errorf("remote: unexpected reply %q", line)
+	}
+}
+
+// Resync asks the server to rebuild its index from the document tree.
+func (c *Client) Resync(ctx context.Context) (err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	line, err := c.roundTrip(ctx, verbResync)
+	if err != nil {
+		return err
+	}
+	verb, arg := splitVerb(line)
+	switch verb {
+	case replyOK:
+		return nil
+	case replyErr:
+		msg, _ := unquote(arg)
+		return decodeWireError(msg)
+	default:
+		c.dropLocked()
+		return fmt.Errorf("remote: unexpected reply %q", line)
 	}
 }
 
@@ -325,7 +398,7 @@ func (c *Client) FetchContext(ctx context.Context, path string) (_ []byte, err e
 		return buf, nil
 	case replyErr:
 		msg, _ := unquote(arg)
-		return nil, errors.New("remote: server: " + msg)
+		return nil, decodeWireError(msg)
 	default:
 		c.dropLocked()
 		return nil, fmt.Errorf("remote: unexpected reply %q", line)

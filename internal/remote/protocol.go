@@ -9,10 +9,19 @@
 //	C: SEARCHP <after> <limit> <quoted-query>\n
 //	                                  S: OK <n> <next>\n then n path lines
 //	                                  (<next> = cursor of the next page, 0 = done)
+//	C: SEARCHU <after> <limit> <quoted-scope> <quoted-query>\n
+//	                                  S: OK <n> <next> <epoch>\n then n path lines
+//	                                  (scope-restricted page; epoch = the
+//	                                  index epoch the page was served from)
+//	C: RESYNC\n                       S: OK\n  (rebuild the served index)
 //	C: FETCH <quoted-path>\n          S: DATA <len>\n then len bytes
 //	C: PING\n                         S: PONG\n
 //	C: TRACE <trace-id> <span-id>\n   S: OK\n
 //	any error                         S: ERR <quoted-message>\n
+//
+// ERR messages may carry a typed error in the encodeWireError format
+// (errors.go); clients reconstruct the *vfs.PathError and its sentinel,
+// and fall back to a plain *ServerError for unmarked messages.
 //
 // TRACE arms the connection with a trace context (32-hex-digit trace
 // ID, decimal parent span ID) applied to the next command, which joins
@@ -34,11 +43,13 @@ import (
 
 // Protocol verbs.
 const (
-	verbSearch     = "SEARCH"
-	verbSearchPage = "SEARCHP"
-	verbFetch      = "FETCH"
-	verbPing       = "PING"
-	verbTrace      = "TRACE"
+	verbSearch      = "SEARCH"
+	verbSearchPage  = "SEARCHP"
+	verbSearchUnder = "SEARCHU"
+	verbResync      = "RESYNC"
+	verbFetch       = "FETCH"
+	verbPing        = "PING"
+	verbTrace       = "TRACE"
 
 	replyOK   = "OK"
 	replyData = "DATA"
@@ -94,3 +105,13 @@ func quote(s string) string { return strconv.Quote(s) }
 
 // unquote decodes a wire argument.
 func unquote(s string) (string, error) { return strconv.Unquote(s) }
+
+// cutQuotedPair decodes two space-separated quoted arguments.
+func cutQuotedPair(s string) (a, b string, err error) {
+	a, rest, err := cutQuoted(s)
+	if err != nil {
+		return "", "", err
+	}
+	b, err = unquote(strings.TrimLeft(rest, " "))
+	return a, b, err
+}

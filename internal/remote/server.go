@@ -35,16 +35,43 @@ type PagedBackend interface {
 	SearchPage(q string, after uint64, limit int) ([]string, uint64, error)
 }
 
+// ScopedBackend is an optional Backend extension serving
+// scope-restricted cursor pages (the SEARCHU verb and fSearch2 frame).
+// The context carries the caller's trace and deadline across the
+// backend — a cluster coordinator fans it out to shards. epoch reports
+// the index epoch the page was pinned against, so a paging caller can
+// observe epoch drift between pages.
+type ScopedBackend interface {
+	SearchPageUnder(ctx context.Context, q, scope string, after uint64, limit int) (paths []string, next, epoch uint64, err error)
+}
+
+// Resyncer is an optional Backend extension that rebuilds the served
+// index from its document tree (the RESYNC verb and fResync frame). A
+// cluster coordinator fans it out to every shard replica.
+type Resyncer interface {
+	Resync(ctx context.Context) error
+}
+
+// StatusBackend is an optional Backend extension reporting index state
+// (the fStatus frame): the merge epoch, the mutation version and the
+// live document count.
+type StatusBackend interface {
+	Status() (epoch, version uint64, docs int)
+}
+
 // IndexBackend serves searches from an index over a file system tree —
 // a remote Glimpse, in the paper's terms.
 type IndexBackend struct {
 	ix   *index.Index
 	fsys vfs.FileSystem
+	root string
+
+	resyncMu sync.Mutex // serializes Resync tree walks
 }
 
 // NewIndexBackend indexes the tree at root in fsys and serves it.
 func NewIndexBackend(fsys vfs.FileSystem, root string) (*IndexBackend, error) {
-	b := &IndexBackend{ix: index.New(), fsys: fsys}
+	b := &IndexBackend{ix: index.New(), fsys: fsys, root: root}
 	if _, _, _, err := b.ix.SyncTree(fsys, root); err != nil {
 		return nil, err
 	}
@@ -57,39 +84,62 @@ func (b *IndexBackend) Index() *index.Index { return b.ix }
 // Search evaluates a query over the backend's index. Directory
 // references have no meaning in a remote namespace and match nothing.
 func (b *IndexBackend) Search(q string) ([]string, error) {
-	res, _, err := b.search(q, 0, 0)
+	res, _, _, err := b.search(q, "", 0, 0)
 	return res, err
 }
 
 // SearchPage serves one cursor page: matches with DocID >= after, at
 // most limit of them (<= 0 = all), plus the next cursor (0 = done).
 func (b *IndexBackend) SearchPage(q string, after uint64, limit int) ([]string, uint64, error) {
-	return b.search(q, after, limit)
+	paths, next, _, err := b.search(q, "", after, limit)
+	return paths, next, err
+}
+
+// SearchPageUnder serves one scope-restricted cursor page plus the
+// index epoch it was pinned against.
+func (b *IndexBackend) SearchPageUnder(_ context.Context, q, scope string, after uint64, limit int) ([]string, uint64, uint64, error) {
+	return b.search(q, scope, after, limit)
+}
+
+// Resync re-walks the backend's document tree, folding any changes into
+// the served index.
+func (b *IndexBackend) Resync(_ context.Context) error {
+	b.resyncMu.Lock()
+	defer b.resyncMu.Unlock()
+	_, _, _, err := b.ix.SyncTree(b.fsys, b.root)
+	return err
+}
+
+// Status reports the served index's epoch, version and live doc count.
+func (b *IndexBackend) Status() (epoch, version uint64, docs int) {
+	snap := b.ix.Snapshot()
+	return snap.Epoch(), snap.Version(), b.ix.Stats().Docs
 }
 
 // search compiles q with the cost-based planner against a pinned
-// snapshot. The nil Refs map makes dir: references match nothing, the
-// pre-planner behavior for remote namespaces.
-func (b *IndexBackend) search(q string, after uint64, limit int) ([]string, uint64, error) {
+// snapshot, restricted to scope ("" or "/" = whole tree). The nil Refs
+// map makes dir: references match nothing, the pre-planner behavior
+// for remote namespaces.
+func (b *IndexBackend) search(q, scope string, after uint64, limit int) ([]string, uint64, uint64, error) {
 	ast, err := query.Parse(q)
 	if err != nil {
 		if errors.Is(err, query.ErrEmpty) {
-			return nil, 0, nil
+			return nil, 0, 0, nil
 		}
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	snap := b.ix.Snapshot()
-	p, err := plan.Build(ast, plan.Scope{}, &plan.SnapEnv{Snap: snap})
+	p, err := plan.Build(ast, plan.Scope{Prefix: scope}, &plan.SnapEnv{Snap: snap})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	bm, err := p.Exec()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if after == 0 && limit <= 0 {
 		// Unpaged: the full result, path-sorted as before.
-		return snap.Paths(bm), 0, nil
+		return snap.Paths(bm), 0, snap.Epoch(), nil
 	}
 	ids := bm.Slice()
 	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= after })
@@ -99,7 +149,7 @@ func (b *IndexBackend) search(q string, after uint64, limit int) ([]string, uint
 		ids = ids[:limit]
 		next = ids[len(ids)-1] + 1
 	}
-	return snap.PathsOf(ids), next, nil
+	return snap.PathsOf(ids), next, snap.Epoch(), nil
 }
 
 // Fetch reads one document.
@@ -292,7 +342,7 @@ func (s *Server) handle(w *bufio.Writer, line string, pending *obs.SpanContext) 
 		results, err := s.backend.Search(q)
 		s.finishOp(sp, "remote.Search", q, start, err)
 		if err != nil {
-			return writeLine(w, replyErr, quote(err.Error()))
+			return writeLine(w, replyErr, quote(encodeWireError(err)))
 		}
 		if err := writeLine(w, replyOK, strconv.Itoa(len(results))); err != nil {
 			return err
@@ -317,9 +367,12 @@ func (s *Server) handle(w *bufio.Writer, line string, pending *obs.SpanContext) 
 		var results []string
 		var next uint64
 		var err error
-		sp, _ := s.startOp(ctx, "remote.SearchPage", q)
+		sp, opCtx := s.startOp(ctx, "remote.SearchPage", q)
 		start := time.Now()
-		if pb, ok := s.backend.(PagedBackend); ok {
+		if sb, ok := s.backend.(ScopedBackend); ok {
+			// The scoped form also carries the trace context through.
+			results, next, _, err = sb.SearchPageUnder(opCtx, q, "", after, limit)
+		} else if pb, ok := s.backend.(PagedBackend); ok {
 			results, next, err = pb.SearchPage(q, after, limit)
 		} else if after == 0 {
 			// Unpaged backend: everything as one page.
@@ -327,7 +380,7 @@ func (s *Server) handle(w *bufio.Writer, line string, pending *obs.SpanContext) 
 		}
 		s.finishOp(sp, "remote.SearchPage", q, start, err)
 		if err != nil {
-			return writeLine(w, replyErr, quote(err.Error()))
+			return writeLine(w, replyErr, quote(encodeWireError(err)))
 		}
 		if err := writeLine(w, replyOK, strconv.Itoa(len(results)), strconv.FormatUint(next, 10)); err != nil {
 			return err
@@ -338,6 +391,53 @@ func (s *Server) handle(w *bufio.Writer, line string, pending *obs.SpanContext) 
 			}
 		}
 		return nil
+	case verbSearchUnder:
+		fields := strings.SplitN(arg, " ", 3)
+		if len(fields) != 3 {
+			return writeLine(w, replyErr, quote("malformed page arguments"))
+		}
+		after, aerr := strconv.ParseUint(fields[0], 10, 64)
+		limit, lerr := strconv.Atoi(fields[1])
+		scope, q, serr := cutQuotedPair(fields[2])
+		if aerr != nil || lerr != nil || serr != nil {
+			return writeLine(w, replyErr, quote("malformed page arguments"))
+		}
+		sb, ok := s.backend.(ScopedBackend)
+		if !ok {
+			return writeLine(w, replyErr, quote(encodeWireError(
+				&vfs.PathError{Op: "searchu", Path: scope, Err: vfs.ErrUnsupported})))
+		}
+		sp, opCtx := s.startOp(ctx, "remote.SearchUnder", q)
+		start := time.Now()
+		results, next, epoch, err := sb.SearchPageUnder(opCtx, q, scope, after, limit)
+		s.finishOp(sp, "remote.SearchUnder", q, start, err)
+		if err != nil {
+			return writeLine(w, replyErr, quote(encodeWireError(err)))
+		}
+		if err := writeLine(w, replyOK, strconv.Itoa(len(results)),
+			strconv.FormatUint(next, 10), strconv.FormatUint(epoch, 10)); err != nil {
+			return err
+		}
+		for _, p := range results {
+			if err := writeLine(w, quote(p)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case verbResync:
+		rs, ok := s.backend.(Resyncer)
+		if !ok {
+			return writeLine(w, replyErr, quote(encodeWireError(
+				&vfs.PathError{Op: "resync", Path: "/", Err: vfs.ErrUnsupported})))
+		}
+		sp, opCtx := s.startOp(ctx, "remote.Resync", "")
+		start := time.Now()
+		err := rs.Resync(opCtx)
+		s.finishOp(sp, "remote.Resync", "", start, err)
+		if err != nil {
+			return writeLine(w, replyErr, quote(encodeWireError(err)))
+		}
+		return writeLine(w, replyOK)
 	case verbFetch:
 		p, err := unquote(arg)
 		if err != nil {
@@ -345,7 +445,7 @@ func (s *Server) handle(w *bufio.Writer, line string, pending *obs.SpanContext) 
 		}
 		data, err := s.backend.Fetch(p)
 		if err != nil {
-			return writeLine(w, replyErr, quote(err.Error()))
+			return writeLine(w, replyErr, quote(encodeWireError(err)))
 		}
 		if len(data) > maxFetch {
 			return writeLine(w, replyErr, quote("document too large"))

@@ -77,6 +77,12 @@ var (
 	// hac and index layers can wrap the same sentinel without an import
 	// cycle; hac.ErrCorruptVolume aliases it.
 	ErrCorruptVolume = errors.New("corrupt volume image")
+	// ErrShardUnavailable marks a cluster operation that could not reach
+	// any replica of a required index shard (DESIGN.md §14). The
+	// coordinator wraps it in a *PathError naming the shard; a search run
+	// in partial-result mode suppresses it and annotates the plan
+	// instead.
+	ErrShardUnavailable = errors.New("index shard unavailable")
 )
 
 // PathError records the operation and path that caused an error, in the
