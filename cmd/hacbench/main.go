@@ -66,6 +66,14 @@ var (
 	clusterScopes   = flag.String("cluster-scopes", "", "cluster: comma-separated scope subtrees for routed queries (default /t0../t7; set to match the external coordinator's shard map)")
 	clusterQuery    = flag.String("cluster-query", "markermid", "cluster: search term the clients issue")
 	clusterJSON     = flag.String("cluster-json", "BENCH_cluster.json", "cluster experiment: write machine-readable results here (empty = skip)")
+
+	casSizes        = flag.String("cas-sizes", "1000,10000,100000", "cas: comma-separated volume sizes (files) for the clone-vs-save sweep")
+	casFileSize     = flag.Int("cas-file-size", 256, "cas: bytes per file in the clone-vs-save and dirty-save sweeps")
+	casSaveFiles    = flag.Int("cas-save-files", 10000, "cas: volume size for the dirty-fraction save sweep (0 = skip)")
+	casSyncFiles    = flag.Int("cas-sync-files", 2000, "cas: files in the replication volume (0 = skip)")
+	casSyncFileSize = flag.Int("cas-sync-size", 16384, "cas: bytes per file in the replication volume")
+	casDirty        = flag.String("cas-dirty", "1,10,50", "cas: comma-separated dirty percentages for the save and sync sweeps")
+	casJSON         = flag.String("cas-json", "BENCH_cas.json", "cas experiment: write machine-readable results here (empty = skip)")
 )
 
 func main() {
@@ -115,6 +123,8 @@ func main() {
 			err = serveBench()
 		case "cluster":
 			err = clusterBench()
+		case "cas":
+			err = casBench()
 		case "trace":
 			err = traceDemo()
 		case "ablate-order":
@@ -152,6 +162,7 @@ Experiments (default: all):
   planner       cost-based planner vs naive pipeline   (EXPERIMENTS.md)
   serve         multi-tenant serving, line vs mux      (EXPERIMENTS.md)
   cluster       sharded scatter-gather search scaling  (EXPERIMENTS.md)
+  cas           content-addressed substrate: clone vs save, diff sync (EXPERIMENTS.md)
   trace         issue one traced search, render the distributed trace
   ablate-order  targeted vs full consistency updates   (DESIGN.md A1)
   ablate-sets   bitmap vs sparse result sets           (DESIGN.md A2)
@@ -478,10 +489,98 @@ func serveBench() error {
 	return nil
 }
 
+// parseInts parses a comma-separated list of positive integers, exiting
+// with a usage error on junk.
+func parseInts(flagName, s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			usageErr("%s: %q is not a positive count", flagName, f)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func casBench() error {
+	spec := bench.CASSpec{
+		Sizes:        parseInts("-cas-sizes", *casSizes),
+		FileSize:     *casFileSize,
+		SaveFiles:    *casSaveFiles,
+		SyncFiles:    *casSyncFiles,
+		SyncFileSize: *casSyncFileSize,
+		DirtyPcts:    parseInts("-cas-dirty", *casDirty),
+		Reps:         *reps,
+		Seed:         *seed,
+	}
+	fmt.Printf("== Content-addressed substrate: O(manifest) clone vs full save, manifest-diff sync (sizes=%s file-size=%dB) ==\n",
+		*casSizes, spec.FileSize)
+	res, err := bench.CAS(spec)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "Files\tContent\tSnapshot\tClone\tFull save\tImage")
+	us := func(d time.Duration) string {
+		return fmt.Sprintf("%.2fµs", float64(d.Nanoseconds())/1000)
+	}
+	for _, r := range res.Sizes {
+		fmt.Fprintf(w, "%d\t%.1fMB\t%s\t%s\t%s\t%.1fMB\n",
+			r.Files, float64(r.Bytes)/(1<<20), us(r.Snapshot), us(r.Clone),
+			ms(r.FullSave), float64(r.ImageBytes)/(1<<20))
+	}
+	w.Flush()
+	if len(res.Sizes) >= 2 {
+		fmt.Printf("clone latency growth %d -> %d files: %.2fx (target: < 2x); full save growth: %.1fx (target: >= 10x)\n",
+			res.Sizes[0].Files, res.Sizes[len(res.Sizes)-1].Files, res.CloneGrowth, res.SaveGrowth)
+	}
+	if len(res.SaveDirty) > 0 {
+		fmt.Printf("\nSave cost vs dirty fraction (%d files; clean files are never re-hashed):\n", res.SaveFiles)
+		w = newTab()
+		fmt.Fprintln(w, "Dirty\tRewritten\tSave\tImage")
+		for _, r := range res.SaveDirty {
+			fmt.Fprintf(w, "%d%%\t%d\t%s\t%.1fMB\n", r.DirtyPct, r.Rewritten, ms(r.Save), float64(r.ImageBytes)/(1<<20))
+		}
+		w.Flush()
+	}
+	if len(res.SyncDirty) > 0 {
+		fmt.Printf("\nReplication (%d files x %dB; full-content mirror ships %.1fMB, cold manifest-diff %.1fMB):\n",
+			res.SyncFiles, res.SyncFileSize,
+			float64(res.FullSyncBytes)/(1<<20), float64(res.ColdSyncBytes)/(1<<20))
+		w = newTab()
+		fmt.Fprintln(w, "Dirty\tRewritten\tManifest\tBlobs\tBlob bytes\tWire total\t% of full")
+		for _, r := range res.SyncDirty {
+			fmt.Fprintf(w, "%d%%\t%d\t%.1fKB\t%d\t%.1fKB\t%.1fKB\t%.2f%%\n",
+				r.DirtyPct, r.Rewritten, float64(r.ManifestBytes)/1024, r.BlobsFetched,
+				float64(r.BlobBytes)/1024, float64(r.WireBytes)/1024, r.PctOfFull)
+		}
+		w.Flush()
+		fmt.Printf("manifest-diff at %d%% dirty ships %.2f%% of full-sync bytes (target: < 5%%)\n",
+			res.SyncDirty[0].DirtyPct, res.SyncDirty[0].PctOfFull)
+	}
+	if *casJSON != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*casJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *casJSON)
+	}
+	fmt.Println()
+	return nil
+}
+
 // usageErr reports a nonsensical flag combination and exits with the
 // conventional usage status instead of booting (or hanging) a fleet.
 func usageErr(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "hacbench: cluster: "+format+"\n", args...)
+	fmt.Fprintf(os.Stderr, "hacbench: "+format+"\n", args...)
 	fmt.Fprintln(os.Stderr, "run 'hacbench -h' for flag usage")
 	os.Exit(2)
 }

@@ -40,6 +40,7 @@ var (
 	cooldown     = flag.Duration("cooldown", 2*time.Second, "how long a failed replica is skipped before being probed again")
 	pageSize     = flag.Int("page", 512, "per-shard fetch page size")
 	waitShards   = flag.Duration("wait-shards", 0, "at startup, wait up to this long for every shard to answer a ping")
+	resyncPause  = flag.Duration("resync-stagger", time.Second, "jittered pause between replicas of a shard during a rolling resync (0 = back to back; one replica per shard rebuilds at a time either way)")
 )
 
 func main() {
@@ -56,11 +57,12 @@ func main() {
 		logger.Fatalf("%v", err)
 	}
 	coord := cluster.New(m, cluster.Options{
-		AllowPartial: *allowPartial,
-		Timeout:      *timeout,
-		Cooldown:     *cooldown,
-		PageSize:     *pageSize,
-		Observer:     obs.Default(),
+		AllowPartial:  *allowPartial,
+		Timeout:       *timeout,
+		Cooldown:      *cooldown,
+		PageSize:      *pageSize,
+		ResyncStagger: *resyncPause,
+		Observer:      obs.Default(),
 	})
 	defer coord.Close()
 	logger.Printf("coordinating %d shards from %s", len(m.Shards()), *mapFile)

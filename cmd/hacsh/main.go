@@ -22,6 +22,7 @@ import (
 	"hacfs/internal/obs"
 	"hacfs/internal/shell"
 	"hacfs/internal/vfs"
+	"hacfs/internal/vfs/cas"
 )
 
 var (
@@ -29,13 +30,18 @@ var (
 	demoFiles  = flag.Int("files", 200, "demo corpus size (with -demo)")
 	scriptPath = flag.String("script", "", "read commands from this file instead of stdin")
 	slowThresh = flag.Duration("slow-threshold", obs.DefSlowThreshold, "record ops slower than this for the slow command (0 disables)")
+	useCAS     = flag.Bool("cas", true, "back the volume with the content-addressed substrate (enables snapshot/rollback/clone and dedup)")
 )
 
 func main() {
 	flag.Parse()
 	obs.Default().Slow().SetThreshold(*slowThresh)
 
-	fs := hac.New(vfs.New(), hac.Options{})
+	var substrate vfs.FileSystem = vfs.New()
+	if *useCAS {
+		substrate = cas.New(nil)
+	}
+	fs := hac.New(substrate, hac.Options{})
 	if *demo {
 		if err := seed(fs, *demoFiles); err != nil {
 			fmt.Fprintf(os.Stderr, "hacsh: seeding demo corpus: %v\n", err)

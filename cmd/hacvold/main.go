@@ -45,6 +45,7 @@ import (
 	"hacfs/internal/remotefs"
 	"hacfs/internal/serve"
 	"hacfs/internal/vfs"
+	"hacfs/internal/vfs/cas"
 )
 
 // tenantFlags collects repeated -tenant name[=volume.hac] flags.
@@ -80,7 +81,12 @@ var (
 	demo          = flag.Bool("demo", false, "serve a volume seeded with a demo corpus")
 	nfiles        = flag.Int("files", 200, "demo corpus size")
 	seedVal       = flag.Int64("seed", 42, "demo corpus seed")
+	useCAS        = flag.Bool("cas", true, "back volumes with one process-wide content-addressed blob store: identical content across tenants is stored once, quotas charge unique bytes, v4 images save O(changed content)")
 )
+
+// blobStore is the process-wide content-addressed store every tenant
+// volume shares when -cas is on (nil otherwise).
+var blobStore *cas.BlobStore
 
 var tenants tenantFlags
 
@@ -92,6 +98,10 @@ func main() {
 	quota := serve.Quota{MaxBytes: *quotaBytes, MaxDocs: *quotaDocs, MaxInflight: *quotaInflight}
 	host := serve.NewHost(*workers, obs.Default())
 	obs.Default().Slow().SetThreshold(*slowThresh)
+	if *useCAS {
+		blobStore = cas.NewStore()
+		blobStore.PublishMetrics(obs.Default().Registry())
+	}
 
 	// Resolve the tenant set: explicit -tenant flags, or one default
 	// volume from the legacy flags.
@@ -203,17 +213,23 @@ func main() {
 }
 
 // openVolume loads a saved image, or builds a fresh (possibly
-// demo-seeded) volume when path is empty.
+// demo-seeded) volume when path is empty. With -cas every volume —
+// loaded or fresh — shares the process-wide blob store, so identical
+// content across tenants occupies memory once.
 func openVolume(logger *log.Logger, path string) (*hac.FS, error) {
 	if path != "" {
-		fs, err := hac.LoadVolumeFile(path, hac.Options{})
+		fs, err := hac.LoadVolumeFile(path, hac.Options{BlobStore: blobStore})
 		if err != nil {
 			return nil, fmt.Errorf("loading volume: %w", err)
 		}
 		logger.Printf("loaded volume from %s", path)
 		return fs, nil
 	}
-	fs := hac.New(vfs.New(), hac.Options{})
+	var substrate vfs.FileSystem = vfs.New()
+	if blobStore != nil {
+		substrate = cas.New(blobStore)
+	}
+	fs := hac.New(substrate, hac.Options{})
 	if *demo {
 		if err := fs.MkdirAll("/docs"); err != nil {
 			return nil, err

@@ -331,12 +331,12 @@ func TestContainerCodecRejectsCorrupt(t *testing.T) {
 	bad := [][]byte{
 		nil,
 		{codecArray},
-		{codecArray, 2, 0, 0, 0, 5, 0, 0, 0, 3, 0, 0, 0},      // unsorted
-		{codecArray, 2, 0, 0, 0, 5, 0, 0, 0, 5, 0, 0, 0},      // duplicate
-		{codecRun, 1, 0, 0, 0, 9, 0, 0, 0, 3, 0, 0, 0},        // inverted run
-		{codecBitmap, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},     // trailing zero word
-		{'Z', 0, 0, 0, 0},                                     // unknown kind
-		{codecArray, 255, 255, 255, 255},                      // implausible count
+		{codecArray, 2, 0, 0, 0, 5, 0, 0, 0, 3, 0, 0, 0},  // unsorted
+		{codecArray, 2, 0, 0, 0, 5, 0, 0, 0, 5, 0, 0, 0},  // duplicate
+		{codecRun, 1, 0, 0, 0, 9, 0, 0, 0, 3, 0, 0, 0},    // inverted run
+		{codecBitmap, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // trailing zero word
+		{'Z', 0, 0, 0, 0},                // unknown kind
+		{codecArray, 255, 255, 255, 255}, // implausible count
 		{codecRun, 2, 0, 0, 0, 1, 0, 0, 0, 5, 0, 0, 0, 6, 0, 0, 0, 9, 0, 0, 0}, // adjacent runs
 	}
 	for i, data := range bad {

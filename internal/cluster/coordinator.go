@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strconv"
 	"sync"
@@ -49,6 +50,12 @@ type Options struct {
 	// MaxCursors bounds the paged-search cursor table; the least
 	// recently used cursor is evicted beyond it. 0 means 1024.
 	MaxCursors int
+	// ResyncStagger separates consecutive replica reindexes within one
+	// shard during a rolling Resync, jittered by up to half its value so
+	// shards do not thunder in lockstep. Replicas of a shard always
+	// resync one at a time regardless; 0 just removes the pause between
+	// them.
+	ResyncStagger time.Duration
 	// Observer receives metrics and spans (default obs.Default()).
 	Observer *obs.Observer
 	// Dial opens a connection to one replica of a shard. Nil dials the
@@ -462,9 +469,14 @@ func (c *Coordinator) FetchContext(ctx context.Context, path string) (data []byt
 	return data, nil
 }
 
-// Resync implements remote.Resyncer: fan the reindex out to every
-// replica of every shard (replicas are independent daemons, each
-// owning its own index), concurrently, and report the first failure.
+// Resync implements remote.Resyncer: reindex every replica of every
+// shard (replicas are independent daemons, each owning its own index).
+// Shards proceed concurrently, but within a shard replicas resync one
+// at a time, separated by the jittered ResyncStagger pause — at most
+// one replica per shard is rebuilding its index at any moment, so the
+// shard's remaining replicas keep answering searches through the
+// rolling reindex. The first failure is reported; the rolling wave
+// still visits every replica.
 func (c *Coordinator) Resync(ctx context.Context) (err error) {
 	sp, ctx := c.obsv.Tracer().StartCtx(ctx, "cluster.resync")
 	defer func() { sp.FinishErr(err) }()
@@ -472,21 +484,33 @@ func (c *Coordinator) Resync(ctx context.Context) (err error) {
 	st := c.st.Load()
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)
+	report := func(shard int, addr string, rerr error) {
+		select {
+		case errs <- &vfs.PathError{Op: "cluster.resync", Path: shardPath(shard) + "/" + addr, Err: rerr}:
+		default:
+		}
+	}
 	for _, id := range st.m.order {
-		for _, r := range st.shards[id].replicas {
-			wg.Add(1)
-			go func(shard int, r *replica) {
-				defer wg.Done()
-				// Resync has no per-attempt timeout: a full reindex is
-				// legitimately slow, so only the caller's context bounds it.
-				if rerr := r.conn.Resync(ctx); rerr != nil {
-					select {
-					case errs <- &vfs.PathError{Op: "cluster.resync", Path: shardPath(shard) + "/" + r.addr, Err: rerr}:
-					default:
+		wg.Add(1)
+		go func(shard int, replicas []*replica) {
+			defer wg.Done()
+			for i, r := range replicas {
+				if i > 0 {
+					if werr := c.staggerWait(ctx); werr != nil {
+						report(shard, r.addr, werr)
+						return
 					}
 				}
-			}(id, r)
-		}
+				c.met.resyncActive.Add(1)
+				// Resync has no per-attempt timeout: a full reindex is
+				// legitimately slow, so only the caller's context bounds it.
+				rerr := r.conn.Resync(ctx)
+				c.met.resyncActive.Add(-1)
+				if rerr != nil {
+					report(shard, r.addr, rerr)
+				}
+			}
+		}(id, st.shards[id].replicas)
 	}
 	wg.Wait()
 	select {
@@ -494,6 +518,24 @@ func (c *Coordinator) Resync(ctx context.Context) (err error) {
 		return err
 	default:
 		return nil
+	}
+}
+
+// staggerWait pauses between two replicas of a rolling resync: the
+// configured stagger plus up to 50% random jitter, cut short by ctx.
+func (c *Coordinator) staggerWait(ctx context.Context) error {
+	d := c.opts.ResyncStagger
+	if d <= 0 {
+		return ctx.Err()
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

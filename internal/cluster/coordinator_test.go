@@ -21,11 +21,12 @@ type fakeConn struct {
 	paths []string // sorted
 	epoch uint64
 
-	failDial  atomic.Bool // transport-style failure on every call
-	hang      atomic.Bool // block until the per-attempt context expires
-	typedErr  atomic.Pointer[vfs.PathError]
-	calls     atomic.Int64
-	lastQuery atomic.Pointer[string]
+	failDial   atomic.Bool // transport-style failure on every call
+	hang       atomic.Bool // block until the per-attempt context expires
+	typedErr   atomic.Pointer[vfs.PathError]
+	calls      atomic.Int64
+	lastQuery  atomic.Pointer[string]
+	resyncHook atomic.Pointer[func(context.Context) error] // overrides Resync when set
 }
 
 func newFake(epoch uint64, paths ...string) *fakeConn {
@@ -77,7 +78,12 @@ func (f *fakeConn) SearchPageUnder(ctx context.Context, q, scope string, after u
 	return in[start:end], next, f.epoch, nil
 }
 
-func (f *fakeConn) Resync(ctx context.Context) error { return f.gate(ctx) }
+func (f *fakeConn) Resync(ctx context.Context) error {
+	if hook := f.resyncHook.Load(); hook != nil {
+		return (*hook)(ctx)
+	}
+	return f.gate(ctx)
+}
 
 func (f *fakeConn) Status(ctx context.Context) (uint64, uint64, int, error) {
 	if err := f.gate(ctx); err != nil {
@@ -408,6 +414,78 @@ func TestResyncFansToAllReplicas(t *testing.T) {
 	if r1.calls.Load() != 1 || r2.calls.Load() != 1 || r3.calls.Load() != 1 {
 		t.Fatalf("resync calls = %d,%d,%d, want 1,1,1",
 			r1.calls.Load(), r2.calls.Load(), r3.calls.Load())
+	}
+}
+
+// A rolling resync keeps at most one replica per shard rebuilding at a
+// time while independent shards proceed concurrently.
+func TestResyncRollsOneReplicaPerShard(t *testing.T) {
+	const perShard = 3
+	conns := make(map[int][]*fakeConn)
+	type shardTrack struct {
+		active    atomic.Int64
+		violation atomic.Bool
+	}
+	tracks := [2]*shardTrack{{}, {}}
+	var overlapped atomic.Bool // did the two shards ever resync simultaneously?
+	var totalActive atomic.Int64
+	for shard := 0; shard < 2; shard++ {
+		tr := tracks[shard]
+		for i := 0; i < perShard; i++ {
+			f := newFake(1)
+			hook := func(context.Context) error {
+				if tr.active.Add(1) > 1 {
+					tr.violation.Store(true)
+				}
+				if totalActive.Add(1) > 1 {
+					overlapped.Store(true)
+				}
+				time.Sleep(5 * time.Millisecond)
+				totalActive.Add(-1)
+				tr.active.Add(-1)
+				f.calls.Add(1)
+				return nil
+			}
+			f.resyncHook.Store(&hook)
+			conns[shard] = append(conns[shard], f)
+		}
+	}
+	c := fleet(t, "shard 0 a:1,b:1,c:1\nshard 1 d:1,e:1,f:1", conns, Options{})
+	if err := c.Resync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for shard, tr := range tracks {
+		if tr.violation.Load() {
+			t.Errorf("shard %d had concurrent replica resyncs", shard)
+		}
+		for i, f := range conns[shard] {
+			if f.calls.Load() != 1 {
+				t.Errorf("shard %d replica %d resynced %d times, want 1", shard, i, f.calls.Load())
+			}
+		}
+	}
+	if !overlapped.Load() {
+		t.Error("shards resynced strictly sequentially; want shard-level concurrency")
+	}
+}
+
+// The configured stagger inserts a pause between a shard's replicas.
+func TestResyncStaggerPausesBetweenReplicas(t *testing.T) {
+	r1, r2 := newFake(1), newFake(1)
+	c := fleet(t, "shard 0 a:1,b:1", map[int][]*fakeConn{0: {r1, r2}},
+		Options{ResyncStagger: 60 * time.Millisecond})
+	start := time.Now()
+	if err := c.Resync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("two-replica resync took %s, want >= 60ms of stagger", d)
+	}
+	// A canceled context aborts the wave during the stagger pause.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := c.Resync(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded from the stagger pause", err)
 	}
 }
 

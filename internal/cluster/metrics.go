@@ -19,6 +19,7 @@ type metrics struct {
 	partials      *obs.Counter   // cluster_partial_results_total
 	dupsDropped   *obs.Counter   // cluster_duplicates_dropped_total
 	resyncs       *obs.Counter   // cluster_resyncs_total
+	resyncActive  *obs.Gauge     // cluster_resync_active
 	cursorsActive *obs.Gauge     // cluster_cursors_active
 }
 
@@ -36,6 +37,7 @@ func newMetrics(o *obs.Observer) *metrics {
 		partials:      r.Counter("cluster_partial_results_total"),
 		dupsDropped:   r.Counter("cluster_duplicates_dropped_total"),
 		resyncs:       r.Counter("cluster_resyncs_total"),
+		resyncActive:  r.Gauge("cluster_resync_active"),
 		cursorsActive: r.Gauge("cluster_cursors_active"),
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"hacfs/internal/query"
 	"hacfs/internal/query/plan"
 	"hacfs/internal/vfs"
+	"hacfs/internal/vfs/cas"
 )
 
 // Errors specific to the HAC layer.
@@ -144,6 +145,12 @@ type Options struct {
 	// recording entirely (the hacbench "obs" experiment measures the
 	// difference).
 	Observer *obs.Observer
+	// BlobStore, when set, is the content-addressed store LoadVolume
+	// materializes version-4 images into (DESIGN.md §15). Sharing one
+	// store across volumes — hacvold passes one per process — stores
+	// identical content once no matter how many tenants hold it. nil
+	// gives each loaded volume a private store.
+	BlobStore *cas.BlobStore
 }
 
 // DefaultRemoteTimeout bounds remote-namespace RPCs when

@@ -41,6 +41,7 @@ import (
 	"testing"
 
 	"hacfs/internal/vfs"
+	"hacfs/internal/vfs/cas"
 )
 
 // mcVocab is the closed vocabulary the oracle shares with the
@@ -239,7 +240,14 @@ type mcHarness struct {
 }
 
 func newMCHarness(t *testing.T, seed int64, rate float64) *mcHarness {
-	fault := vfs.NewFaultFS(vfs.New(), vfs.FaultConfig{Seed: seed, TornWrites: true})
+	return newMCHarnessOn(t, seed, rate, vfs.New())
+}
+
+// newMCHarnessOn runs the walk over an arbitrary substrate — the same
+// checks drive MemFS and the content-addressed cas.FS, which is exactly
+// the substrate-equivalence claim of DESIGN.md §15.
+func newMCHarnessOn(t *testing.T, seed int64, rate float64, inner vfs.FileSystem) *mcHarness {
+	fault := vfs.NewFaultFS(inner, vfs.FaultConfig{Seed: seed, TornWrites: true})
 	h := &mcHarness{
 		t:     t,
 		rng:   rand.New(rand.NewSource(seed)),
@@ -705,18 +713,30 @@ var mcSeeds = []int64{1, 2, 3, 4, 5, 6, 7, 8}
 
 const mcStepsPerSeed = 250
 
+// mcSubstrates names the substrate families every model-check walk
+// runs over: the MemFS baseline and the content-addressed cas.FS.
+var mcSubstrates = []struct {
+	name string
+	mk   func() vfs.FileSystem
+}{
+	{"memfs", func() vfs.FileSystem { return vfs.New() }},
+	{"cas", func() vfs.FileSystem { return cas.New(nil) }},
+}
+
 // TestModelCheckFaultFree pins the oracle itself: with no faults the
 // SUT and the model must stay in lock-step for the whole walk.
 func TestModelCheckFaultFree(t *testing.T) {
-	for _, seed := range mcSeeds {
-		seed := seed
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			t.Parallel()
-			h := newMCHarness(t, seed, 0)
-			for i := 0; i < mcStepsPerSeed; i++ {
-				h.step()
-			}
-		})
+	for _, sub := range mcSubstrates {
+		for _, seed := range mcSeeds {
+			sub, seed := sub, seed
+			t.Run(fmt.Sprintf("%s/seed%d", sub.name, seed), func(t *testing.T) {
+				t.Parallel()
+				h := newMCHarnessOn(t, seed, 0, sub.mk())
+				for i := 0; i < mcStepsPerSeed; i++ {
+					h.step()
+				}
+			})
+		}
 	}
 }
 
@@ -725,29 +745,31 @@ func TestModelCheckFaultFree(t *testing.T) {
 // settle (Reindex) and a full re-assertion, so scope consistency is
 // proven restorable after every injected fault.
 func TestModelCheckWithInjectedErrors(t *testing.T) {
-	for _, seed := range mcSeeds {
-		seed := seed
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			t.Parallel()
-			h := newMCHarness(t, seed, 0.05)
-			for i := 0; i < mcStepsPerSeed; i++ {
-				h.step()
-			}
-			st := h.fault.Stats()
-			if st.Ops == 0 {
-				t.Fatal("fault substrate counted no operations")
-			}
-			if st.Injected == 0 {
-				t.Fatalf("no faults injected over %d substrate ops at 5%%", st.Ops)
-			}
-			var perOp uint64
-			for _, n := range st.Errors {
-				perOp += n
-			}
-			if perOp != st.Injected {
-				t.Fatalf("per-op injected counters (%d) disagree with total (%d)", perOp, st.Injected)
-			}
-		})
+	for _, sub := range mcSubstrates {
+		for _, seed := range mcSeeds {
+			sub, seed := sub, seed
+			t.Run(fmt.Sprintf("%s/seed%d", sub.name, seed), func(t *testing.T) {
+				t.Parallel()
+				h := newMCHarnessOn(t, seed, 0.05, sub.mk())
+				for i := 0; i < mcStepsPerSeed; i++ {
+					h.step()
+				}
+				st := h.fault.Stats()
+				if st.Ops == 0 {
+					t.Fatal("fault substrate counted no operations")
+				}
+				if st.Injected == 0 {
+					t.Fatalf("no faults injected over %d substrate ops at 5%%", st.Ops)
+				}
+				var perOp uint64
+				for _, n := range st.Errors {
+					perOp += n
+				}
+				if perOp != st.Injected {
+					t.Fatalf("per-op injected counters (%d) disagree with total (%d)", perOp, st.Injected)
+				}
+			})
+		}
 	}
 }
 
@@ -760,69 +782,71 @@ func TestModelCheckWithInjectedErrors(t *testing.T) {
 // every crash, including the lost-window semantics.
 func TestModelCheckCrashRecovery(t *testing.T) {
 	const savePointEvery = 25
-	for _, seed := range mcSeeds {
-		seed := seed
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			t.Parallel()
-			h := newMCHarness(t, seed, 0)
-			for i := 0; i < mcStepsPerSeed; i++ {
-				h.step()
-				if i%savePointEvery != savePointEvery-1 {
-					continue
-				}
-				// Save point: capture a good image and the oracle.
-				var good bytes.Buffer
-				if err := h.fs.SaveVolume(&good); err != nil {
-					t.Fatalf("step %d: save: %v", i, err)
-				}
-				saved := h.m.clone()
+	for _, sub := range mcSubstrates {
+		for _, seed := range mcSeeds {
+			sub, seed := sub, seed
+			t.Run(fmt.Sprintf("%s/seed%d", sub.name, seed), func(t *testing.T) {
+				t.Parallel()
+				h := newMCHarnessOn(t, seed, 0, sub.mk())
+				for i := 0; i < mcStepsPerSeed; i++ {
+					h.step()
+					if i%savePointEvery != savePointEvery-1 {
+						continue
+					}
+					// Save point: capture a good image and the oracle.
+					var good bytes.Buffer
+					if err := h.fs.SaveVolume(&good); err != nil {
+						t.Fatalf("step %d: save: %v", i, err)
+					}
+					saved := h.m.clone()
 
-				// A crash tears the concurrent save at a random point;
-				// the torn image must never load.
-				var torn bytes.Buffer
-				limit := h.rng.Intn(good.Len())
-				if err := h.fs.SaveVolume(&vfs.CrashWriter{W: &torn, Limit: limit}); err == nil {
-					t.Fatalf("step %d: torn save (limit %d) reported success", i, limit)
-				}
-				if _, err := LoadVolume(bytes.NewReader(torn.Bytes()), Options{}); err == nil {
-					t.Fatalf("step %d: torn image (limit %d of %d) loaded", i, limit, good.Len())
-				}
+					// A crash tears the concurrent save at a random point;
+					// the torn image must never load.
+					var torn bytes.Buffer
+					limit := h.rng.Intn(good.Len())
+					if err := h.fs.SaveVolume(&vfs.CrashWriter{W: &torn, Limit: limit}); err == nil {
+						t.Fatalf("step %d: torn save (limit %d) reported success", i, limit)
+					}
+					if _, err := LoadVolume(bytes.NewReader(torn.Bytes()), Options{}); err == nil {
+						t.Fatalf("step %d: torn image (limit %d of %d) loaded", i, limit, good.Len())
+					}
 
-				// The machine dies a few operations later: every
-				// subsequent substrate op must fail, losing the window
-				// since the save.
-				if h.fault != nil {
-					h.fault.CrashAfter(uint64(1 + h.rng.Intn(20)))
-					for h.fault != nil && !h.fault.Crashed() {
-						p := vfs.Join("/docs", h.freshName("w")+".txt")
-						if err := h.fs.WriteFile(p, []byte(h.randContent())); err != nil {
-							if !errors.Is(err, vfs.ErrCrashed) && !errors.Is(err, vfs.ErrInjected) {
-								t.Fatalf("step %d: pre-crash write: %v", i, err)
+					// The machine dies a few operations later: every
+					// subsequent substrate op must fail, losing the window
+					// since the save.
+					if h.fault != nil {
+						h.fault.CrashAfter(uint64(1 + h.rng.Intn(20)))
+						for h.fault != nil && !h.fault.Crashed() {
+							p := vfs.Join("/docs", h.freshName("w")+".txt")
+							if err := h.fs.WriteFile(p, []byte(h.randContent())); err != nil {
+								if !errors.Is(err, vfs.ErrCrashed) && !errors.Is(err, vfs.ErrInjected) {
+									t.Fatalf("step %d: pre-crash write: %v", i, err)
+								}
+								break
 							}
-							break
+						}
+						if err := h.fs.Sync("/"); err == nil {
+							t.Fatalf("step %d: Sync succeeded on crashed store", i)
 						}
 					}
-					if err := h.fs.Sync("/"); err == nil {
-						t.Fatalf("step %d: Sync succeeded on crashed store", i)
-					}
-				}
 
-				// Recovery: LoadVolume + Reindex from the good image.
-				recovered, err := LoadVolume(bytes.NewReader(good.Bytes()), Options{})
-				if err != nil {
-					t.Fatalf("step %d: recovery load: %v", i, err)
+					// Recovery: LoadVolume + Reindex from the good image.
+					recovered, err := LoadVolume(bytes.NewReader(good.Bytes()), Options{})
+					if err != nil {
+						t.Fatalf("step %d: recovery load: %v", i, err)
+					}
+					if _, err := recovered.Reindex("/"); err != nil {
+						t.Fatalf("step %d: recovery reindex: %v", i, err)
+					}
+					h.fs = recovered
+					h.fault = nil // recovered volume runs on a fresh substrate of the image's choosing
+					h.m = saved
+					// The restored volume was fully reindexed on load, so
+					// the oracle's indexed view catches up to its files.
+					h.m.reindex()
+					h.assertConsistent("recovery")
 				}
-				if _, err := recovered.Reindex("/"); err != nil {
-					t.Fatalf("step %d: recovery reindex: %v", i, err)
-				}
-				h.fs = recovered
-				h.fault = nil // recovered volume runs on a fresh MemFS
-				h.m = saved
-				// The restored volume was fully reindexed on load, so
-				// the oracle's indexed view catches up to its files.
-				h.m.reindex()
-				h.assertConsistent("recovery")
-			}
-		})
+			})
+		}
 	}
 }

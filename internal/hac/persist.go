@@ -14,6 +14,7 @@ import (
 
 	"hacfs/internal/index"
 	"hacfs/internal/vfs"
+	"hacfs/internal/vfs/cas"
 )
 
 // Volume persistence. The paper's HAC stores its per-directory
@@ -40,6 +41,7 @@ import (
 // so a crash during save leaves the previous image intact.
 
 const (
+	casVolumeVersion    = 4 // content-addressed images: manifest + blob section + index section
 	volumeVersion       = 3
 	legacyVolumeVersion = 2 // pre-segmented-index images, no index section
 )
@@ -75,8 +77,14 @@ func volErr(op string, err error) error {
 
 type volumeImage struct {
 	Version int
-	Nodes   []vfs.SnapNode
+	Nodes   []vfs.SnapNode // v2/v3: full tree with content inline
 	Dirs    []dirImage
+	// Manifest is the encoded cas.Manifest of a version-4 image: the
+	// tree with file content referenced by hash. The blobs themselves
+	// follow the main frame in the blob section, each stored once no
+	// matter how many files (or tenants at load time, via a shared
+	// store) reference it.
+	Manifest []byte
 }
 
 // dirImage is the persisted form of one directory's HAC state. The
@@ -91,21 +99,86 @@ type dirImage struct {
 	Prohibited []string
 }
 
+// casSubstrate unwraps layering (vfs.FaultFS and anything else exposing
+// Under()) down to a content-addressed substrate, or nil.
+func casSubstrate(under vfs.FileSystem) *cas.FS {
+	for {
+		if c, ok := under.(*cas.FS); ok {
+			return c
+		}
+		u, ok := under.(interface{ Under() vfs.FileSystem })
+		if !ok {
+			return nil
+		}
+		under = u.Under()
+	}
+}
+
+// CASManifest returns the live manifest of the volume's
+// content-addressed substrate — the send half of manifest-diff
+// replication (remotefs.BlobSource). Volumes on other substrates return
+// vfs.ErrUnsupported, which tells a syncing peer to fall back to
+// full-content copy.
+func (fs *FS) CASManifest() (*cas.Manifest, error) {
+	cfs := casSubstrate(fs.under)
+	if cfs == nil {
+		return nil, &vfs.PathError{Op: "manifest", Path: "/", Err: vfs.ErrUnsupported}
+	}
+	return cfs.Manifest(), nil
+}
+
+// CASBlobs returns the content of each requested blob in request order
+// (remotefs.BlobSource). A hash the store no longer holds — the peer's
+// manifest raced a local rewrite — is reported as vfs.ErrNotExist; the
+// peer refetches the manifest and retries.
+func (fs *FS) CASBlobs(hashes []cas.Hash) ([][]byte, error) {
+	cfs := casSubstrate(fs.under)
+	if cfs == nil {
+		return nil, &vfs.PathError{Op: "blobs", Path: "/", Err: vfs.ErrUnsupported}
+	}
+	store := cfs.Store()
+	out := make([][]byte, len(hashes))
+	for i, h := range hashes {
+		data, ok := store.Get(h)
+		if !ok {
+			return nil, &vfs.PathError{Op: "blobs", Path: h.String(), Err: vfs.ErrNotExist}
+		}
+		out[i] = data
+	}
+	return out, nil
+}
+
 // SaveVolume writes the volume — files, directories, links, queries and
 // link classifications — to w as a checksummed, length-framed image.
-// The substrate must implement vfs.Snapshotter (MemFS does; wrappers
-// like vfs.FaultFS delegate); otherwise a *vfs.PathError wrapping
-// ErrNoSnapshot is returned.
+//
+// On a content-addressed substrate (cas.FS, possibly wrapped in
+// vfs.FaultFS) the image is version 4: the main frame carries the
+// manifest (paths and hashes, no content) and a blob section follows
+// with each distinct blob exactly once — files sharing content, however
+// many, cost one copy, and clean files cost no re-hashing (their hashes
+// are cached on the tree). Other substrates must implement
+// vfs.Snapshotter (MemFS does) and save the inline version-3 form;
+// otherwise a *vfs.PathError wrapping ErrNoSnapshot is returned.
 func (fs *FS) SaveVolume(w io.Writer) error {
-	snapper, ok := fs.under.(vfs.Snapshotter)
-	if !ok {
-		return volErr("savevolume", fmt.Errorf("%w: substrate %T", ErrNoSnapshot, fs.under))
+	var img volumeImage
+	var manifest *cas.Manifest
+	var blobs map[cas.Hash][]byte
+	if cfs := casSubstrate(fs.under); cfs != nil {
+		manifest, blobs = cfs.ImageData()
+		img.Version = casVolumeVersion
+		img.Manifest = manifest.EncodeBinary()
+	} else {
+		snapper, ok := fs.under.(vfs.Snapshotter)
+		if !ok {
+			return volErr("savevolume", fmt.Errorf("%w: substrate %T", ErrNoSnapshot, fs.under))
+		}
+		nodes := snapper.Snapshot()
+		if len(nodes) == 0 {
+			return volErr("savevolume", fmt.Errorf("%w: substrate %T produced no snapshot", ErrNoSnapshot, fs.under))
+		}
+		img.Version = volumeVersion
+		img.Nodes = nodes
 	}
-	nodes := snapper.Snapshot()
-	if len(nodes) == 0 {
-		return volErr("savevolume", fmt.Errorf("%w: substrate %T produced no snapshot", ErrNoSnapshot, fs.under))
-	}
-	img := volumeImage{Version: volumeVersion, Nodes: nodes}
 
 	fs.mu.RLock()
 	uids := make([]uint64, 0, len(fs.dirs))
@@ -160,8 +233,15 @@ func (fs *FS) SaveVolume(w io.Writer) error {
 	if err := gob.NewEncoder(&payload).Encode(&img); err != nil {
 		return volErr("savevolume", fmt.Errorf("encoding volume: %w", err))
 	}
-	if err := writeVolumeFrame(w, volumeVersion, payload.Bytes()); err != nil {
+	if err := writeVolumeFrame(w, uint16(img.Version), payload.Bytes()); err != nil {
 		return volErr("savevolume", err)
+	}
+	// Version 4: the blob section — every distinct content blob the
+	// manifest references, hash-framed, before the index section.
+	if img.Version == casVolumeVersion {
+		if err := writeBlobSection(w, manifest, blobs); err != nil {
+			return volErr("savevolume", err)
+		}
 	}
 	// The index section: the segmented image, one framed block per
 	// segment (see internal/index/persist.go). Appending it after the
@@ -170,6 +250,84 @@ func (fs *FS) SaveVolume(w io.Writer) error {
 		return volErr("savevolume", fmt.Errorf("writing index section: %w", err))
 	}
 	return nil
+}
+
+// Blob section framing (v4): magic "HACB" | u32 blob count | per blob:
+// hash[32] | u64 length | content. The SHA-256 hash doubles as the
+// integrity check — the loader recomputes it over the content, so a
+// flipped bit anywhere in a blob rejects the image with
+// ErrCorruptVolume (volume content is all-or-nothing; the per-segment
+// tolerance of the index section is unchanged).
+var blobSectionMagic = [4]byte{'H', 'A', 'C', 'B'}
+
+// maxBlobCount bounds the declared blob count before any allocation.
+const maxBlobCount = 1 << 24
+
+func writeBlobSection(w io.Writer, m *cas.Manifest, blobs map[cas.Hash][]byte) error {
+	hashes := m.Hashes()
+	var hdr [8]byte
+	copy(hdr[:4], blobSectionMagic[:])
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(hashes)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, h := range hashes {
+		data, ok := blobs[h]
+		if !ok {
+			return fmt.Errorf("hac: manifest references blob %s absent from the store", h.Short())
+		}
+		var bh [40]byte
+		copy(bh[:32], h[:])
+		binary.BigEndian.PutUint64(bh[32:40], uint64(len(data)))
+		if _, err := w.Write(bh[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBlobSection loads every blob into store, verifying content
+// against its declared hash. It returns the hashes loaded, in section
+// order, so the caller can release its temporary references once the
+// restored tree holds its own.
+func readBlobSection(r io.Reader, store *cas.BlobStore) ([]cas.Hash, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short blob section header: %v", ErrCorruptVolume, err)
+	}
+	if !bytes.Equal(hdr[:4], blobSectionMagic[:]) {
+		return nil, fmt.Errorf("%w: bad blob section magic %q", ErrCorruptVolume, hdr[:4])
+	}
+	count := binary.BigEndian.Uint32(hdr[4:8])
+	if count > maxBlobCount {
+		return nil, fmt.Errorf("%w: implausible blob count %d", ErrCorruptVolume, count)
+	}
+	loaded := make([]cas.Hash, 0, min(int(count), 1<<16))
+	for i := uint32(0); i < count; i++ {
+		var bh [40]byte
+		if _, err := io.ReadFull(r, bh[:]); err != nil {
+			return loaded, fmt.Errorf("%w: truncated blob header: %v", ErrCorruptVolume, err)
+		}
+		var h cas.Hash
+		copy(h[:], bh[:32])
+		length := binary.BigEndian.Uint64(bh[32:40])
+		if length > maxVolumePayload {
+			return loaded, fmt.Errorf("%w: implausible blob length %d", ErrCorruptVolume, length)
+		}
+		data := make([]byte, int(length))
+		if _, err := io.ReadFull(r, data); err != nil {
+			return loaded, fmt.Errorf("%w: truncated blob content: %v", ErrCorruptVolume, err)
+		}
+		got, _ := store.Put(data)
+		loaded = append(loaded, got)
+		if got != h {
+			return loaded, fmt.Errorf("%w: blob hash mismatch (%s != %s)", ErrCorruptVolume, got.Short(), h.Short())
+		}
+	}
+	return loaded, nil
 }
 
 // writeVolumeFrame writes one framed image: magic | u16 version | u64
@@ -205,7 +363,9 @@ func readVolumePayload(r io.Reader) ([]byte, uint16, error) {
 		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorruptVolume, hdr[:4])
 	}
 	version := binary.BigEndian.Uint16(hdr[4:6])
-	if version != volumeVersion && version != legacyVolumeVersion {
+	switch version {
+	case casVolumeVersion, volumeVersion, legacyVolumeVersion:
+	default:
 		return nil, 0, fmt.Errorf("%w: unsupported volume version %d", ErrCorruptVolume, version)
 	}
 	length := binary.BigEndian.Uint64(hdr[6:14])
@@ -238,11 +398,19 @@ func readVolumePayload(r io.Reader) ([]byte, uint16, error) {
 // tree. Version-2 images carry no index section and rebuild the index
 // from scratch the same way.
 func LoadVolume(r io.Reader, opts Options) (fs *FS, err error) {
+	var loadedCAS *cas.FS
 	defer func() {
 		// gob can panic on adversarial input; surface it as corruption
 		// rather than crashing the caller.
 		if p := recover(); p != nil {
 			fs, err = nil, volErr("loadvolume", fmt.Errorf("%w: decode panic: %v", ErrCorruptVolume, p))
+		}
+		// A failure after the content-addressed tree materialized (index
+		// section, query binding, settling reindex) discards the tree —
+		// release its blob references so a shared store is not left
+		// pinning a volume that never loaded.
+		if err != nil && loadedCAS != nil {
+			loadedCAS.Release()
 		}
 	}()
 	payload, version, err := readVolumePayload(r)
@@ -256,17 +424,63 @@ func LoadVolume(r io.Reader, opts Options) (fs *FS, err error) {
 	if img.Version != int(version) {
 		return nil, volErr("loadvolume", fmt.Errorf("%w: payload version %d in v%d frame", ErrCorruptVolume, img.Version, version))
 	}
-	mem, err := vfs.FromSnapshot(img.Nodes)
-	if err != nil {
-		return nil, volErr("loadvolume", fmt.Errorf("%w: %v", ErrCorruptVolume, err))
+
+	// Restore the substrate. Version 4 materializes the manifest against
+	// a content-addressed store — opts.BlobStore if set (shared across
+	// volumes: blobs another tenant already loaded cost nothing beyond a
+	// reference), else a private one. Earlier versions rebuild a MemFS
+	// from the inline snapshot.
+	var substrate vfs.FileSystem
+	if version == casVolumeVersion {
+		m, mErr := cas.DecodeManifest(img.Manifest)
+		if mErr != nil {
+			return nil, volErr("loadvolume", fmt.Errorf("%w: manifest: %v", ErrCorruptVolume, mErr))
+		}
+		store := opts.BlobStore
+		if store == nil {
+			store = cas.NewStore()
+		}
+		// The loader holds one temporary reference per section blob;
+		// FromManifest takes the tree's own references on top, and the
+		// temporaries are dropped on every exit path — success, corrupt
+		// section, or dangling manifest — so a failed load leaves a
+		// shared store exactly as it found it.
+		loaded, bErr := readBlobSection(r, store)
+		releaseTemp := func() {
+			for _, h := range loaded {
+				store.Unref(h)
+			}
+		}
+		if bErr != nil {
+			releaseTemp()
+			return nil, volErr("loadvolume", bErr)
+		}
+		cfs, fErr := cas.FromManifest(m, store)
+		if fErr != nil {
+			releaseTemp()
+			if errors.Is(fErr, vfs.ErrNotExist) {
+				// The manifest names a blob neither the image nor the
+				// shared store holds: the image is incomplete.
+				fErr = fmt.Errorf("%w: %v", ErrCorruptVolume, fErr)
+			}
+			return nil, volErr("loadvolume", fErr)
+		}
+		releaseTemp()
+		substrate, loadedCAS = cfs, cfs
+	} else {
+		mem, memErr := vfs.FromSnapshot(img.Nodes)
+		if memErr != nil {
+			return nil, volErr("loadvolume", fmt.Errorf("%w: %v", ErrCorruptVolume, memErr))
+		}
+		substrate = mem
 	}
 
-	// The index section follows the main frame in version-3 images.
-	// Transducers are code, not data (Options.Transducers), so they
-	// re-attach through load options — the loaded index is non-empty,
-	// which is exactly what RegisterTransducer refuses.
+	// The index section follows the main frame (and, in version 4, the
+	// blob section). Transducers are code, not data (Options.Transducers),
+	// so they re-attach through load options — the loaded index is
+	// non-empty, which is exactly what RegisterTransducer refuses.
 	var preIx *index.Index
-	if version == volumeVersion {
+	if version == volumeVersion || version == casVolumeVersion {
 		var ixOpts []index.LoadOption
 		for ext, ts := range opts.Transducers {
 			for _, t := range ts {
@@ -287,7 +501,7 @@ func LoadVolume(r io.Reader, opts Options) (fs *FS, err error) {
 		}
 		preIx = ix
 	}
-	fs = newFS(mem, opts, preIx)
+	fs = newFS(substrate, opts, preIx)
 
 	// Register every directory first, so queries can reference any of
 	// them during binding.

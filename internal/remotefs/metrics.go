@@ -34,6 +34,8 @@ var opNames = map[opCode]string{
 	opSearch:       "search",
 	opSync:         "sync",
 	opSearchStream: "searchstream",
+	opManifest:     "manifest",
+	opBlobs:        "blobs",
 }
 
 // rpcSpanNames and rfsSpanNames are the client- and server-side span

@@ -62,6 +62,16 @@ const (
 	// own response frame, the last one flagged final. N = page size,
 	// Size = max pages (0 = all).
 	opSearchStream
+	// opManifest returns the served volume's content-addressed manifest
+	// (encoded cas.Manifest in Data). Only volumes over a cas substrate
+	// answer; others reply Unsupported — which is also how manifest-diff
+	// sync negotiates: a legacy or non-CAS peer rejects the op and the
+	// caller falls back to full-content sync.
+	opManifest
+	// opBlobs fetches blob contents by hash: request Data is concatenated
+	// 32-byte SHA-256 hashes, response Data is, per requested hash in
+	// order, a u64 big-endian length followed by the content.
+	opBlobs
 )
 
 // request is one marshalled operation.
@@ -113,17 +123,17 @@ type wireError struct {
 
 // sentinel names ↔ errors.
 var sentinelByName = map[string]error{
-	"NotExist":    vfs.ErrNotExist,
-	"Exist":       vfs.ErrExist,
-	"NotDir":      vfs.ErrNotDir,
-	"IsDir":       vfs.ErrIsDir,
-	"NotEmpty":    vfs.ErrNotEmpty,
-	"Invalid":     vfs.ErrInvalid,
-	"Loop":        vfs.ErrLoop,
-	"CrossMount":  vfs.ErrCrossMount,
-	"Closed":      vfs.ErrClosed,
-	"ReadOnly":    vfs.ErrReadOnly,
-	"WriteOnly":   vfs.ErrWriteOnly,
+	"NotExist":      vfs.ErrNotExist,
+	"Exist":         vfs.ErrExist,
+	"NotDir":        vfs.ErrNotDir,
+	"IsDir":         vfs.ErrIsDir,
+	"NotEmpty":      vfs.ErrNotEmpty,
+	"Invalid":       vfs.ErrInvalid,
+	"Loop":          vfs.ErrLoop,
+	"CrossMount":    vfs.ErrCrossMount,
+	"Closed":        vfs.ErrClosed,
+	"ReadOnly":      vfs.ErrReadOnly,
+	"WriteOnly":     vfs.ErrWriteOnly,
 	"Busy":          vfs.ErrBusy,
 	"Unsupported":   vfs.ErrUnsupported,
 	"QuotaExceeded": vfs.ErrQuotaExceeded,

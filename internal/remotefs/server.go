@@ -15,6 +15,7 @@ import (
 
 	"hacfs/internal/obs"
 	"hacfs/internal/vfs"
+	"hacfs/internal/vfs/cas"
 	"hacfs/internal/wire"
 )
 
@@ -167,6 +168,20 @@ type Searcher interface {
 // present.
 type ContextSearcher interface {
 	SearchPageContext(ctx context.Context, query, scope string, after uint64, limit int) ([]string, uint64, error)
+}
+
+// BlobSource is the optional content-addressed surface a served volume
+// may provide (hac.FS over a cas substrate implements it, and serving
+// wrappers forward it). It powers manifest-diff replication: a replica
+// fetches the manifest, diffs blob hashes against its own store, and
+// fetches only what it is missing.
+type BlobSource interface {
+	// CASManifest returns the live manifest of the volume's
+	// content-addressed substrate.
+	CASManifest() (*cas.Manifest, error)
+	// CASBlobs returns the content of each requested blob, in request
+	// order. A missing blob is an error wrapping vfs.ErrNotExist.
+	CASBlobs(hashes []cas.Hash) ([][]byte, error)
 }
 
 // PathSyncer is the optional scope-consistency surface; hac.FS
@@ -584,6 +599,34 @@ func (sess *session) exec(ctx context.Context, fsys vfs.FileSystem, req *request
 		// Streaming needs the framing's multi-frame responses; the
 		// legacy protocol pages with opSearch instead.
 		return &response{Err: &wireError{Kind: "Unsupported", Msg: "remotefs: streamed search requires the binary protocol"}}
+	case opManifest:
+		bs, ok := fsys.(BlobSource)
+		if !ok {
+			return &response{Err: &wireError{Kind: "Unsupported", Msg: "remotefs: volume is not content-addressed"}}
+		}
+		m, err := bs.CASManifest()
+		if err != nil {
+			return &response{Err: encodeErr(err)}
+		}
+		return &response{Data: m.EncodeBinary()}
+	case opBlobs:
+		bs, ok := fsys.(BlobSource)
+		if !ok {
+			return &response{Err: &wireError{Kind: "Unsupported", Msg: "remotefs: volume is not content-addressed"}}
+		}
+		hashes, err := splitHashes(req.Data)
+		if err != nil {
+			return &response{Err: &wireError{Kind: "Invalid", Msg: err.Error()}}
+		}
+		blobs, err := bs.CASBlobs(hashes)
+		if err != nil {
+			return &response{Err: encodeErr(err)}
+		}
+		data, err := encodeBlobList(blobs)
+		if err != nil {
+			return &response{Err: &wireError{Kind: "Invalid", Msg: err.Error()}}
+		}
+		return &response{Data: data, N: len(blobs)}
 	case opSync:
 		if cs, ok := fsys.(ContextSyncer); ok {
 			return &response{Err: encodeErr(cs.SyncPathContext(ctx, req.Path))}

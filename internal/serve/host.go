@@ -18,6 +18,7 @@ import (
 	"hacfs/internal/hac"
 	"hacfs/internal/obs"
 	"hacfs/internal/vfs"
+	"hacfs/internal/vfs/cas"
 )
 
 // tenantMetrics is one tenant's labeled series.
@@ -93,7 +94,14 @@ func (h *Host) AddTenant(name string, fsys *hac.FS, q Quota, savePath string) er
 		},
 	}
 	t.qfs = &quotaFS{inner: fsys, q: q, u: &t.u, met: &t.met}
-	if err := recount(fsys, &t.u); err != nil {
+	if cfs := casSubstrateOf(fsys); cfs != nil {
+		// Content-addressed volume: quotas charge measured unique bytes
+		// (identical content across tenants of a shared store is paid
+		// for once), and the store's cas_* gauges join the scrape.
+		t.qfs.store = cfs.Store()
+		cfs.Store().PublishMetrics(r)
+		recountCAS(cfs, &t.u)
+	} else if err := recount(fsys, &t.u); err != nil {
 		return fmt.Errorf("serve: recount %s: %w", name, err)
 	}
 	r.GaugeFunc("serve_used_bytes", func() float64 {
@@ -114,6 +122,45 @@ func (h *Host) AddTenant(name string, fsys *hac.FS, q Quota, savePath string) er
 	}
 	h.tenants[name] = t
 	return nil
+}
+
+// casSubstrateOf unwraps a volume's layering (a HAC layer, fault
+// injection) down to a content-addressed substrate, or nil.
+func casSubstrateOf(fsys vfs.FileSystem) *cas.FS {
+	for {
+		if c, ok := fsys.(*cas.FS); ok {
+			return c
+		}
+		u, ok := fsys.(interface{ Under() vfs.FileSystem })
+		if !ok {
+			return nil
+		}
+		fsys = u.Under()
+	}
+}
+
+// recountCAS resets accounted usage from the substrate manifest:
+// every file is a doc, but bytes count each distinct content hash
+// once — the tenant's self-deduplicated footprint. Cross-tenant
+// sharing in a common store is credited to writes as they happen, not
+// re-attributed at load.
+func recountCAS(cfs *cas.FS, u *usage) {
+	m := cfs.Manifest()
+	seen := make(map[cas.Hash]bool, len(m.Entries))
+	var bytes, docs int64
+	for _, e := range m.Entries {
+		if e.Type != vfs.TypeFile {
+			continue
+		}
+		docs++
+		if !seen[e.Hash] {
+			seen[e.Hash] = true
+			bytes += e.Size
+		}
+	}
+	u.mu.Lock()
+	u.bytes, u.docs = bytes, docs
+	u.mu.Unlock()
 }
 
 // recount walks the volume and resets accounted usage to what is

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"hacfs/internal/vfs"
+	"hacfs/internal/vfs/cas"
 )
 
 // Quota bounds one tenant's footprint. Zero fields are unlimited.
@@ -28,11 +29,22 @@ type usage struct {
 // *vfs.PathError wrapping vfs.ErrQuotaExceeded before touching the
 // volume; accepted ones adjust the tenant's accounted usage by their
 // actual effect, so the /metrics gauges track real occupancy.
+//
+// Two accounting modes exist. Over an ordinary substrate, bytes are
+// logical: every file pays its own length. Over a content-addressed
+// substrate (store != nil), mutations run inside the store's measured
+// sections and the tenant is charged the unique bytes its writes
+// actually added — writing content the store already holds (another
+// tenant's identical file, its own duplicate) costs nothing, and
+// removing content another volume still references frees nothing. The
+// byte quota then bounds the tenant's real storage footprint, which is
+// what a deduplicating host actually spends.
 type quotaFS struct {
 	inner vfs.FileSystem
 	q     Quota
 	u     *usage
 	met   *tenantMetrics // reject counter; nil in tests
+	store *cas.BlobStore // non-nil = charge measured unique bytes
 }
 
 var _ vfs.FileSystem = (*quotaFS)(nil)
@@ -78,13 +90,50 @@ func (f *quotaFS) refund(db, dd int64) {
 	f.u.mu.Unlock()
 }
 
+// measuredOp is the content-addressed charging path: admit the op
+// against its worst-case unique growth (worst bytes, dd docs), run it
+// inside the store's measured section, and charge the unique bytes it
+// actually added or freed. Holding u.mu across the section serializes
+// this tenant's check-and-apply windows, same as charge.
+func (f *quotaFS) measuredOp(opName, path string, worst, dd int64, op func() error) error {
+	f.u.mu.Lock()
+	defer f.u.mu.Unlock()
+	if worst > 0 && f.q.MaxBytes > 0 && f.u.bytes+worst > f.q.MaxBytes {
+		return f.overQuota(opName, path)
+	}
+	if dd > 0 && f.q.MaxDocs > 0 && f.u.docs+dd > f.q.MaxDocs {
+		return f.overQuota(opName, path)
+	}
+	delta, err := f.store.Measured(op)
+	f.u.bytes += delta // measured truth, even on a partial failure
+	if err == nil {
+		f.u.docs += dd
+	}
+	return err
+}
+
 func (f *quotaFS) WriteFile(path string, data []byte) error {
 	old, existed := f.fileFootprint(path)
-	db := int64(len(data)) - old
 	var dd int64
 	if !existed {
 		dd = 1
 	}
+	if f.store != nil {
+		// Worst case: every byte is new content and the overwritten
+		// blob stays referenced elsewhere. A known dedup hit is
+		// admitted for free — that is the point of unique-byte quotas:
+		// a tenant mirroring content the store already holds fits in a
+		// quota sized for one copy. (The hash check races with the last
+		// reference dropping; the measured charge stays exact either
+		// way, admission is merely an estimate.)
+		worst := int64(len(data))
+		if f.store.Has(cas.Sum(data)) {
+			worst = 0
+		}
+		return f.measuredOp("write", path, worst, dd,
+			func() error { return f.inner.WriteFile(path, data) })
+	}
+	db := int64(len(data)) - old
 	if err := f.charge("write", path, db, dd); err != nil {
 		return err
 	}
@@ -109,6 +158,20 @@ func (f *quotaFS) OpenFile(path string, flag int) (vfs.File, error) {
 	if !existed && flag&vfs.OCreate != 0 {
 		dd = 1
 	}
+	if f.store != nil {
+		// Opening frees at most the truncated blob; growth is charged
+		// per handle write.
+		var file vfs.File
+		err := f.measuredOp("open", path, 0, dd, func() error {
+			var e error
+			file, e = f.inner.OpenFile(path, flag)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &quotaFile{File: file, fs: f}, nil
+	}
 	if existed && flag&vfs.OTrunc != 0 {
 		db = -old
 	}
@@ -125,6 +188,14 @@ func (f *quotaFS) OpenFile(path string, flag int) (vfs.File, error) {
 
 func (f *quotaFS) Remove(path string) error {
 	size, isFile := f.fileFootprint(path)
+	var dd int64
+	if isFile {
+		dd = -1
+	}
+	if f.store != nil {
+		return f.measuredOp("remove", path, 0, dd,
+			func() error { return f.inner.Remove(path) })
+	}
 	if err := f.inner.Remove(path); err != nil {
 		return err
 	}
@@ -145,6 +216,10 @@ func (f *quotaFS) RemoveAll(path string) error {
 		}
 		return nil
 	})
+	if f.store != nil {
+		return f.measuredOp("removeall", path, 0, -dd,
+			func() error { return f.inner.RemoveAll(path) })
+	}
 	if err := f.inner.RemoveAll(path); err != nil {
 		return err
 	}
@@ -154,14 +229,14 @@ func (f *quotaFS) RemoveAll(path string) error {
 
 // Pass-throughs: metadata and namespace operations carry no quota
 // weight (renames move footprint, they do not change it).
-func (f *quotaFS) Mkdir(path string) error                  { return f.inner.Mkdir(path) }
-func (f *quotaFS) MkdirAll(path string) error               { return f.inner.MkdirAll(path) }
-func (f *quotaFS) Symlink(target, link string) error        { return f.inner.Symlink(target, link) }
-func (f *quotaFS) Readlink(path string) (string, error)     { return f.inner.Readlink(path) }
-func (f *quotaFS) Rename(o, n string) error                 { return f.inner.Rename(o, n) }
-func (f *quotaFS) ReadFile(path string) ([]byte, error)     { return f.inner.ReadFile(path) }
-func (f *quotaFS) Stat(path string) (vfs.Info, error)       { return f.inner.Stat(path) }
-func (f *quotaFS) Lstat(path string) (vfs.Info, error)      { return f.inner.Lstat(path) }
+func (f *quotaFS) Mkdir(path string) error                     { return f.inner.Mkdir(path) }
+func (f *quotaFS) MkdirAll(path string) error                  { return f.inner.MkdirAll(path) }
+func (f *quotaFS) Symlink(target, link string) error           { return f.inner.Symlink(target, link) }
+func (f *quotaFS) Readlink(path string) (string, error)        { return f.inner.Readlink(path) }
+func (f *quotaFS) Rename(o, n string) error                    { return f.inner.Rename(o, n) }
+func (f *quotaFS) ReadFile(path string) ([]byte, error)        { return f.inner.ReadFile(path) }
+func (f *quotaFS) Stat(path string) (vfs.Info, error)          { return f.inner.Stat(path) }
+func (f *quotaFS) Lstat(path string) (vfs.Info, error)         { return f.inner.Lstat(path) }
 func (f *quotaFS) ReadDir(path string) ([]vfs.DirEntry, error) { return f.inner.ReadDir(path) }
 
 // Optional surfaces the serving layer forwards (remotefs type-asserts
@@ -212,6 +287,33 @@ func (f *quotaFS) SyncPathContext(ctx context.Context, path string) error {
 	return f.SyncPath(path)
 }
 
+// Manifest-diff replication surface (remotefs.BlobSource): forwarded so
+// a content-addressed tenant volume can serve manifests and blobs to
+// mirroring replicas through the quota wrapper. Reads carry no quota
+// weight, matching ReadFile.
+
+func (f *quotaFS) CASManifest() (*cas.Manifest, error) {
+	type source interface {
+		CASManifest() (*cas.Manifest, error)
+	}
+	bs, ok := f.inner.(source)
+	if !ok {
+		return nil, &vfs.PathError{Op: "manifest", Path: "/", Err: vfs.ErrUnsupported}
+	}
+	return bs.CASManifest()
+}
+
+func (f *quotaFS) CASBlobs(hashes []cas.Hash) ([][]byte, error) {
+	type source interface {
+		CASBlobs(hashes []cas.Hash) ([][]byte, error)
+	}
+	bs, ok := f.inner.(source)
+	if !ok {
+		return nil, &vfs.PathError{Op: "blobs", Path: "/", Err: vfs.ErrUnsupported}
+	}
+	return bs.CASBlobs(hashes)
+}
+
 // quotaFile charges handle writes by their measured growth: sizes are
 // read under the usage lock around the inner operation, so concurrent
 // handle writers serialize their check-and-apply windows.
@@ -222,7 +324,11 @@ type quotaFile struct {
 
 // grow runs op, charging the file's size change. The pessimistic
 // pre-check bounds the worst-case growth (computed from the size at
-// entry); the final charge is the measured delta.
+// entry); the final charge is the measured delta. On a content-
+// addressed substrate handle writes mutate a dirty buffer, so the
+// store-measured charge mostly lands when Close seals the buffer; the
+// measured section here still catches the reference the first write
+// releases on the blob it is shadowing.
 func (qf *quotaFile) grow(worstOf func(cur int64) int64, op func() (int, error)) (int, error) {
 	qf.fs.u.mu.Lock()
 	defer qf.fs.u.mu.Unlock()
@@ -230,10 +336,34 @@ func (qf *quotaFile) grow(worstOf func(cur int64) int64, op func() (int, error))
 	if worst := worstOf(before.Size); worst > 0 && qf.fs.q.MaxBytes > 0 && qf.fs.u.bytes+worst > qf.fs.q.MaxBytes {
 		return 0, qf.fs.overQuota("write", qf.Name())
 	}
+	if qf.fs.store != nil {
+		var n int
+		delta, err := qf.fs.store.Measured(func() error {
+			var e error
+			n, e = op()
+			return e
+		})
+		qf.fs.u.bytes += delta
+		return n, err
+	}
 	n, err := op()
 	after, _ := qf.File.Stat()
 	qf.fs.u.bytes += after.Size - before.Size
 	return n, err
+}
+
+// Close seals buffered writes. On a content-addressed substrate the
+// seal is where the handle's content enters the store, so the unique
+// bytes it adds are measured and charged here.
+func (qf *quotaFile) Close() error {
+	if qf.fs.store == nil {
+		return qf.File.Close()
+	}
+	qf.fs.u.mu.Lock()
+	defer qf.fs.u.mu.Unlock()
+	delta, err := qf.fs.store.Measured(qf.File.Close)
+	qf.fs.u.bytes += delta
+	return err
 }
 
 func (qf *quotaFile) Write(p []byte) (int, error) {

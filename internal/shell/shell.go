@@ -18,6 +18,7 @@ import (
 	"hacfs/internal/remote"
 	"hacfs/internal/remotefs"
 	"hacfs/internal/vfs"
+	"hacfs/internal/vfs/cas"
 )
 
 // Shell interprets commands against one HAC volume. It is not safe for
@@ -28,11 +29,15 @@ type Shell struct {
 	out io.Writer
 	// quit is set by the exit command.
 	quit bool
+	// snaps holds named snapshots of a content-addressed substrate.
+	// They reference the blob store, not a substrate instance, so they
+	// survive clone switches (the clone shares the store).
+	snaps map[string]*cas.Snap
 }
 
 // New returns a shell over the given volume, writing output to out.
 func New(fs *hac.FS, out io.Writer) *Shell {
-	return &Shell{fs: fs, cwd: "/", out: out}
+	return &Shell{fs: fs, cwd: "/", out: out, snaps: make(map[string]*cas.Snap)}
 }
 
 // FS returns the underlying volume.
@@ -137,7 +142,109 @@ func (sh *Shell) commands() map[string]command {
 		"spublish": sh.cmdSpublish,
 		"scatalog": sh.cmdScatalog,
 		"ssimilar": sh.cmdSsimilar,
+		"snapshot": sh.cmdSnapshot,
+		"rollback": sh.cmdRollback,
+		"clone":    sh.cmdClone,
 	}
+}
+
+// casFS unwraps the volume's substrate layering down to a
+// content-addressed file system, which the snapshot family requires.
+func (sh *Shell) casFS() (*cas.FS, error) {
+	fsys := sh.fs.Under()
+	for {
+		if c, ok := fsys.(*cas.FS); ok {
+			return c, nil
+		}
+		u, ok := fsys.(interface{ Under() vfs.FileSystem })
+		if !ok {
+			return nil, fmt.Errorf("volume substrate is not content-addressed (run hacsh with -cas)")
+		}
+		fsys = u.Under()
+	}
+}
+
+// cmdSnapshot seals the current volume state under a name (O(1): the
+// tree is shared with the live overlay, not copied), or lists the
+// snapshots taken so far.
+func (sh *Shell) cmdSnapshot(args []string) error {
+	cfs, err := sh.casFS()
+	if err != nil {
+		return err
+	}
+	if len(args) > 1 {
+		return fmt.Errorf("usage: snapshot [name]")
+	}
+	if len(args) == 0 {
+		if len(sh.snaps) == 0 {
+			sh.printf("no snapshots (take one with snapshot <name>)\n")
+			return nil
+		}
+		names := make([]string, 0, len(sh.snaps))
+		for name := range sh.snaps {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			sh.printf("%-20s taken %s\n", name, sh.snaps[name].Taken().Format("2006-01-02 15:04:05"))
+		}
+		return nil
+	}
+	name := args[0]
+	if _, dup := sh.snaps[name]; dup {
+		return fmt.Errorf("snapshot %q already exists", name)
+	}
+	sh.snaps[name] = cfs.Snapshot()
+	st := cfs.Store()
+	sh.printf("snapshot %s sealed (%d blobs, %dB unique)\n", name, st.Blobs(), st.UniqueBytes())
+	return nil
+}
+
+// cmdRollback rewinds the volume to a named snapshot and reindexes so
+// the semantic layer settles over the rewound tree.
+func (sh *Shell) cmdRollback(args []string) error {
+	cfs, err := sh.casFS()
+	if err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: rollback <snapshot>")
+	}
+	snap, ok := sh.snaps[args[0]]
+	if !ok {
+		return fmt.Errorf("no snapshot %q (take one with snapshot <name>)", args[0])
+	}
+	if err := cfs.Restore(snap); err != nil {
+		return err
+	}
+	if _, err := sh.fs.Reindex("/"); err != nil {
+		return err
+	}
+	sh.cwd = "/"
+	sh.printf("rolled back to %s\n", args[0])
+	return nil
+}
+
+// cmdClone forks the volume copy-on-write and switches the shell onto
+// the fork: the original state is sealed (still reachable through
+// snapshots sharing the store), and divergence costs only the paths
+// actually rewritten.
+func (sh *Shell) cmdClone(args []string) error {
+	cfs, err := sh.casFS()
+	if err != nil {
+		return err
+	}
+	if len(args) != 0 {
+		return fmt.Errorf("usage: clone")
+	}
+	fork := hac.New(cfs.Clone(), hac.Options{Observer: sh.fs.Observer()})
+	if _, err := fork.Reindex("/"); err != nil {
+		return err
+	}
+	sh.fs = fork
+	sh.cwd = "/"
+	sh.printf("switched to a copy-on-write clone of the volume\n")
+	return nil
 }
 
 // cmdSpublish publishes this volume's semantic directories to a
@@ -201,12 +308,19 @@ func plural(n int, one, many string) string {
 	return many
 }
 
+// mounter is the substrate surface behind the mount/umount builtins;
+// both MemFS and the content-addressed substrate provide it.
+type mounter interface {
+	Mount(p string, m vfs.FileSystem) error
+	Unmount(p string) error
+}
+
 // cmdMount syntactically mounts a remote volume served by hacvold.
 func (sh *Shell) cmdMount(args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: mount <dir> <host:port>")
 	}
-	mem, ok := sh.fs.Under().(*vfs.MemFS)
+	sub, ok := sh.fs.Under().(mounter)
 	if !ok {
 		return fmt.Errorf("mount: volume substrate does not support mounts")
 	}
@@ -214,7 +328,7 @@ func (sh *Shell) cmdMount(args []string) error {
 	if err := client.Ping(); err != nil {
 		return fmt.Errorf("cannot reach %s: %w", args[1], err)
 	}
-	return mem.Mount(sh.abs(args[0]), client)
+	return sub.Mount(sh.abs(args[0]), client)
 }
 
 // cmdUmount detaches a syntactic mount.
@@ -222,11 +336,11 @@ func (sh *Shell) cmdUmount(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: umount <dir>")
 	}
-	mem, ok := sh.fs.Under().(*vfs.MemFS)
+	sub, ok := sh.fs.Under().(mounter)
 	if !ok {
 		return fmt.Errorf("umount: volume substrate does not support mounts")
 	}
-	return mem.Unmount(sh.abs(args[0]))
+	return sub.Unmount(sh.abs(args[0]))
 }
 
 func (sh *Shell) cmdSave(args []string) error {
@@ -291,6 +405,11 @@ semantic commands (the paper's extensions):
   umount <dir>                detach a syntactic mount
   save <host-file>            persist the volume to a file on the host
   load <host-file>            replace the volume with a saved one
+
+content-addressed volumes (hacsh -cas):
+  snapshot [name]             seal an O(1) named snapshot (no name: list)
+  rollback <snapshot>         rewind the volume to a snapshot
+  clone                       fork the volume copy-on-write and switch to it
   exit | quit                 leave the shell
 `
 

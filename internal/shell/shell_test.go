@@ -12,6 +12,7 @@ import (
 	"hacfs/internal/remote"
 	"hacfs/internal/remotefs"
 	"hacfs/internal/vfs"
+	"hacfs/internal/vfs/cas"
 )
 
 // runScript executes commands and returns the accumulated output.
@@ -381,5 +382,88 @@ func TestQuotedQueries(t *testing.T) {
 	entries, _ := sh.FS().ReadDir("/sel")
 	if len(entries) != 1 {
 		t.Fatalf("entries = %v", entries)
+	}
+}
+
+// newCASShell builds a shell whose volume sits on the content-addressed
+// substrate, like hacsh -cas does.
+func newCASShell(t *testing.T) *Shell {
+	t.Helper()
+	return New(hac.New(cas.New(nil), hac.Options{}), &bytes.Buffer{})
+}
+
+func TestSnapshotRollback(t *testing.T) {
+	sh := newCASShell(t)
+	out := runScript(t, sh,
+		"mkdir /docs",
+		"write /docs/a.txt apple pie recipe",
+		"sreindex /",
+		"snapshot before",
+		"write /docs/a.txt motor oil",
+		"write /docs/b.txt extra file",
+		"snapshot",
+		"rollback before",
+		"cat /docs/a.txt",
+	)
+	if !strings.Contains(out, "snapshot before sealed") {
+		t.Fatalf("snapshot output: %q", out)
+	}
+	if !strings.Contains(out, "before") || !strings.Contains(out, "taken") {
+		t.Fatalf("snapshot listing output: %q", out)
+	}
+	if !strings.Contains(out, "apple pie recipe") {
+		t.Fatalf("rollback did not restore content: %q", out)
+	}
+	if _, err := sh.FS().Stat("/docs/b.txt"); err == nil {
+		t.Fatal("file created after the snapshot survived rollback")
+	}
+	// Rollback reindexes: the semantic layer should reflect the rewound tree.
+	if err := sh.Exec("smkdir /recipes recipe"); err != nil {
+		t.Fatalf("smkdir after rollback: %v", err)
+	}
+	entries, err := sh.FS().ReadDir("/recipes")
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("semantic dir after rollback: %v, %v", entries, err)
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	sh := newCASShell(t)
+	runScript(t, sh, "snapshot s1")
+	if err := sh.Exec("snapshot s1"); err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("duplicate snapshot: %v", err)
+	}
+	if err := sh.Exec("rollback nope"); err == nil || !strings.Contains(err.Error(), "no snapshot") {
+		t.Fatalf("rollback of unknown snapshot: %v", err)
+	}
+
+	plain := newShell(t)
+	for _, cmd := range []string{"snapshot s", "rollback s", "clone"} {
+		if err := plain.Exec(cmd); err == nil || !strings.Contains(err.Error(), "not content-addressed") {
+			t.Fatalf("%s on a plain volume: %v", cmd, err)
+		}
+	}
+}
+
+func TestCloneDiverges(t *testing.T) {
+	sh := newCASShell(t)
+	out := runScript(t, sh,
+		"write /f.txt original",
+		"snapshot pre",
+		"clone",
+		"write /f.txt rewritten",
+		"cat /f.txt",
+	)
+	if !strings.Contains(out, "copy-on-write clone") {
+		t.Fatalf("clone output: %q", out)
+	}
+	if !strings.Contains(out, "rewritten") {
+		t.Fatalf("write on the clone not visible: %q", out)
+	}
+	// Snapshots are keyed to the shared blob store, so one taken before
+	// the clone still rolls the fork back.
+	out = runScript(t, sh, "rollback pre", "cat /f.txt")
+	if !strings.Contains(out, "original") {
+		t.Fatalf("pre-clone snapshot did not restore the fork: %q", out)
 	}
 }

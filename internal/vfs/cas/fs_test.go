@@ -1,0 +1,404 @@
+package cas
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hacfs/internal/vfs"
+)
+
+// dump serializes the user-visible state of a file system: every path
+// with its kind, content or target, in sorted order. Used to compare
+// cas.FS against the model-verified MemFS oracle.
+func dump(t *testing.T, fsys vfs.FileSystem) string {
+	t.Helper()
+	var b bytes.Buffer
+	var visit func(dir string)
+	visit = func(dir string) {
+		ents, err := fsys.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("dump readdir %s: %v", dir, err)
+		}
+		for _, e := range ents {
+			p := vfs.Join(dir, e.Name)
+			switch e.Type {
+			case vfs.TypeDir:
+				fmt.Fprintf(&b, "d %s\n", p)
+				visit(p)
+			case vfs.TypeSymlink:
+				tgt, err := fsys.Readlink(p)
+				if err != nil {
+					t.Fatalf("dump readlink %s: %v", p, err)
+				}
+				fmt.Fprintf(&b, "l %s -> %s\n", p, tgt)
+			case vfs.TypeFile:
+				data, err := fsys.ReadFile(p)
+				if err != nil {
+					t.Fatalf("dump read %s: %v", p, err)
+				}
+				fmt.Fprintf(&b, "f %s %q\n", p, data)
+			}
+		}
+	}
+	visit("/")
+	return b.String()
+}
+
+// TestEquivalenceWithMemFS drives a long randomized operation sequence
+// against MemFS (itself verified against a reference model) and cas.FS
+// in lockstep, requiring identical success/failure on every step and
+// identical trees afterwards. Periodic Snapshot/Clone calls on the cas
+// side exercise copy-on-write under the same comparison.
+func TestEquivalenceWithMemFS(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			mem := vfs.New()
+			cfs := New(nil)
+			var snaps []*Snap
+
+			paths := []string{"/a", "/b", "/a/x", "/a/y", "/b/z", "/a/x/deep", "/c", "/a/x/q"}
+			randPath := func() string { return paths[rng.Intn(len(paths))] }
+
+			type result struct {
+				err  error
+				data []byte
+				str  string
+			}
+			apply := func(fsys vfs.FileSystem, op int, p, p2, content string) result {
+				switch op {
+				case 0:
+					return result{err: fsys.Mkdir(p)}
+				case 1:
+					return result{err: fsys.MkdirAll(p)}
+				case 2:
+					return result{err: fsys.WriteFile(p, []byte(content))}
+				case 3:
+					d, err := fsys.ReadFile(p)
+					return result{err: err, data: d}
+				case 4:
+					return result{err: fsys.Symlink(p2, p)}
+				case 5:
+					s, err := fsys.Readlink(p)
+					return result{err: err, str: s}
+				case 6:
+					return result{err: fsys.Remove(p)}
+				case 7:
+					return result{err: fsys.RemoveAll(p)}
+				case 8:
+					return result{err: fsys.Rename(p, p2)}
+				case 9:
+					inf, err := fsys.Stat(p)
+					if err != nil {
+						return result{err: err}
+					}
+					return result{str: fmt.Sprintf("%s/%v/%d", inf.Name, inf.Type, inf.Size)}
+				case 10:
+					inf, err := fsys.Lstat(p)
+					if err != nil {
+						return result{err: err}
+					}
+					return result{str: fmt.Sprintf("%s/%v/%d/%s", inf.Name, inf.Type, inf.Size, inf.Target)}
+				case 11: // handle-based write session
+					f, err := fsys.OpenFile(p, vfs.ORead|vfs.OWrite|vfs.OCreate)
+					if err != nil {
+						return result{err: err}
+					}
+					if _, err := f.Seek(0, io.SeekEnd); err != nil {
+						f.Close()
+						return result{err: err}
+					}
+					if _, err := f.Write([]byte(content)); err != nil {
+						f.Close()
+						return result{err: err}
+					}
+					if err := f.Truncate(int64(len(content))); err != nil {
+						f.Close()
+						return result{err: err}
+					}
+					return result{err: f.Close()}
+				default:
+					panic("bad op")
+				}
+			}
+
+			for step := 0; step < 1500; step++ {
+				op := rng.Intn(12)
+				p, p2 := randPath(), randPath()
+				content := fmt.Sprintf("content-%d-%d", rng.Intn(5), step%7)
+				mr := apply(mem, op, p, p2, content)
+				cr := apply(cfs, op, p, p2, content)
+				if (mr.err == nil) != (cr.err == nil) {
+					t.Fatalf("step %d op %d %s %s: memfs err %v, cas err %v", step, op, p, p2, mr.err, cr.err)
+				}
+				if mr.err != nil {
+					// Same sentinel class.
+					for _, sentinel := range []error{
+						vfs.ErrNotExist, vfs.ErrExist, vfs.ErrNotDir, vfs.ErrIsDir,
+						vfs.ErrNotEmpty, vfs.ErrInvalid, vfs.ErrLoop,
+					} {
+						if errors.Is(mr.err, sentinel) != errors.Is(cr.err, sentinel) {
+							t.Fatalf("step %d op %d %s: memfs %v vs cas %v (sentinel %v)", step, op, p, mr.err, cr.err, sentinel)
+						}
+					}
+				}
+				if !bytes.Equal(mr.data, cr.data) || mr.str != cr.str {
+					t.Fatalf("step %d op %d %s: memfs (%q,%q) vs cas (%q,%q)", step, op, p, mr.data, mr.str, cr.data, cr.str)
+				}
+				// Periodically seal: results before and after must match
+				// MemFS exactly (sealing is invisible to the API).
+				if step%97 == 13 {
+					snaps = append(snaps, cfs.Snapshot())
+				}
+				if step%211 == 37 {
+					cfs = cfs.Clone()
+				}
+				if step%127 == 0 {
+					if d1, d2 := dump(t, mem), dump(t, cfs); d1 != d2 {
+						t.Fatalf("step %d: trees diverge\nmemfs:\n%s\ncas:\n%s", step, d1, d2)
+					}
+				}
+			}
+			if d1, d2 := dump(t, mem), dump(t, cfs); d1 != d2 {
+				t.Fatalf("final trees diverge\nmemfs:\n%s\ncas:\n%s", d1, d2)
+			}
+			_ = snaps
+		})
+	}
+}
+
+// TestSnapshotIsolation verifies that a sealed snapshot is immutable
+// under later writes, and that Restore rewinds precisely to it.
+func TestSnapshotIsolation(t *testing.T) {
+	fs := New(nil)
+	if err := fs.MkdirAll("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/docs/a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/docs/a", "/docs/ln"); err != nil {
+		t.Fatal(err)
+	}
+	before := dump(t, fs)
+	snap := fs.Snapshot()
+
+	// Mutate heavily after the seal.
+	if err := fs.WriteFile("/docs/a", []byte("changed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/docs/b", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/docs/ln"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/docs/a", "/docs/a2"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fs.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if after := dump(t, fs); after != before {
+		t.Fatalf("restore did not rewind:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	if got, _ := fs.ReadFile("/docs/a"); string(got) != "alpha" {
+		t.Fatalf("restored content = %q", got)
+	}
+}
+
+// TestCloneIndependence verifies clones diverge copy-on-write without
+// affecting each other, while sharing one store.
+func TestCloneIndependence(t *testing.T) {
+	fs := New(nil)
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/f", []byte("shared")); err != nil {
+		t.Fatal(err)
+	}
+	c := fs.Clone()
+	if fs.Store() != c.Store() {
+		t.Fatal("clone must share the store")
+	}
+	if err := c.WriteFile("/d/f", []byte("clone-side")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/g", []byte("src-side")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile("/d/f"); string(got) != "shared" {
+		t.Fatalf("source sees clone's write: %q", got)
+	}
+	if _, err := c.ReadFile("/d/g"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("clone sees source's new file: %v", err)
+	}
+}
+
+// TestDedupAccounting checks the refcount and unique-byte rules:
+// identical content across files costs one blob; overwrite and remove
+// release the overlay's references.
+func TestDedupAccounting(t *testing.T) {
+	store := NewStore()
+	fs := New(store)
+	payload := bytes.Repeat([]byte("x"), 1000)
+	for i := 0; i < 10; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/f%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := store.UniqueBytes(); got != 1000 {
+		t.Fatalf("unique bytes = %d, want 1000", got)
+	}
+	if got := store.LogicalBytes(); got != 10000 {
+		t.Fatalf("logical bytes = %d, want 10000", got)
+	}
+	if r := store.DedupRatio(); r != 10 {
+		t.Fatalf("dedup ratio = %v, want 10", r)
+	}
+	// Removing 9 of 10 references keeps the blob; removing the last
+	// frees it.
+	for i := 0; i < 9; i++ {
+		if err := fs.Remove(fmt.Sprintf("/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := store.UniqueBytes(); got != 1000 {
+		t.Fatalf("unique bytes after 9 removes = %d, want 1000", got)
+	}
+	if err := fs.Remove("/f9"); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.UniqueBytes(); got != 0 {
+		t.Fatalf("unique bytes after all removes = %d, want 0", got)
+	}
+	if got := store.Blobs(); got != 0 {
+		t.Fatalf("blobs = %d, want 0", got)
+	}
+
+	// Overwrite releases the old content's reference.
+	if err := fs.WriteFile("/w", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/w", []byte("second!")); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.UniqueBytes(); got != int64(len("second!")) {
+		t.Fatalf("unique bytes after overwrite = %d", got)
+	}
+
+	// Content pinned by a snapshot survives overlay removal.
+	_ = fs.Snapshot()
+	if err := fs.Remove("/w"); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.UniqueBytes(); got != int64(len("second!")) {
+		t.Fatalf("snapshot-pinned content freed: unique=%d", got)
+	}
+}
+
+// TestHandleAcrossSeal verifies a handle opened before a snapshot
+// copy-on-writes at its next write instead of mutating the sealed base.
+func TestHandleAcrossSeal(t *testing.T) {
+	fs := New(nil)
+	if err := fs.WriteFile("/f", []byte("sealed")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenFile("/f", vfs.ORead|vfs.OWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := fs.Snapshot()
+	if _, err := f.WriteAt([]byte("SEALED"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile("/f"); string(got) != "SEALED" {
+		t.Fatalf("live tree = %q", got)
+	}
+	if err := fs.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile("/f"); string(got) != "sealed" {
+		t.Fatalf("snapshot was mutated through the handle: %q", got)
+	}
+}
+
+// TestManifestRoundTrip checks Manifest → FromManifest reproduces the
+// tree exactly, and ReplaceWithManifest swaps a live tree.
+func TestManifestRoundTrip(t *testing.T) {
+	fs := New(nil)
+	if err := fs.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/b/f1", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/f2", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/a/f2", "/a/b/ln"); err != nil {
+		t.Fatal(err)
+	}
+	m := fs.Manifest()
+	if len(m.Entries) != 6 { // /, /a, /a/b, /a/b/f1, /a/b/ln, /a/f2
+		t.Fatalf("manifest entries = %d, want 6", len(m.Entries))
+	}
+	if !sort.SliceIsSorted(m.Entries, func(i, j int) bool { return m.Entries[i].Path < m.Entries[j].Path }) {
+		t.Fatal("manifest not sorted")
+	}
+	rebuilt, err := FromManifest(m, fs.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1, d2 := dump(t, fs), dump(t, rebuilt); d1 != d2 {
+		t.Fatalf("rebuilt tree diverges:\n%s\nvs\n%s", d1, d2)
+	}
+
+	other := New(fs.Store())
+	if err := other.WriteFile("/old", []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.ReplaceWithManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	if d1, d2 := dump(t, fs), dump(t, other); d1 != d2 {
+		t.Fatalf("replaced tree diverges:\n%s\nvs\n%s", d1, d2)
+	}
+
+	// A manifest naming a missing blob must be refused.
+	var bogus Manifest
+	bogus.Entries = append(bogus.Entries, Entry{Path: "/", Type: vfs.TypeDir})
+	bogus.Entries = append(bogus.Entries, Entry{Path: "/f", Type: vfs.TypeFile, Hash: Sum([]byte("never stored"))})
+	if _, err := FromManifest(&bogus, NewStore()); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("missing blob: err = %v", err)
+	}
+}
+
+// TestSnapshotterViaFaultFS ensures cas.FS composes with FaultFS the
+// way model checks use it: ops pass through, Under unwraps.
+func TestUnderFaultFS(t *testing.T) {
+	cfs := New(nil)
+	ffs := vfs.NewFaultFS(cfs, vfs.FaultConfig{})
+	if err := ffs.MkdirAll("/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.WriteFile("/x/f", []byte("through faults")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := cfs.ReadFile("/x/f"); err != nil || string(got) != "through faults" {
+		t.Fatalf("read-through: %q, %v", got, err)
+	}
+	if ffs.Under() != vfs.FileSystem(cfs) {
+		t.Fatal("Under() must expose the cas substrate")
+	}
+}

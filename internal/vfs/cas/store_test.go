@@ -1,0 +1,99 @@
+package cas
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStorePutDedupAndRefs(t *testing.T) {
+	s := NewStore()
+	h1, added := s.Put([]byte("hello"))
+	if added != 5 {
+		t.Fatalf("first put added %d, want 5", added)
+	}
+	h2, added := s.Put([]byte("hello"))
+	if h1 != h2 || added != 0 {
+		t.Fatalf("dup put: hash eq=%v added=%d", h1 == h2, added)
+	}
+	if got := s.UniqueBytes(); got != 5 {
+		t.Fatalf("unique = %d", got)
+	}
+	if got := s.LogicalBytes(); got != 10 {
+		t.Fatalf("logical = %d", got)
+	}
+	if !s.Ref(h1) {
+		t.Fatal("ref on live blob failed")
+	}
+	// Three refs: two Puts + one Ref. Two Unrefs keep it live.
+	if freed := s.Unref(h1); freed != 0 {
+		t.Fatalf("unref 1 freed %d", freed)
+	}
+	if freed := s.Unref(h1); freed != 0 {
+		t.Fatalf("unref 2 freed %d", freed)
+	}
+	if freed := s.Unref(h1); freed != 5 {
+		t.Fatalf("final unref freed %d, want 5", freed)
+	}
+	if s.Has(h1) || s.Blobs() != 0 || s.UniqueBytes() != 0 || s.LogicalBytes() != 0 {
+		t.Fatalf("store not empty after final unref: blobs=%d unique=%d logical=%d",
+			s.Blobs(), s.UniqueBytes(), s.LogicalBytes())
+	}
+	if s.Ref(h1) {
+		t.Fatal("ref on dead blob succeeded")
+	}
+	if s.Size(h1) != -1 {
+		t.Fatal("size of dead blob")
+	}
+}
+
+func TestStoreGetImmutable(t *testing.T) {
+	s := NewStore()
+	buf := []byte("mutate me")
+	h, _ := s.Put(buf)
+	buf[0] = 'X' // caller reuses its buffer; the store must be unaffected
+	got, ok := s.Get(h)
+	if !ok || string(got) != "mutate me" {
+		t.Fatalf("store content changed: %q", got)
+	}
+}
+
+func TestMeasuredDelta(t *testing.T) {
+	s := NewStore()
+	delta, err := s.Measured(func() error {
+		s.Put([]byte("aaaa"))
+		s.Put([]byte("aaaa")) // dedup: no new unique bytes
+		s.Put([]byte("bb"))
+		return nil
+	})
+	if err != nil || delta != 6 {
+		t.Fatalf("delta = %d err=%v, want 6", delta, err)
+	}
+	wantErr := errors.New("boom")
+	delta, err = s.Measured(func() error { return wantErr })
+	if err != wantErr || delta != 0 {
+		t.Fatalf("error passthrough: delta=%d err=%v", delta, err)
+	}
+	// Concurrent measured writers must never see each other's bytes.
+	var wg sync.WaitGroup
+	deltas := make([]int64, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d, _ := s.Measured(func() error {
+				s.Put([]byte(fmt.Sprintf("writer-%d-payload", i)))
+				return nil
+			})
+			deltas[i] = d
+		}()
+	}
+	wg.Wait()
+	for i, d := range deltas {
+		if want := int64(len(fmt.Sprintf("writer-%d-payload", i))); d != want {
+			t.Fatalf("writer %d delta = %d, want %d", i, d, want)
+		}
+	}
+}

@@ -30,6 +30,11 @@ type StatsSnapshot struct {
 	Symlinks int64
 }
 
+// Snapshot returns a point-in-time copy of the counters. Exported so
+// substrates outside this package (cas.FS) can embed Stats and expose
+// the same counter surface.
+func (s *Stats) Snapshot() StatsSnapshot { return s.snapshot() }
+
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
 		Mkdirs:   s.Mkdirs.Load(),
